@@ -1,0 +1,118 @@
+// Claim C3 (Section 1): the new primitives permit "the efficient
+// evaluation of these more powerful queries within the database."
+//
+// Inference (truth-value lookup) latency as a function of hierarchy depth,
+// fan-out, and exception density.
+
+#include <benchmark/benchmark.h>
+
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+struct InferenceSetup {
+  InferenceSetup(size_t depth, size_t fanout, size_t exception_layers) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", depth, fanout,
+                                            /*instances_per_leaf=*/2);
+    relation = db.CreateRelation("r", {{"v", "d"}}).value();
+    // Alternate truth values down one root-to-leaf class chain, creating
+    // an exception stack of the requested depth.
+    NodeId node = hierarchy->root();
+    Truth truth = Truth::kPositive;
+    size_t layer = 0;
+    while (!hierarchy->Children(node).empty() &&
+           hierarchy->is_class(hierarchy->Children(node)[0]) &&
+           layer < exception_layers) {
+      node = hierarchy->Children(node)[0];
+      (void)relation->Insert({node}, truth);
+      truth = Negate(truth);
+      ++layer;
+    }
+    deep_probe = hierarchy->AtomsUnder(node).front();
+    shallow_probe = hierarchy->Instances().back();
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* relation;
+  NodeId deep_probe;     // under the full exception chain
+  NodeId shallow_probe;  // under few (or no) asserted tuples
+};
+
+void BM_InferDeepExceptionChain(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  InferenceSetup setup(depth, /*fanout=*/2, /*exception_layers=*/depth);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InferTruth(*setup.relation, {setup.deep_probe}).value());
+  }
+  state.counters["tuples"] = static_cast<double>(setup.relation->size());
+}
+
+void BM_InferShallow(benchmark::State& state) {
+  size_t depth = static_cast<size_t>(state.range(0));
+  InferenceSetup setup(depth, /*fanout=*/2, /*exception_layers=*/1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InferTruth(*setup.relation, {setup.shallow_probe}).value());
+  }
+}
+
+void BM_InferWideFanout(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  InferenceSetup setup(/*depth=*/3, fanout, /*exception_layers=*/3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InferTruth(*setup.relation, {setup.deep_probe}).value());
+  }
+  state.counters["nodes"] =
+      static_cast<double>(setup.hierarchy->num_nodes());
+}
+
+void BM_InferManyExceptions(benchmark::State& state) {
+  // Exception density sweep: tuples asserted on every class of a deep
+  // chain vs only the top.
+  size_t layers = static_cast<size_t>(state.range(0));
+  InferenceSetup setup(/*depth=*/12, /*fanout=*/1, layers);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InferTruth(*setup.relation, {setup.deep_probe}).value());
+  }
+  state.counters["applicable_tuples"] =
+      static_cast<double>(setup.relation->size());
+}
+
+void BM_InferManyTuples(benchmark::State& state) {
+  // Index payoff: relations holding many instance-level tuples. Without
+  // the per-attribute inverted index every inference scanned all of them.
+  size_t tuples = static_cast<size_t>(state.range(0));
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", /*depth=*/2,
+                                             /*fanout=*/4,
+                                             /*instances_per_leaf=*/
+                                             tuples / 16 + 2);
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  std::vector<NodeId> atoms = h->Instances();
+  for (size_t i = 0; i < tuples && i < atoms.size(); ++i) {
+    (void)r->Insert({atoms[i]}, Truth::kPositive);
+  }
+  NodeId probe = atoms.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferTruth(*r, {probe}).value());
+  }
+  state.counters["stored_tuples"] = static_cast<double>(r->size());
+}
+
+BENCHMARK(BM_InferManyTuples)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+BENCHMARK(BM_InferDeepExceptionChain)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_InferShallow)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+BENCHMARK(BM_InferWideFanout)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_InferManyExceptions)->Arg(1)->Arg(3)->Arg(6)->Arg(12);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

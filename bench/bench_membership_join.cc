@@ -1,0 +1,90 @@
+// Claim C2 (footnote 1): storing class membership in a separate relation
+// "and keep[ing] only a single tuple with a class name" in the standard
+// relational model forces "repeated joins ... causing a degradation in
+// performance."
+//
+// Compares answering "is x in the relation?" and "list the relation" via
+// (a) hirel's hierarchical inference (direct subsumption) and (b) the
+// membership-table baseline's iterative joins, across hierarchy depths.
+
+#include <benchmark/benchmark.h>
+
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "flat/membership_baseline.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+struct JoinSetup {
+  explicit JoinSetup(size_t depth) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", depth, /*fanout=*/2,
+                                            /*instances_per_leaf=*/4);
+    relation = db.CreateRelation("r", {{"v", "d"}}).value();
+    // Assert the relation for the whole domain root's first child class.
+    target_class = hierarchy->Children(hierarchy->root())[0];
+    (void)relation->Insert({target_class}, Truth::kPositive);
+    probe = hierarchy->Instances().back();
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* relation;
+  NodeId target_class;
+  NodeId probe;
+};
+
+void BM_HierarchicalMembershipProbe(benchmark::State& state) {
+  JoinSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InferTruth(*setup.relation, {setup.probe}).value());
+  }
+}
+
+void BM_MembershipTableProbe(benchmark::State& state) {
+  JoinSetup setup(static_cast<size_t>(state.range(0)));
+  MembershipTable isa(*setup.hierarchy);
+  MembershipQueryStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        isa.IsMember(setup.probe, setup.target_class, &stats));
+  }
+  state.counters["joins_per_query"] =
+      static_cast<double>(stats.joins) / static_cast<double>(
+          state.iterations());
+  state.counters["rows_scanned_per_query"] =
+      static_cast<double>(stats.tuples_scanned) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_HierarchicalListExtension(benchmark::State& state) {
+  JoinSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Extension(*setup.relation).value().size());
+  }
+}
+
+void BM_MembershipTableListExtension(benchmark::State& state) {
+  JoinSetup setup(static_cast<size_t>(state.range(0)));
+  MembershipTable isa(*setup.hierarchy);
+  MembershipQueryStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        isa.MembersOf(setup.target_class, &stats).size());
+  }
+  state.counters["joins_per_query"] =
+      static_cast<double>(stats.joins) / static_cast<double>(
+          state.iterations());
+}
+
+BENCHMARK(BM_HierarchicalMembershipProbe)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+BENCHMARK(BM_MembershipTableProbe)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+BENCHMARK(BM_HierarchicalListExtension)->Arg(4)->Arg(6)->Arg(8);
+BENCHMARK(BM_MembershipTableListExtension)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// Claim C6 (Sections 1, 3.4): the higher-level primitives let the backend
+// evaluate powerful queries directly on the condensed form — versus the
+// alternative of explicating first and running flat operators.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "core/explicate.h"
+#include "flat/flat_ops.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+struct OpsSetup {
+  explicit OpsSetup(size_t instances_per_leaf) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", /*depth=*/3,
+                                            /*fanout=*/3,
+                                            instances_per_leaf);
+    left = db.CreateRelation("l", {{"v", "d"}}).value();
+    right = db.CreateRelation("r", {{"v", "d"}}).value();
+    NodeId c0 = hierarchy->Children(hierarchy->root())[0];
+    NodeId c1 = hierarchy->Children(hierarchy->root())[1];
+    (void)left->Insert({hierarchy->root()}, Truth::kPositive);
+    (void)left->Insert({c0}, Truth::kNegative);
+    (void)right->Insert({c0}, Truth::kPositive);
+    (void)right->Insert({c1}, Truth::kPositive);
+    probe_class = c1;
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* left;
+  HierarchicalRelation* right;
+  NodeId probe_class;
+};
+
+void BM_HierarchicalSelect(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectEquals(*setup.left, 0, setup.probe_class).value().size());
+  }
+}
+
+void BM_ExplicateThenFlatSelect(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FlatRelation flat =
+        FlatRelation::FromRows("f", setup.left->schema(),
+                               Extension(*setup.left).value())
+            .value();
+    benchmark::DoNotOptimize(
+        FlatSelectEquals(flat, 0, setup.probe_class).value().size());
+  }
+}
+
+void BM_HierarchicalUnion(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Union(*setup.left, *setup.right).value().size());
+  }
+}
+
+void BM_ExplicateThenFlatUnion(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FlatRelation lf = FlatRelation::FromRows("l", setup.left->schema(),
+                                             Extension(*setup.left).value())
+                          .value();
+    FlatRelation rf =
+        FlatRelation::FromRows("r", setup.right->schema(),
+                               Extension(*setup.right).value())
+            .value();
+    benchmark::DoNotOptimize(FlatUnion(lf, rf).value().size());
+  }
+}
+
+void BM_HierarchicalIntersect(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Intersect(*setup.left, *setup.right).value().size());
+  }
+}
+
+void BM_HierarchicalJoin(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JoinOn(*setup.left, *setup.right, {{0, 0}}).value().size());
+  }
+}
+
+void BM_ExplicateThenFlatJoin(benchmark::State& state) {
+  OpsSetup setup(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    FlatRelation lf = FlatRelation::FromRows("l", setup.left->schema(),
+                                             Extension(*setup.left).value())
+                          .value();
+    FlatRelation rf =
+        FlatRelation::FromRows("r", setup.right->schema(),
+                               Extension(*setup.right).value())
+            .value();
+    benchmark::DoNotOptimize(FlatJoinOn(lf, rf, {{0, 0}}).value().size());
+  }
+}
+
+BENCHMARK(BM_HierarchicalSelect)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExplicateThenFlatSelect)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HierarchicalUnion)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExplicateThenFlatUnion)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HierarchicalIntersect)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HierarchicalJoin)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ExplicateThenFlatJoin)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

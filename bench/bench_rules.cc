@@ -1,0 +1,71 @@
+// The Datalog layer: fixpoint throughput on the classic transitive-closure
+// workload and on the paper's travels-far shape.
+
+#include <benchmark/benchmark.h>
+
+#include "rules/rule.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Hierarchy* node = db.CreateHierarchy("node").value();
+    std::vector<NodeId> atoms;
+    for (size_t i = 0; i < n; ++i) {
+      atoms.push_back(
+          node->AddInstance(Value::Int(static_cast<int64_t>(i))).value());
+    }
+    HierarchicalRelation* edge =
+        db.CreateRelation("edge", {{"a", "node"}, {"b", "node"}}).value();
+    (void)db.CreateRelation("path", {{"a", "node"}, {"b", "node"}});
+    for (size_t i = 0; i + 1 < n; ++i) {
+      (void)edge->Insert({atoms[i], atoms[i + 1]}, Truth::kPositive);
+    }
+    RuleEngine engine(&db);
+    (void)engine.AddRule("path(?a, ?b) :- edge(?a, ?b).");
+    (void)engine.AddRule("path(?a, ?c) :- path(?a, ?b), edge(?b, ?c).");
+    state.ResumeTiming();
+    derived = engine.Evaluate().value();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["derived_facts"] = static_cast<double>(derived);
+}
+
+void BM_TravelsFarOverTaxonomy(benchmark::State& state) {
+  // The paper's motivating rule, over a growing taxonomy: one class tuple
+  // in flies fans out to the whole extension through the rule.
+  size_t members = static_cast<size_t>(state.range(0));
+  size_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Hierarchy* h =
+        testing::BuildTreeHierarchy(db, "d", 2, 4, members / 16 + 1);
+    HierarchicalRelation* flies =
+        db.CreateRelation("flies", {{"who", "d"}}).value();
+    (void)db.CreateRelation("travels_far", {{"who", "d"}});
+    (void)flies->Insert({h->Children(h->root())[0]}, Truth::kPositive);
+    RuleEngine engine(&db);
+    (void)engine.AddRule("travels_far(?x) :- flies(?x).");
+    state.ResumeTiming();
+    derived = engine.Evaluate().value();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["derived_facts"] = static_cast<double>(derived);
+}
+
+BENCHMARK(BM_TransitiveClosureChain)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TravelsFarOverTaxonomy)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Claim C1 (Section 1): "One can store the class membership once, and use
+// a single tuple with the class name to substitute for many tuples with
+// its constituent elements. ... a potentially infinite relation can be
+// stored in constant space."
+//
+// Measures tuples stored and approximate bytes for the hierarchical
+// representation (one class tuple + a handful of exceptions) versus the
+// flat extension, as the class population grows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/explicate.h"
+#include "flat/flat_relation.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+/// One class tuple plus `exceptions` negated instance tuples over a
+/// population of `members` instances.
+struct StorageSetup {
+  StorageSetup(size_t members, size_t exceptions) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", /*depth=*/1,
+                                            /*fanout=*/1,
+                                            /*instances_per_leaf=*/members);
+    relation = db.CreateRelation("r", {{"v", "d"}}).value();
+    NodeId cls = hierarchy->Classes()[1];  // the single leaf class
+    (void)relation->Insert({cls}, Truth::kPositive);
+    std::vector<NodeId> atoms = hierarchy->Instances();
+    for (size_t i = 0; i < exceptions && i < atoms.size(); ++i) {
+      (void)relation->Insert({atoms[i]}, Truth::kNegative);
+    }
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* relation;
+};
+
+void BM_HierarchicalStorage(benchmark::State& state) {
+  size_t members = static_cast<size_t>(state.range(0));
+  size_t exceptions = static_cast<size_t>(state.range(1));
+  StorageSetup setup(members, exceptions);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.relation->ApproxBytes());
+  }
+  state.counters["tuples"] = static_cast<double>(setup.relation->size());
+  state.counters["bytes"] =
+      static_cast<double>(setup.relation->ApproxBytes());
+  state.counters["ext_rows"] = static_cast<double>(members - exceptions);
+}
+
+void BM_FlatStorage(benchmark::State& state) {
+  size_t members = static_cast<size_t>(state.range(0));
+  size_t exceptions = static_cast<size_t>(state.range(1));
+  StorageSetup setup(members, exceptions);
+  FlatRelation flat =
+      FlatRelation::FromRows("flat", setup.relation->schema(),
+                             Extension(*setup.relation).value())
+          .value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(flat.ApproxBytes());
+  }
+  state.counters["tuples"] = static_cast<double>(flat.size());
+  state.counters["bytes"] = static_cast<double>(flat.ApproxBytes());
+  state.counters["ext_rows"] = static_cast<double>(members - exceptions);
+}
+
+// Population sweep at fixed exception count, then exception sweep at fixed
+// population.
+BENCHMARK(BM_HierarchicalStorage)
+    ->Args({100, 3})
+    ->Args({1000, 3})
+    ->Args({10000, 3})
+    ->Args({100000, 3})
+    ->Args({10000, 0})
+    ->Args({10000, 30})
+    ->Args({10000, 300});
+BENCHMARK(BM_FlatStorage)
+    ->Args({100, 3})
+    ->Args({1000, 3})
+    ->Args({10000, 3})
+    ->Args({100000, 3})
+    ->Args({10000, 0})
+    ->Args({10000, 30})
+    ->Args({10000, 300});
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

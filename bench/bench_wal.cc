@@ -1,0 +1,141 @@
+// Durability costs: logged vs unlogged fact insertion, recovery (replay)
+// speed, and the checkpoint's effect on startup.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/integrity.h"
+#include "io/wal.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+std::string FreshDir(const char* tag) {
+  std::string dir =
+      std::filesystem::temp_directory_path() / ("hirel_bench_" + std::string(tag));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void BM_UnloggedInsert(benchmark::State& state) {
+  // Mirrors BM_LoggedInsert exactly (same domain, same epoch reset) so the
+  // difference isolates the log append + flush.
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  std::vector<NodeId> classes;
+  for (int c = 0; c < 4; ++c) {
+    classes.push_back(h->AddClass("c" + std::to_string(c)).value());
+  }
+  for (int a = 0; a < 256; ++a) {
+    (void)h->AddInstance(Value::Int(a), classes[a % 4]);
+  }
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  std::vector<NodeId> atoms = h->Instances();
+  size_t i = 0;
+  for (auto _ : state) {
+    Item item{atoms[i % atoms.size()]};
+    Result<TupleId> inserted = GuardedInsert(*r, item, Truth::kPositive);
+    benchmark::DoNotOptimize(inserted.ok());
+    if (++i % atoms.size() == 0) {
+      state.PauseTiming();
+      r->Clear();
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_LoggedInsert(benchmark::State& state) {
+  std::string dir = FreshDir("logged_insert");
+  std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+  (void)ldb->CreateHierarchy("d");
+  for (int c = 0; c < 4; ++c) {
+    (void)ldb->AddClass("d", "c" + std::to_string(c));
+  }
+  for (int a = 0; a < 256; ++a) {
+    (void)ldb->AddInstance("d", Value::Int(a),
+                           {"c" + std::to_string(a % 4)});
+  }
+  (void)ldb->CreateRelation("r", {{"v", "d"}});
+  Hierarchy* h = ldb->db().GetHierarchy("d").value();
+  std::vector<NodeId> atoms = h->Instances();
+  size_t i = 0;
+  size_t epoch = 0;
+  for (auto _ : state) {
+    Item item{atoms[i % atoms.size()]};
+    Result<TupleId> inserted = ldb->Insert("r", item, Truth::kPositive);
+    benchmark::DoNotOptimize(inserted.ok());
+    if (++i % atoms.size() == 0) {
+      state.PauseTiming();
+      (void)ldb->DropRelation("r");
+      (void)ldb->CreateRelation("r", {{"v", "d"}});
+      ++epoch;
+      state.ResumeTiming();
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  size_t facts = static_cast<size_t>(state.range(0));
+  std::string dir = FreshDir("replay");
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+    (void)ldb->CreateHierarchy("d");
+    (void)ldb->CreateRelation("r", {{"v", "d"}});
+    for (size_t a = 0; a < facts; ++a) {
+      (void)ldb->AddInstance("d", Value::Int(static_cast<int64_t>(a)));
+      Hierarchy* h = ldb->db().GetHierarchy("d").value();
+      NodeId atom =
+          h->FindInstance(Value::Int(static_cast<int64_t>(a))).value();
+      (void)ldb->Insert("r", {atom}, Truth::kPositive);
+    }
+  }
+  size_t replayed = 0;
+  for (auto _ : state) {
+    std::unique_ptr<LoggedDatabase> reopened =
+        LoggedDatabase::Open(dir).value();
+    replayed = reopened->replayed_records();
+    benchmark::DoNotOptimize(replayed);
+  }
+  state.counters["records"] = static_cast<double>(replayed);
+  std::filesystem::remove_all(dir);
+}
+
+void BM_RecoveryAfterCheckpoint(benchmark::State& state) {
+  size_t facts = static_cast<size_t>(state.range(0));
+  std::string dir = FreshDir("checkpointed");
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+    (void)ldb->CreateHierarchy("d");
+    (void)ldb->CreateRelation("r", {{"v", "d"}});
+    for (size_t a = 0; a < facts; ++a) {
+      (void)ldb->AddInstance("d", Value::Int(static_cast<int64_t>(a)));
+      Hierarchy* h = ldb->db().GetHierarchy("d").value();
+      NodeId atom =
+          h->FindInstance(Value::Int(static_cast<int64_t>(a))).value();
+      (void)ldb->Insert("r", {atom}, Truth::kPositive);
+    }
+    (void)ldb->Checkpoint();
+  }
+  for (auto _ : state) {
+    std::unique_ptr<LoggedDatabase> reopened =
+        LoggedDatabase::Open(dir).value();
+    benchmark::DoNotOptimize(reopened->replayed_records());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+BENCHMARK(BM_UnloggedInsert);
+BENCHMARK(BM_LoggedInsert);
+BENCHMARK(BM_RecoveryReplay)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RecoveryAfterCheckpoint)->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

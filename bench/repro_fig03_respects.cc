@@ -1,0 +1,66 @@
+// Figure 3 — the Respects relation: "Given that all Obsequious students
+// respect all teachers, and that no student respects any incoherent
+// teacher, we cannot determine whether obsequious students respect
+// incoherent teachers. ... The conflict is resolved through an explicit
+// tuple asserting that all obsequious students do indeed respect all
+// incoherent teachers."
+
+#include <iostream>
+
+#include "core/conflict.h"
+#include "core/inference.h"
+#include "io/text_dump.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+using namespace hirel;
+using repro::Check;
+using repro::CheckEq;
+
+int main() {
+  repro::Banner("Fig. 3 without the tuple below the dashed line");
+  testing::RespectsFixture broken(/*with_resolver=*/false);
+  std::cout << FormatRelation(*broken.respects);
+  Status ambiguity = CheckAmbiguity(*broken.respects);
+  Check(ambiguity.IsConflict(), "database is inconsistent (ambiguity)");
+  std::cout << "  detector says: " << ambiguity.ToString() << "\n";
+
+  std::vector<ConflictSite> sites = FindConflicts(*broken.respects).value();
+  CheckEq<size_t>(1, sites.size(), "exactly one conflicted item");
+  Check(sites[0].item ==
+            (Item{broken.obsequious, broken.incoherent}),
+        "the conflicted item is (obsequious student, incoherent teacher)");
+
+  repro::Banner("conflict resolution sets (Section 3.1)");
+  std::vector<Item> minimal = MinimalConflictResolutionSet(
+      broken.respects->schema(),
+      {broken.obsequious, broken.teacher->root()},
+      {broken.student->root(), broken.incoherent});
+  CheckEq<size_t>(1, minimal.size(), "minimal conflict-resolution set: 1");
+  std::vector<Item> complete =
+      CompleteConflictResolutionSet(broken.respects->schema(),
+                                    {broken.obsequious,
+                                     broken.teacher->root()},
+                                    {broken.student->root(),
+                                     broken.incoherent})
+          .value();
+  CheckEq<size_t>(4, complete.size(),
+                  "complete set: {obsequious, john} x {incoherent, jim}");
+
+  repro::Banner("Fig. 3 with the conflict-resolving tuple");
+  testing::RespectsFixture fixed(/*with_resolver=*/true);
+  std::cout << FormatRelation(*fixed.respects);
+  Check(CheckAmbiguity(*fixed.respects).ok(), "database is consistent");
+  CheckEq(Truth::kPositive,
+          InferTruth(*fixed.respects, {fixed.obsequious, fixed.incoherent})
+              .value(),
+          "obsequious students respect incoherent teachers");
+  CheckEq(Truth::kPositive,
+          InferTruth(*fixed.respects, {fixed.john, fixed.jim}).value(),
+          "john respects jim");
+  CheckEq(Truth::kNegative,
+          InferTruth(*fixed.respects, {fixed.mary, fixed.jim}).value(),
+          "mary does not respect jim");
+
+  return repro::Finish();
+}

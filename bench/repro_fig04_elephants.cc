@@ -1,0 +1,46 @@
+// Figure 4 — the royal-elephant hierarchy and its Color relation:
+// explicit cancellation (grey -> white -> dappled) and the Appu query
+// ("Royal elephant binds more strongly to Appu than does elephant, so we
+// conclude that Appu is not grey but white. ... the fact that Appu is an
+// Indian elephant is treated as an irrelevant fact").
+
+#include <iostream>
+
+#include "core/inference.h"
+#include "io/text_dump.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+using namespace hirel;
+using repro::CheckEq;
+
+int main() {
+  testing::ElephantFixture f;
+
+  repro::Banner("Fig. 4: hierarchy and Color relation");
+  std::cout << FormatHierarchy(*f.animal) << FormatRelation(*f.colors);
+
+  repro::Banner("explicit cancellation chain");
+  auto color = [&](NodeId who, NodeId shade) {
+    return InferTruth(*f.colors, {who, shade}).value();
+  };
+  CheckEq(Truth::kPositive, color(f.elephant, f.grey), "elephants are grey");
+  CheckEq(Truth::kNegative, color(f.royal, f.grey),
+          "royal elephants are not grey (explicit cancellation)");
+  CheckEq(Truth::kPositive, color(f.royal, f.white),
+          "royal elephants are white");
+  CheckEq(Truth::kNegative, color(f.clyde, f.white),
+          "clyde is not (pure) white");
+  CheckEq(Truth::kPositive, color(f.clyde, f.dappled), "clyde is dappled");
+  CheckEq(Truth::kNegative, color(f.clyde, f.grey), "clyde is not grey");
+
+  repro::Banner("the Appu query (multiple inheritance)");
+  CheckEq(Truth::kNegative, color(f.appu, f.grey), "Appu is not grey");
+  CheckEq(Truth::kPositive, color(f.appu, f.white), "Appu is white");
+  CheckEq(Truth::kPositive, color(f.indian, f.grey),
+          "generic Indian elephants stay grey (irrelevant to Appu)");
+  CheckEq(Truth::kPositive, color(f.african, f.grey),
+          "African elephants stay grey");
+
+  return repro::Finish();
+}

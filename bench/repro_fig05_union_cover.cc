@@ -1,0 +1,66 @@
+// Figure 5 — the Venn diagram: sets A and B whose union covers C, with
+// neither alone dominating C. "Detecting the redundancy of sets such as C
+// is not easy. In fact, finding the minimum number of sets regarding which
+// assertions have to be made is np-hard ... Therefore, we cannot consider
+// a tuple regarding C a redundant assertion, given tuples regarding sets A
+// and B." Consolidation must keep C's tuple.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "io/text_dump.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+using namespace hirel;
+using repro::Check;
+using repro::CheckEq;
+
+int main() {
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("things").value();
+  NodeId a = h->AddClass("A").value();
+  NodeId b = h->AddClass("B").value();
+  NodeId c = h->AddClass("C").value();
+  // C's membership is split between A and B (the Venn overlap regions).
+  NodeId ca = h->AddClass("C_in_A", c).value();
+  NodeId cb = h->AddClass("C_in_B", c).value();
+  (void)h->AddEdge(a, ca);
+  (void)h->AddEdge(b, cb);
+  NodeId x1 = h->AddInstance(Value::String("x1"), ca).value();
+  NodeId x2 = h->AddInstance(Value::String("x2"), cb).value();
+  (void)x1;
+  (void)x2;
+
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "things"}}).value();
+  (void)r->Insert({a}, Truth::kPositive);
+  (void)r->Insert({b}, Truth::kPositive);
+  (void)r->Insert({c}, Truth::kPositive);
+
+  repro::Banner("Fig. 5 setup: ext(C) is covered by ext(A) union ext(B)");
+  std::cout << FormatHierarchy(*h) << FormatRelation(*r);
+  size_t ext_with = Extension(*r).value().size();
+
+  repro::Banner("consolidation keeps the C tuple");
+  size_t removed = ConsolidateInPlace(*r).value();
+  CheckEq<size_t>(0, removed, "no tuple is considered redundant");
+  CheckEq<size_t>(3, r->size(), "all three tuples survive");
+
+  repro::Banner("why: deleting C would not change the extension *today*, "
+                "but membership can drift");
+  // Demonstrate the paper's rationale: after C gains a member outside
+  // A and B, the C tuple carries information A and B do not.
+  HierarchicalRelation without_c = *r;
+  (void)without_c.EraseItem({c});
+  NodeId x3 = h->AddInstance(Value::String("x3"), c).value();
+  Check(Extension(*r).value().size() == ext_with + 1,
+        "with C's tuple, the new member x3 is covered");
+  std::vector<Item> ext_without = Extension(without_c).value();
+  Check(std::find(ext_without.begin(), ext_without.end(), Item{x3}) ==
+            ext_without.end(),
+        "without C's tuple, x3 would have been lost");
+
+  return repro::Finish();
+}

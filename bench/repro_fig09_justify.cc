@@ -1,0 +1,47 @@
+// Figure 9 — a selection on the Animal-Color relation and its
+// *justification*: "One can, in our model, not only obtain the result of a
+// selection, but also find out which tuples in the relation were
+// applicable."
+
+#include <iostream>
+
+#include "algebra/justify.h"
+#include "algebra/select.h"
+#include "core/explicate.h"
+#include "io/text_dump.h"
+#include "repro_util.h"
+#include "testing/fixtures.h"
+
+using namespace hirel;
+using repro::Check;
+using repro::CheckEq;
+
+int main() {
+  testing::ElephantFixture f;
+
+  repro::Banner("Fig. 9a: what color is Clyde? (selection)");
+  HierarchicalRelation sel = SelectEquals(*f.colors, 0, f.clyde).value();
+  std::cout << FormatRelation(sel);
+  std::vector<Item> ext = Extension(sel).value();
+  CheckEq<size_t>(1, ext.size(), "one row");
+  Check(ext[0] == (Item{f.clyde, f.dappled}), "clyde is dappled");
+
+  repro::Banner("Fig. 9b: justification for (clyde, grey)");
+  Justification grey = Explain(*f.colors, {f.clyde, f.grey}).value();
+  std::cout << JustificationToString(*f.colors, grey);
+  Check(!grey.conflict && grey.verdict == Truth::kNegative,
+        "verdict: not grey");
+  CheckEq<size_t>(2, grey.applicable.size(),
+                  "applicable tuples: (elephant,grey)+ and (royal,grey)-");
+  CheckEq<size_t>(1, grey.binders.size(), "binder: the royal cancellation");
+  Check(f.colors->tuple(grey.binders[0]).item == (Item{f.royal, f.grey}),
+        "the overriding tuple is -(ALL royal_elephant, grey)");
+
+  repro::Banner("justification for (clyde, dappled)");
+  Justification dappled = Explain(*f.colors, {f.clyde, f.dappled}).value();
+  std::cout << JustificationToString(*f.colors, dappled);
+  Check(dappled.verdict == Truth::kPositive && dappled.binders.size() == 1,
+        "clyde's own tuple binds strongest");
+
+  return repro::Finish();
+}

@@ -1,0 +1,61 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Each repro_figNN binary rebuilds one figure of the paper programmatically,
+// prints the paper's stated outcome next to what hirel computes, and exits
+// non-zero if any check fails — so `for b in build/bench/*; do $b; done`
+// doubles as a regression gate over the whole evaluation section.
+
+#ifndef HIREL_BENCH_REPRO_UTIL_H_
+#define HIREL_BENCH_REPRO_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace hirel {
+namespace repro {
+
+inline int& failures() {
+  static int count = 0;
+  return count;
+}
+
+inline void Banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void Check(bool ok, const std::string& what) {
+  std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what << "\n";
+  if (!ok) ++failures();
+}
+
+template <typename T>
+concept Streamable = requires(std::ostream& os, const T& t) { os << t; };
+
+template <typename T>
+void CheckEq(const T& expected, const T& actual, const std::string& what) {
+  bool ok = expected == actual;
+  std::cout << (ok ? "  [ok]   " : "  [FAIL] ") << what;
+  if (!ok) {
+    if constexpr (Streamable<T>) {
+      std::cout << "  (expected " << expected << ", got " << actual << ")";
+    }
+    ++failures();
+  }
+  std::cout << "\n";
+}
+
+inline int Finish() {
+  if (failures() == 0) {
+    std::cout << "\nall checks passed\n";
+    return 0;
+  }
+  std::cout << "\n" << failures() << " check(s) FAILED\n";
+  return 1;
+}
+
+}  // namespace repro
+}  // namespace hirel
+
+#endif  // HIREL_BENCH_REPRO_UTIL_H_

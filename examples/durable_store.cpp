@@ -1,0 +1,73 @@
+// Durability walkthrough: a write-ahead-logged hirel database surviving a
+// simulated crash.
+//
+//   build/examples/durable_store [directory]
+//
+// Builds a small knowledge base through LoggedDatabase, "crashes" (drops
+// the handle without checkpointing), reopens to demonstrate log replay,
+// checkpoints, and reopens once more to show the shortened recovery.
+
+#include <filesystem>
+#include <iostream>
+
+#include "core/inference.h"
+#include "io/wal.h"
+
+using namespace hirel;
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1
+                        ? argv[1]
+                        : (std::filesystem::temp_directory_path() /
+                           "hirel_durable_demo").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::cout << "durable directory: " << dir << "\n\n";
+
+  // Session 1: build the database; every call is logged before returning.
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+    ldb->CreateHierarchy("animal").value();
+    ldb->AddClass("animal", "bird").value();
+    ldb->AddClass("animal", "penguin", {"bird"}).value();
+    ldb->AddInstance("animal", Value::String("tweety"), {"bird"}).value();
+    ldb->AddInstance("animal", Value::String("pingu"), {"penguin"}).value();
+    ldb->CreateRelation("flies", {{"who", "animal"}}).value();
+    Hierarchy* animal = ldb->db().GetHierarchy("animal").value();
+    NodeId bird = animal->FindClass("bird").value();
+    NodeId penguin = animal->FindClass("penguin").value();
+    if (!ldb->Insert("flies", {bird}, Truth::kPositive).ok() ||
+        !ldb->Insert("flies", {penguin}, Truth::kNegative).ok()) {
+      return 1;
+    }
+    std::cout << "session 1: built the database, then 'crashed' without a "
+                 "checkpoint\n";
+  }  // handle dropped: simulated crash
+
+  // Session 2: recovery replays the log.
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+    std::cout << "session 2: replayed " << ldb->replayed_records()
+              << " log record(s)\n";
+    Hierarchy* animal = ldb->db().GetHierarchy("animal").value();
+    HierarchicalRelation* flies = ldb->db().GetRelation("flies").value();
+    NodeId tweety = animal->FindInstance(Value::String("tweety")).value();
+    NodeId pingu = animal->FindInstance(Value::String("pingu")).value();
+    std::cout << "  tweety flies: "
+              << (Holds(*flies, {tweety}).value() ? "yes" : "no") << "\n"
+              << "  pingu flies:  "
+              << (Holds(*flies, {pingu}).value() ? "yes" : "no") << "\n";
+    if (!ldb->Checkpoint().ok()) return 1;
+    std::cout << "  checkpointed: snapshot written, log reset\n";
+  }
+
+  // Session 3: recovery is now instant (snapshot + empty log).
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir).value();
+    std::cout << "session 3: replayed " << ldb->replayed_records()
+              << " log record(s) after the checkpoint\n";
+    if (!ldb->db().GetRelation("flies").ok()) return 1;
+  }
+  std::cout << "\ndurability round trip complete\n";
+  return 0;
+}

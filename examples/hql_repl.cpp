@@ -1,0 +1,69 @@
+// Interactive HQL shell.
+//
+//   build/examples/hql_repl [script.hql ...]
+//
+// Any file arguments are executed first; then, if stdin is a terminal (or
+// anything else that keeps providing lines), statements are read
+// interactively. Statements may span lines and end with ';'.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hql/executor.h"
+#include "hql/printer.h"
+
+using namespace hirel;
+
+namespace {
+
+int RunScriptFile(hql::Executor& exec, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<std::string> out = exec.Execute(buffer.str());
+  if (!out.ok()) {
+    std::cerr << path << ": " << out.status() << "\n";
+    return 1;
+  }
+  std::cout << out.value();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hql::Executor exec;
+
+  for (int i = 1; i < argc; ++i) {
+    int rc = RunScriptFile(exec, argv[i]);
+    if (rc != 0) return rc;
+  }
+
+  std::cout << hql::Banner() << std::flush;
+  std::string pending;
+  std::string line;
+  std::cout << "hirel> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    pending += line;
+    pending += "\n";
+    // Execute once the buffer holds at least one full statement.
+    if (pending.find(';') != std::string::npos) {
+      Result<std::string> out = exec.Execute(pending);
+      if (out.ok()) {
+        std::cout << out.value();
+      } else {
+        std::cout << "error: " << out.status() << "\n";
+      }
+      pending.clear();
+    }
+    std::cout << (pending.empty() ? "hirel> " : "   ... ") << std::flush;
+  }
+  std::cout << "\n";
+  return 0;
+}

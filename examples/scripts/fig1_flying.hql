@@ -1,0 +1,26 @@
+-- Figure 1 of the paper, as an HQL script:
+--   build/examples/hql_repl examples/scripts/fig1_flying.hql < /dev/null
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE CLASS canary IN animal UNDER bird;
+CREATE CLASS penguin IN animal UNDER bird;
+CREATE CLASS galapagos_penguin IN animal UNDER penguin;
+CREATE CLASS amazing_flying_penguin IN animal UNDER penguin;
+CREATE INSTANCE tweety IN animal UNDER canary;
+CREATE INSTANCE paul IN animal UNDER galapagos_penguin;
+CREATE INSTANCE pamela IN animal UNDER amazing_flying_penguin;
+CREATE INSTANCE patricia IN animal UNDER amazing_flying_penguin, galapagos_penguin;
+CREATE INSTANCE peter IN animal UNDER amazing_flying_penguin;
+
+CREATE RELATION flies (who: animal);
+ASSERT flies(ALL bird);
+DENY flies(ALL penguin);
+ASSERT flies(ALL amazing_flying_penguin);
+ASSERT flies(peter);
+
+SHOW HIERARCHY animal;
+SHOW RELATION flies;
+SHOW SUBSUMPTION flies;          -- Fig. 1c
+SHOW BINDING flies(patricia);    -- Fig. 1d
+EXPLAIN flies(paul);
+EXTENSION flies;

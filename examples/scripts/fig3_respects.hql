@@ -1,0 +1,26 @@
+-- Figure 3: the conflict and its resolution, via a transaction.
+--   build/examples/hql_repl examples/scripts/fig3_respects.hql < /dev/null
+CREATE HIERARCHY student;
+CREATE CLASS obsequious_student IN student;
+CREATE INSTANCE john IN student UNDER obsequious_student;
+CREATE INSTANCE mary IN student;
+CREATE HIERARCHY teacher;
+CREATE CLASS incoherent_teacher IN teacher;
+CREATE INSTANCE jim IN teacher UNDER incoherent_teacher;
+CREATE INSTANCE wendy IN teacher;
+CREATE RELATION respects (who: student, whom: teacher);
+
+-- The two premises alone would conflict; the resolver joins them in one
+-- transaction (Section 3.1).
+BEGIN respects;
+ASSERT respects(ALL obsequious_student, ALL teacher);
+DENY respects(ALL student, ALL incoherent_teacher);
+ASSERT respects(ALL obsequious_student, ALL incoherent_teacher);
+COMMIT;
+
+SHOW SUBSUMPTION respects;    -- Fig. 6a
+SELECT * FROM respects WHERE who = obsequious_student;   -- Fig. 7
+SELECT * FROM respects WHERE who = john;                 -- Fig. 8
+CONSOLIDATE respects;         -- Fig. 6b
+SHOW RELATION respects;
+EXTENSION respects;

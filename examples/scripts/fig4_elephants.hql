@@ -1,0 +1,32 @@
+-- Figure 4 (Clyde the royal elephant) and Fig. 11 (join + projection).
+--   build/examples/hql_repl examples/scripts/fig4_elephants.hql < /dev/null
+CREATE HIERARCHY animal;
+CREATE CLASS elephant IN animal;
+CREATE CLASS african_elephant IN animal UNDER elephant;
+CREATE CLASS indian_elephant IN animal UNDER elephant;
+CREATE CLASS royal_elephant IN animal UNDER elephant;
+CREATE INSTANCE clyde IN animal UNDER royal_elephant;
+CREATE INSTANCE appu IN animal UNDER royal_elephant, indian_elephant;
+
+CREATE HIERARCHY color;
+CREATE HIERARCHY sqft;
+CREATE RELATION color_of (animal: animal, color: color);
+ASSERT color_of(ALL elephant, 'grey');
+ASSERT color_of(ALL royal_elephant, 'white');
+DENY color_of(ALL royal_elephant, 'grey');
+ASSERT color_of(clyde, 'dappled');
+DENY color_of(clyde, 'white');
+
+CREATE RELATION enclosure (animal: animal, sqft: sqft);
+ASSERT enclosure(ALL elephant, 3000);
+ASSERT enclosure(ALL indian_elephant, 2000);
+DENY enclosure(ALL indian_elephant, 3000);
+
+EXPLAIN color_of(appu, 'grey');  -- Fig. 9's justification feature
+EXPLAIN color_of(appu, 'white');
+CREATE RELATION housed AS color_of JOIN enclosure;   -- Fig. 11b
+SHOW RELATION housed;
+EXTENSION housed;
+CREATE RELATION back AS PROJECT housed ON (animal, color);  -- Fig. 11c
+EXTENSION back;
+COUNT enclosure BY animal;

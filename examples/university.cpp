@@ -1,0 +1,74 @@
+// The students-and-teachers scenario (Figs. 2, 3, 6-8): multi-attribute
+// hierarchical relations, conflicts and transactional resolution,
+// consolidation, and selections.
+//
+//   build/examples/university
+
+#include <iostream>
+
+#include "algebra/select.h"
+#include "catalog/database.h"
+#include "core/conflict.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/transaction.h"
+#include "io/text_dump.h"
+
+using namespace hirel;
+
+int main() {
+  Database db;
+  Hierarchy* student = db.CreateHierarchy("student").value();
+  NodeId obsequious = student->AddClass("obsequious_student").value();
+  student->AddInstance(Value::String("john"), obsequious).value();
+  student->AddInstance(Value::String("mary"), student->root()).value();
+
+  Hierarchy* teacher = db.CreateHierarchy("teacher").value();
+  NodeId incoherent = teacher->AddClass("incoherent_teacher").value();
+  teacher->AddInstance(Value::String("jim"), incoherent).value();
+  teacher->AddInstance(Value::String("wendy"), teacher->root()).value();
+
+  HierarchicalRelation* respects =
+      db.CreateRelation("respects", {{"who", "student"}, {"whom", "teacher"}})
+          .value();
+
+  // Inserting the two Fig. 3 premises alone is inconsistent; the paper
+  // requires the conflict to be resolved within the same transaction.
+  Transaction txn(respects);
+  txn.Assert({obsequious, teacher->root()});
+  txn.Deny({student->root(), incoherent});
+  Status first_try = txn.Commit();
+  std::cout << "commit without resolver: " << first_try.ToString() << "\n\n";
+
+  txn.Assert({obsequious, teacher->root()});
+  txn.Deny({student->root(), incoherent});
+  txn.Assert({obsequious, incoherent});  // the resolver
+  Status second_try = txn.Commit();
+  std::cout << "commit with resolver: " << second_try.ToString() << "\n\n";
+  if (!second_try.ok()) return 1;
+
+  std::cout << FormatRelation(*respects) << "\n";
+
+  // Fig. 7 and Fig. 8 selections.
+  HierarchicalRelation fig7 =
+      SelectEquals(*respects, "who", "obsequious_student").value();
+  (void)ConsolidateInPlace(fig7).value();
+  std::cout << "who do obsequious students respect?\n"
+            << FormatRelation(fig7) << "\n";
+
+  HierarchicalRelation fig8 = SelectEquals(*respects, "who", "john").value();
+  (void)ConsolidateInPlace(fig8).value();
+  std::cout << "who does john respect?\n" << FormatRelation(fig8) << "\n";
+
+  // Fig. 6: consolidation finds the two redundant tuples.
+  size_t removed = ConsolidateInPlace(*respects).value();
+  std::cout << "consolidating respects removed " << removed
+            << " tuple(s):\n"
+            << FormatRelation(*respects) << "\n";
+
+  // The flat view, for the skeptical.
+  std::cout << FormatExtension(respects->schema(),
+                               Extension(*respects).value(),
+                               "extension of respects");
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "algebra/aggregate.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "core/explicate.h"
+
+namespace hirel {
+
+namespace {
+
+Result<std::vector<Item>> Rows(const HierarchicalRelation& relation,
+                               const AggregateOptions& options) {
+  ExplicateOptions explicate_options;
+  explicate_options.inference = options.inference;
+  explicate_options.max_result_tuples = options.max_rows;
+  return Extension(relation, explicate_options);
+}
+
+}  // namespace
+
+Result<size_t> CountExtension(const HierarchicalRelation& relation,
+                              const AggregateOptions& options) {
+  HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows, Rows(relation, options));
+  return rows.size();
+}
+
+Result<double> Aggregate(const HierarchicalRelation& relation, size_t attr,
+                         AggregateKind kind,
+                         const AggregateOptions& options) {
+  const Schema& schema = relation.schema();
+  if (attr >= schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("aggregate: attribute position ", attr, " out of range"));
+  }
+  HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows, Rows(relation, options));
+  if (rows.empty()) {
+    if (kind == AggregateKind::kSum) return 0.0;
+    return Status::InvalidArgument(
+        "aggregate: avg/min/max over an empty extension");
+  }
+  const Hierarchy* h = schema.hierarchy(attr);
+  double sum = 0, lo = 0, hi = 0;
+  bool first = true;
+  for (const Item& row : rows) {
+    const Value& value = h->InstanceValue(row[attr]);
+    double v;
+    if (value.is_int()) {
+      v = static_cast<double>(value.AsInt());
+    } else if (value.is_double()) {
+      v = value.AsDouble();
+    } else {
+      return Status::InvalidArgument(
+          StrCat("aggregate: attribute '", schema.name(attr),
+                 "' holds non-numeric value '", value.ToString(), "'"));
+    }
+    sum += v;
+    lo = first ? v : std::min(lo, v);
+    hi = first ? v : std::max(hi, v);
+    first = false;
+  }
+  switch (kind) {
+    case AggregateKind::kSum:
+      return sum;
+    case AggregateKind::kAvg:
+      return sum / static_cast<double>(rows.size());
+    case AggregateKind::kMin:
+      return lo;
+    case AggregateKind::kMax:
+      return hi;
+  }
+  return Status::Internal("unhandled aggregate kind");
+}
+
+Result<std::vector<RollUpRow>> RollUp(const HierarchicalRelation& relation,
+                                      size_t attr,
+                                      const std::vector<NodeId>& groups,
+                                      const AggregateOptions& options) {
+  const Schema& schema = relation.schema();
+  if (attr >= schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("rollup: attribute position ", attr, " out of range"));
+  }
+  const Hierarchy* h = schema.hierarchy(attr);
+  for (NodeId group : groups) {
+    if (!h->alive(group)) {
+      return Status::InvalidArgument("rollup: dead group node");
+    }
+  }
+  HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows, Rows(relation, options));
+  std::vector<RollUpRow> out;
+  out.reserve(groups.size());
+  for (NodeId group : groups) {
+    RollUpRow row{group, 0};
+    for (const Item& item : rows) {
+      if (h->Subsumes(group, item[attr])) ++row.count;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+Result<std::vector<RollUpRow>> RollUpTopLevel(
+    const HierarchicalRelation& relation, size_t attr,
+    const AggregateOptions& options) {
+  const Schema& schema = relation.schema();
+  if (attr >= schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("rollup: attribute position ", attr, " out of range"));
+  }
+  const Hierarchy* h = schema.hierarchy(attr);
+  return RollUp(relation, attr, h->Children(h->root()), options);
+}
+
+std::string RollUpToString(const HierarchicalRelation& relation, size_t attr,
+                           const std::vector<RollUpRow>& rows) {
+  const Hierarchy* h = relation.schema().hierarchy(attr);
+  std::string out;
+  for (const RollUpRow& row : rows) {
+    out += StrCat("  ", h->NodeName(row.group), ": ", row.count, "\n");
+  }
+  return out;
+}
+
+}  // namespace hirel

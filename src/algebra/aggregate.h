@@ -1,0 +1,68 @@
+// Aggregation over hierarchical relations.
+//
+// Section 3.3.2 motivates explication with "a count, average, or other
+// statistical operation ... to be performed over the relation". This
+// module performs those statistics directly, plus the hierarchical twist
+// the model makes natural: ROLL-UP, grouping extension rows by the classes
+// of the taxonomy rather than by raw values.
+
+#ifndef HIREL_ALGEBRA_AGGREGATE_H_
+#define HIREL_ALGEBRA_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Options threaded into the implicit explication.
+struct AggregateOptions {
+  InferenceOptions inference;
+  size_t max_rows = 10'000'000;
+};
+
+/// Number of rows in the relation's extension (the COUNT(*) the paper
+/// mentions). Computed without materialising class combinations twice.
+Result<size_t> CountExtension(const HierarchicalRelation& relation,
+                              const AggregateOptions& options = {});
+
+/// Numeric aggregate over attribute `attr` of the extension; the attribute
+/// must hold int or double instances. kAvg over an empty extension is an
+/// error; min/max over an empty extension are errors too; kSum is 0.
+enum class AggregateKind { kSum, kAvg, kMin, kMax };
+
+Result<double> Aggregate(const HierarchicalRelation& relation, size_t attr,
+                         AggregateKind kind,
+                         const AggregateOptions& options = {});
+
+/// One roll-up bucket: a class and how many extension rows fall under it.
+struct RollUpRow {
+  NodeId group = kInvalidNode;
+  size_t count = 0;
+};
+
+/// Groups the extension by taxonomy classes: for each class in `groups`
+/// (all from attribute `attr`'s hierarchy), counts the extension rows
+/// whose attr component it subsumes. Groups may overlap (multiple
+/// inheritance), in which case a row counts once per covering group.
+Result<std::vector<RollUpRow>> RollUp(const HierarchicalRelation& relation,
+                                      size_t attr,
+                                      const std::vector<NodeId>& groups,
+                                      const AggregateOptions& options = {});
+
+/// Convenience: rolls up by the direct children of attribute `attr`'s
+/// hierarchy root (the top-level taxonomy split).
+Result<std::vector<RollUpRow>> RollUpTopLevel(
+    const HierarchicalRelation& relation, size_t attr,
+    const AggregateOptions& options = {});
+
+/// "class: count"-per-line rendering of a roll-up.
+std::string RollUpToString(const HierarchicalRelation& relation, size_t attr,
+                           const std::vector<RollUpRow>& rows);
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_AGGREGATE_H_

@@ -1,0 +1,146 @@
+#include "algebra/join.h"
+
+#include <algorithm>
+
+#include "algebra/derivation.h"
+#include "common/str_util.h"
+#include "core/inference.h"
+
+namespace hirel {
+
+Result<HierarchicalRelation> JoinOn(
+    const HierarchicalRelation& left, const HierarchicalRelation& right,
+    const std::vector<std::pair<size_t, size_t>>& on,
+    const JoinOptions& options) {
+  const Schema& ls = left.schema();
+  const Schema& rs = right.schema();
+
+  std::vector<size_t> right_join_of(rs.size(), SIZE_MAX);  // right pos -> left pos
+  for (const auto& [li, ri] : on) {
+    if (li >= ls.size() || ri >= rs.size()) {
+      return Status::InvalidArgument("join: attribute position out of range");
+    }
+    if (ls.hierarchy(li) != rs.hierarchy(ri)) {
+      return Status::InvalidArgument(
+          StrCat("join: attributes '", ls.name(li), "' and '", rs.name(ri),
+                 "' range over different hierarchies"));
+    }
+    if (right_join_of[ri] != SIZE_MAX) {
+      return Status::InvalidArgument(
+          StrCat("join: right attribute '", rs.name(ri), "' joined twice"));
+    }
+    right_join_of[ri] = li;
+  }
+
+  // Result schema: left attributes, then right non-join attributes.
+  Schema schema;
+  for (size_t i = 0; i < ls.size(); ++i) {
+    HIREL_RETURN_IF_ERROR(schema.Append(ls.name(i), ls.hierarchy(i)));
+  }
+  std::vector<size_t> tail_positions;  // right pos -> result pos (non-join)
+  tail_positions.assign(rs.size(), SIZE_MAX);
+  for (size_t j = 0; j < rs.size(); ++j) {
+    if (right_join_of[j] != SIZE_MAX) continue;
+    std::string name = rs.name(j);
+    if (schema.IndexOf(name).ok()) {
+      name = StrCat(right.name(), ".", name);
+    }
+    tail_positions[j] = schema.size();
+    HIREL_RETURN_IF_ERROR(schema.Append(std::move(name), rs.hierarchy(j)));
+  }
+
+  // Candidate items: align every tuple pair on the join attributes.
+  std::vector<Item> candidates;
+  for (TupleId lid : left.TupleIds()) {
+    const HTuple& lt = left.tuple(lid);
+    for (TupleId rid : right.TupleIds()) {
+      const HTuple& rt = right.tuple(rid);
+      // Per-join-attribute alignment choices.
+      std::vector<std::vector<NodeId>> choices(on.size());
+      bool disjoint = false;
+      for (size_t k = 0; k < on.size(); ++k) {
+        const Hierarchy* h = ls.hierarchy(on[k].first);
+        choices[k] = h->MaximalCommonDescendants(lt.item[on[k].first],
+                                                 rt.item[on[k].second]);
+        if (choices[k].empty()) {
+          disjoint = true;
+          break;
+        }
+      }
+      if (disjoint) continue;
+
+      Item base(schema.size());
+      for (size_t i = 0; i < ls.size(); ++i) base[i] = lt.item[i];
+      for (size_t j = 0; j < rs.size(); ++j) {
+        if (tail_positions[j] != SIZE_MAX) {
+          base[tail_positions[j]] = rt.item[j];
+        }
+      }
+      std::vector<size_t> idx(on.size(), 0);
+      while (true) {
+        Item item = base;
+        for (size_t k = 0; k < on.size(); ++k) {
+          item[on[k].first] = choices[k][idx[k]];
+        }
+        candidates.push_back(std::move(item));
+        size_t k = on.size();
+        bool done = on.empty();
+        while (k > 0) {
+          --k;
+          if (++idx[k] < choices[k].size()) break;
+          idx[k] = 0;
+          if (k == 0) done = true;
+        }
+        if (done) break;
+      }
+    }
+  }
+
+  InferenceOptions inference = options.inference;
+  return DeriveRelation(
+      StrCat(left.name(), "_join_", right.name()), schema,
+      std::move(candidates),
+      [&, inference](const Item& item) -> Result<Truth> {
+        Item litem(ls.size());
+        for (size_t i = 0; i < ls.size(); ++i) litem[i] = item[i];
+        Item ritem(rs.size());
+        for (size_t j = 0; j < rs.size(); ++j) {
+          ritem[j] = right_join_of[j] != SIZE_MAX
+                         ? item[right_join_of[j]]
+                         : item[tail_positions[j]];
+        }
+        HIREL_ASSIGN_OR_RETURN(Truth lt, InferTruth(left, litem, inference));
+        HIREL_ASSIGN_OR_RETURN(Truth rt, InferTruth(right, ritem, inference));
+        return (lt == Truth::kPositive && rt == Truth::kPositive)
+                   ? Truth::kPositive
+                   : Truth::kNegative;
+      },
+      options.max_items);
+}
+
+Result<HierarchicalRelation> NaturalJoin(const HierarchicalRelation& left,
+                                         const HierarchicalRelation& right,
+                                         const JoinOptions& options) {
+  std::vector<std::pair<size_t, size_t>> on;
+  const Schema& ls = left.schema();
+  const Schema& rs = right.schema();
+  for (size_t i = 0; i < ls.size(); ++i) {
+    Result<size_t> j = rs.IndexOf(ls.name(i));
+    if (!j.ok()) continue;
+    if (ls.hierarchy(i) != rs.hierarchy(*j)) {
+      return Status::InvalidArgument(
+          StrCat("natural join: shared attribute '", ls.name(i),
+                 "' ranges over different hierarchies"));
+    }
+    on.emplace_back(i, *j);
+  }
+  return JoinOn(left, right, on, options);
+}
+
+Result<HierarchicalRelation> CartesianProduct(
+    const HierarchicalRelation& left, const HierarchicalRelation& right,
+    const JoinOptions& options) {
+  return JoinOn(left, right, {}, options);
+}
+
+}  // namespace hirel

@@ -1,0 +1,53 @@
+// Joins and cartesian products over hierarchical relations (Section 3.4,
+// Fig. 11b).
+//
+// A joined row is true iff its left projection is true in the left relation
+// and its right projection is true in the right relation. Candidates are
+// built by aligning each tuple pair on the join attributes (via maximal
+// common descendants, so overlapping-but-incomparable classes still meet),
+// and each candidate's truth is the conjunction of the inferred truths of
+// its projections.
+
+#ifndef HIREL_ALGEBRA_JOIN_H_
+#define HIREL_ALGEBRA_JOIN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Options for joins.
+struct JoinOptions {
+  InferenceOptions inference;
+  size_t max_items = 100'000;
+};
+
+/// Equi-joins `left` and `right` on the attribute position pairs in `on`
+/// (left position, right position). Each pair must reference the same
+/// hierarchy. The result schema is all of `left`'s attributes followed by
+/// `right`'s non-join attributes; join attributes take the aligned (more
+/// specific) value.
+Result<HierarchicalRelation> JoinOn(
+    const HierarchicalRelation& left, const HierarchicalRelation& right,
+    const std::vector<std::pair<size_t, size_t>>& on,
+    const JoinOptions& options = {});
+
+/// Natural join: joins on every attribute name the two schemas share.
+/// With no shared names this degenerates to the cartesian product.
+Result<HierarchicalRelation> NaturalJoin(const HierarchicalRelation& left,
+                                         const HierarchicalRelation& right,
+                                         const JoinOptions& options = {});
+
+/// Cartesian product (join on no attributes).
+Result<HierarchicalRelation> CartesianProduct(
+    const HierarchicalRelation& left, const HierarchicalRelation& right,
+    const JoinOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_JOIN_H_

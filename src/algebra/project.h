@@ -1,0 +1,47 @@
+// Projection over hierarchical relations (Section 3.4, Fig. 11c).
+//
+// The flat semantics: x is in the projection iff some completion of the
+// removed attributes makes the full row true. For a class-valued candidate
+// item the generic member's witness is searched at class level; exceptions
+// (members whose rows are all cancelled) surface as more specific negative
+// candidates, so "there is no loss of information in the process".
+
+#ifndef HIREL_ALGEBRA_PROJECT_H_
+#define HIREL_ALGEBRA_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Options for Project.
+struct ProjectOptions {
+  InferenceOptions inference;
+
+  /// Cap on atomic witness probes per candidate item (kResourceExhausted
+  /// beyond it). Witnesses are drawn from the removed-attribute coverage of
+  /// the relation's positive tuples, so the bound is rarely approached.
+  size_t max_witness_probes = 100'000;
+
+  /// Candidate-set cap forwarded to the MCD closure.
+  size_t max_items = 100'000;
+};
+
+/// Projects `relation` onto the attribute positions `keep` (in the given
+/// order). Attribute positions must be distinct and in range.
+Result<HierarchicalRelation> Project(const HierarchicalRelation& relation,
+                                     const std::vector<size_t>& keep,
+                                     const ProjectOptions& options = {});
+
+/// Name-based convenience.
+Result<HierarchicalRelation> Project(const HierarchicalRelation& relation,
+                                     const std::vector<std::string>& keep,
+                                     const ProjectOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_PROJECT_H_

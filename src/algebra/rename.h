@@ -1,0 +1,25 @@
+// Rename: the classical ρ operator — new attribute names, same content.
+
+#ifndef HIREL_ALGEBRA_RENAME_H_
+#define HIREL_ALGEBRA_RENAME_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Returns a copy of `relation` with every attribute in `renames`
+/// (old name, new name) renamed. Unlisted attributes keep their names.
+/// Fails with kNotFound for an unknown old name and kAlreadyExists if a
+/// new name collides with another attribute.
+Result<HierarchicalRelation> Rename(
+    const HierarchicalRelation& relation,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_RENAME_H_

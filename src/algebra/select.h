@@ -1,0 +1,50 @@
+// Selection over hierarchical relations (Section 3.4, Figs. 7-9).
+//
+// A selection on attribute a by a class or instance c restricts the
+// relation to the sub-hierarchy at c: the result's extension equals the
+// flat selection applied to the relation's extension. hirel implements this
+// without explication by *clamping*: every tuple whose a-component is
+// comparable to c has that component replaced by the more specific of the
+// two, and tuples that collapse onto the same item are resolved by the
+// binding order of their original components (the more specifically bound
+// origin wins — e.g. selecting Paul from the flying-creatures relation
+// collapses "+ALL Bird" and "-ALL Penguin" onto Paul, and the penguin
+// exception wins).
+
+#ifndef HIREL_ALGEBRA_SELECT_H_
+#define HIREL_ALGEBRA_SELECT_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+#include "types/value.h"
+
+namespace hirel {
+
+/// Selects tuples relevant to `node` (a class or instance of attribute
+/// `attr`'s hierarchy). The result has the same schema; its extension is
+/// { x in ext(R) : x[attr] is subsumed by node }.
+Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,
+                                          size_t attr, NodeId node,
+                                          const InferenceOptions& options = {});
+
+/// Name-based convenience: resolves `attr_name` in the schema and
+/// `node_name` (class name or string instance) in its hierarchy.
+Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,
+                                          std::string_view attr_name,
+                                          std::string_view node_name,
+                                          const InferenceOptions& options = {});
+
+/// Predicate selection: explicates attribute `attr` and keeps tuples whose
+/// (now atomic) component value satisfies `predicate`. Use for scalar
+/// comparisons, e.g. enclosure_size > 2500.
+Result<HierarchicalRelation> SelectWhere(
+    const HierarchicalRelation& relation, size_t attr,
+    const std::function<bool(const Value&)>& predicate,
+    const InferenceOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_SELECT_H_

@@ -1,0 +1,43 @@
+// Set operations over hierarchical relations (Section 3.4, Fig. 10).
+//
+// "Set operations apply to the explicated item sets represented by the
+// relations, and not to the actual set of tuples physically used to store
+// the relations." hirel evaluates them without explication: candidates are
+// both relations' tuple items plus the maximal common descendants of every
+// cross pair, and each candidate's truth is the boolean combination of the
+// truths inferred from the two arguments.
+
+#ifndef HIREL_ALGEBRA_SETOPS_H_
+#define HIREL_ALGEBRA_SETOPS_H_
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Options for set operations.
+struct SetOpOptions {
+  InferenceOptions inference;
+  size_t max_items = 100'000;
+};
+
+/// Extension semantics: ext(result) = ext(left) ∪ ext(right)
+/// ("Jack and Jill between them love", Fig. 10c).
+Result<HierarchicalRelation> Union(const HierarchicalRelation& left,
+                                   const HierarchicalRelation& right,
+                                   const SetOpOptions& options = {});
+
+/// ext(result) = ext(left) ∩ ext(right) ("Jack and Jill both love").
+Result<HierarchicalRelation> Intersect(const HierarchicalRelation& left,
+                                       const HierarchicalRelation& right,
+                                       const SetOpOptions& options = {});
+
+/// ext(result) = ext(left) \ ext(right) ("Jack loves but Jill does not").
+Result<HierarchicalRelation> Difference(const HierarchicalRelation& left,
+                                        const HierarchicalRelation& right,
+                                        const SetOpOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_ALGEBRA_SETOPS_H_

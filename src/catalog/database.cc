@@ -1,0 +1,170 @@
+#include "catalog/database.h"
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+Result<Hierarchy*> Database::CreateHierarchy(std::string_view name,
+                                             HierarchyOptions options) {
+  if (name.empty()) {
+    return Status::InvalidArgument("hierarchy name must not be empty");
+  }
+  if (hierarchies_.find(name) != hierarchies_.end()) {
+    return Status::AlreadyExists(StrCat("hierarchy '", name, "'"));
+  }
+  auto hierarchy = std::make_unique<Hierarchy>(std::string(name), options);
+  Hierarchy* raw = hierarchy.get();
+  hierarchies_.emplace(std::string(name), std::move(hierarchy));
+  return raw;
+}
+
+Result<Hierarchy*> Database::GetHierarchy(std::string_view name) {
+  auto it = hierarchies_.find(name);
+  if (it == hierarchies_.end()) {
+    return Status::NotFound(StrCat("hierarchy '", name, "'"));
+  }
+  return it->second.get();
+}
+
+Result<const Hierarchy*> Database::GetHierarchy(std::string_view name) const {
+  auto it = hierarchies_.find(name);
+  if (it == hierarchies_.end()) {
+    return Status::NotFound(StrCat("hierarchy '", name, "'"));
+  }
+  return static_cast<const Hierarchy*>(it->second.get());
+}
+
+Status Database::DropHierarchy(std::string_view name) {
+  auto it = hierarchies_.find(name);
+  if (it == hierarchies_.end()) {
+    return Status::NotFound(StrCat("hierarchy '", name, "'"));
+  }
+  for (const auto& [rel_name, relation] : relations_) {
+    const Schema& schema = relation->schema();
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema.hierarchy(i) == it->second.get()) {
+        return Status::IntegrityViolation(
+            StrCat("hierarchy '", name, "' is referenced by relation '",
+                   rel_name, "'"));
+      }
+    }
+  }
+  hierarchies_.erase(it);
+  return Status::OK();
+}
+
+Status Database::EliminateNode(std::string_view hierarchy, NodeId node) {
+  HIREL_ASSIGN_OR_RETURN(Hierarchy * h, GetHierarchy(hierarchy));
+  if (!h->alive(node)) {
+    return Status::NotFound(StrCat("node ", node, " in hierarchy '",
+                                   hierarchy, "'"));
+  }
+  for (const auto& [rel_name, relation] : relations_) {
+    const Schema& schema = relation->schema();
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema.hierarchy(i) != h) continue;
+      for (TupleId id : relation->TupleIds()) {
+        if (relation->tuple(id).item[i] == node) {
+          return Status::IntegrityViolation(
+              StrCat("node '", h->NodeName(node), "' is referenced by a "
+                     "tuple of relation '", rel_name,
+                     "'; retract it first"));
+        }
+      }
+    }
+  }
+  return h->EliminateNode(node);
+}
+
+std::vector<std::string> Database::HierarchyNames() const {
+  std::vector<std::string> names;
+  names.reserve(hierarchies_.size());
+  for (const auto& [name, _] : hierarchies_) names.push_back(name);
+  return names;
+}
+
+Result<HierarchicalRelation*> Database::CreateRelation(
+    std::string_view name,
+    const std::vector<std::pair<std::string, std::string>>& attributes) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (relations_.find(name) != relations_.end()) {
+    return Status::AlreadyExists(StrCat("relation '", name, "'"));
+  }
+  Schema schema;
+  for (const auto& [attr_name, hierarchy_name] : attributes) {
+    HIREL_ASSIGN_OR_RETURN(Hierarchy * hierarchy,
+                           GetHierarchy(hierarchy_name));
+    HIREL_RETURN_IF_ERROR(schema.Append(attr_name, hierarchy));
+  }
+  auto relation = std::make_unique<HierarchicalRelation>(std::string(name),
+                                                         std::move(schema));
+  HierarchicalRelation* raw = relation.get();
+  relations_.emplace(std::string(name), std::move(relation));
+  return raw;
+}
+
+Result<HierarchicalRelation*> Database::AdoptRelation(
+    HierarchicalRelation relation) {
+  if (relations_.find(relation.name()) != relations_.end()) {
+    return Status::AlreadyExists(StrCat("relation '", relation.name(), "'"));
+  }
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (!OwnsHierarchy(schema.hierarchy(i))) {
+      return Status::InvalidArgument(
+          StrCat("relation '", relation.name(), "' references hierarchy '",
+                 schema.hierarchy(i)->name(),
+                 "' not owned by this database"));
+    }
+  }
+  std::string name = relation.name();
+  auto owned =
+      std::make_unique<HierarchicalRelation>(std::move(relation));
+  HierarchicalRelation* raw = owned.get();
+  relations_.emplace(std::move(name), std::move(owned));
+  return raw;
+}
+
+Result<HierarchicalRelation*> Database::GetRelation(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "'"));
+  }
+  return it->second.get();
+}
+
+Result<const HierarchicalRelation*> Database::GetRelation(
+    std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "'"));
+  }
+  return static_cast<const HierarchicalRelation*>(it->second.get());
+}
+
+Status Database::DropRelation(std::string_view name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("relation '", name, "'"));
+  }
+  relations_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, _] : relations_) names.push_back(name);
+  return names;
+}
+
+bool Database::OwnsHierarchy(const Hierarchy* hierarchy) const {
+  for (const auto& [_, owned] : hierarchies_) {
+    if (owned.get() == hierarchy) return true;
+  }
+  return false;
+}
+
+}  // namespace hirel

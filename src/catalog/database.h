@@ -1,0 +1,82 @@
+// Database: the catalog owning hierarchies and relations.
+
+#ifndef HIREL_CATALOG_DATABASE_H_
+#define HIREL_CATALOG_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hierarchical_relation.h"
+#include "hierarchy/hierarchy.h"
+
+namespace hirel {
+
+/// Owns named hierarchies and named hierarchical relations. All pointers
+/// handed out stay valid until the owning Database is destroyed or the
+/// entity is dropped (hierarchies referenced by a relation's schema cannot
+/// be dropped).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // ----- Hierarchies --------------------------------------------------------
+
+  /// Creates a hierarchy whose root class is named `name`.
+  Result<Hierarchy*> CreateHierarchy(std::string_view name,
+                                     HierarchyOptions options = {});
+
+  Result<Hierarchy*> GetHierarchy(std::string_view name);
+  Result<const Hierarchy*> GetHierarchy(std::string_view name) const;
+
+  /// Drops a hierarchy; kIntegrityViolation if any relation references it.
+  Status DropHierarchy(std::string_view name);
+
+  /// Removes node `node` from `hierarchy` via the paper's node-elimination
+  /// procedure (subsumption among the remaining nodes is preserved).
+  /// Fails with kIntegrityViolation if any relation's tuple references the
+  /// node — eliminating it would leave dangling components.
+  Status EliminateNode(std::string_view hierarchy, NodeId node);
+
+  /// Names of all hierarchies, sorted.
+  std::vector<std::string> HierarchyNames() const;
+
+  // ----- Relations ----------------------------------------------------------
+
+  /// Creates a relation over (attribute name, hierarchy name) pairs.
+  Result<HierarchicalRelation*> CreateRelation(
+      std::string_view name,
+      const std::vector<std::pair<std::string, std::string>>& attributes);
+
+  /// Registers an already-built relation (e.g. an operator result) under
+  /// its own name. Every hierarchy in its schema must be owned by this
+  /// database.
+  Result<HierarchicalRelation*> AdoptRelation(HierarchicalRelation relation);
+
+  Result<HierarchicalRelation*> GetRelation(std::string_view name);
+  Result<const HierarchicalRelation*> GetRelation(std::string_view name) const;
+
+  Status DropRelation(std::string_view name);
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  bool OwnsHierarchy(const Hierarchy* hierarchy) const;
+
+  std::map<std::string, std::unique_ptr<Hierarchy>, std::less<>> hierarchies_;
+  std::map<std::string, std::unique_ptr<HierarchicalRelation>, std::less<>>
+      relations_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_CATALOG_DATABASE_H_

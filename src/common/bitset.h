@@ -1,0 +1,63 @@
+// DynamicBitset: a growable bitset used for reachability closures.
+
+#ifndef HIREL_COMMON_BITSET_H_
+#define HIREL_COMMON_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hirel {
+
+/// A densely packed bit vector sized at runtime. Used by the graph module
+/// to hold per-node transitive-closure rows, where OR-ing whole rows is the
+/// hot operation.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size) { Resize(size); }
+
+  /// Grows (or shrinks) to exactly `size` bits; new bits are zero.
+  void Resize(size_t size);
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Test(size_t i) const;
+
+  /// Sets every bit to zero without changing the size.
+  void Reset();
+
+  /// this |= other. Requires identical sizes.
+  void UnionWith(const DynamicBitset& other);
+
+  /// this &= other. Requires identical sizes.
+  void IntersectWith(const DynamicBitset& other);
+
+  /// True if no bit is set.
+  bool None() const;
+
+  /// True if (this & other) has any bit set. Requires identical sizes.
+  bool Intersects(const DynamicBitset& other) const;
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<uint32_t> ToVector() const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr size_t kBitsPerWord = 64;
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_COMMON_BITSET_H_

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random generator for tests and workload generators.
+
+#ifndef HIREL_COMMON_RANDOM_H_
+#define HIREL_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hirel {
+
+/// xoshiro256**-based generator. Deterministic for a given seed so that
+/// property tests and benchmark workloads are reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// A uniformly chosen element index of a container of `size` elements.
+  size_t Index(size_t size) { return static_cast<size_t>(Uniform(size)); }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_COMMON_RANDOM_H_

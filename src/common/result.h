@@ -1,0 +1,95 @@
+// Result<T>: a value-or-Status sum type (the StatusOr pattern).
+
+#ifndef HIREL_COMMON_RESULT_H_
+#define HIREL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hirel {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+/// Typical use:
+///
+///   Result<Truth> r = Infer(relation, item);
+///   if (!r.ok()) return r.status();
+///   Truth t = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions
+  /// can `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a failed result. `status` must not be OK. Intentionally
+  /// implicit so functions can `return Status::NotFound(...);`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The failure; Status::OK() when the result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  /// By value on rvalues: `for (auto& x : F().value())` stays safe even
+  /// though the temporary Result dies at the end of the range-init
+  /// expression (the returned T is an independent, moved-out object).
+  T value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the held value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace hirel
+
+/// Evaluates `expr` (a Result<T>), propagating failure; on success assigns
+/// the value into `lhs` (which may be a declaration).
+#define HIREL_ASSIGN_OR_RETURN(lhs, expr)               \
+  HIREL_ASSIGN_OR_RETURN_IMPL(                          \
+      HIREL_RESULT_CONCAT(_hirel_result_, __LINE__), lhs, expr)
+
+#define HIREL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define HIREL_RESULT_CONCAT_INNER(a, b) a##b
+#define HIREL_RESULT_CONCAT(a, b) HIREL_RESULT_CONCAT_INNER(a, b)
+
+#endif  // HIREL_COMMON_RESULT_H_

@@ -1,0 +1,49 @@
+#include "common/status.h"
+
+namespace hirel {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kIntegrityViolation:
+      return "integrity violation";
+    case StatusCode::kConflict:
+      return "conflict";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kParseError:
+      return "parse error";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kIoError:
+      return "io error";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace hirel

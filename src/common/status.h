@@ -1,0 +1,151 @@
+// Status: the error-reporting currency of hirel.
+//
+// hirel is built without exceptions, in the style of production database
+// engines (RocksDB, LevelDB, Arrow). Every fallible operation returns a
+// Status (or a Result<T>, see result.h) which the caller must consume.
+
+#ifndef HIREL_COMMON_STATUS_H_
+#define HIREL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hirel {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller supplied an argument that violates the API contract.
+  kInvalidArgument = 1,
+  /// A named entity (hierarchy, class, relation, attribute) was not found.
+  kNotFound = 2,
+  /// An entity with the same name/identity already exists.
+  kAlreadyExists = 3,
+  /// An update would leave the database in an inconsistent state, e.g. an
+  /// unresolved ambiguity conflict (paper Section 3.1) or a hierarchy cycle
+  /// (type-irredundancy constraint).
+  kIntegrityViolation = 4,
+  /// Inference over the relation observed a conflict: an item whose
+  /// strongest-binding tuples carry differing truth values (Section 2.1).
+  kConflict = 5,
+  /// Persistent state on disk could not be read or was malformed.
+  kCorruption = 6,
+  /// A syntax or semantic error in an HQL statement.
+  kParseError = 7,
+  /// An operation is not supported in the current configuration.
+  kNotSupported = 8,
+  /// An I/O system call failed.
+  kIoError = 9,
+  /// A resource limit (e.g. explication size cap) was exceeded.
+  kResourceExhausted = 10,
+  /// An internal invariant was violated; indicates a bug in hirel.
+  kInternal = 11,
+};
+
+/// Returns a stable lower-case name for `code` ("ok", "conflict", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation. Error statuses carry a code and a
+/// human-readable message. Statuses compare equal when both code and
+/// message match.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Constructs a status with `code` and `message`. `code` must not be kOk;
+  /// use the default constructor (or OK()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsIntegrityViolation() const {
+    return code_ == StatusCode::kIntegrityViolation;
+  }
+  bool IsConflict() const { return code_ == StatusCode::kConflict; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace hirel
+
+/// Propagates a non-OK status to the caller. Usable in any function that
+/// itself returns Status.
+#define HIREL_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::hirel::Status _hirel_status = (expr);        \
+    if (!_hirel_status.ok()) return _hirel_status; \
+  } while (false)
+
+#endif  // HIREL_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+// Small string helpers shared across hirel modules.
+
+#ifndef HIREL_COMMON_STR_UTIL_H_
+#define HIREL_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hirel {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// ASCII lower-casing (locale-independent).
+std::string AsciiToLower(std::string_view text);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Concatenates the stream representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  ((oss << args), ...);
+  return oss.str();
+}
+
+/// Renders `n` with thousands separators ("1234567" -> "1,234,567").
+std::string FormatWithCommas(int64_t n);
+
+}  // namespace hirel
+
+#endif  // HIREL_COMMON_STR_UTIL_H_

@@ -1,0 +1,240 @@
+#include "core/binding.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+namespace {
+
+/// Applicable tuples: all live, non-excluded tuples whose item subsumes
+/// `item`. The exact-match tuple (if any) is reported separately.
+struct Applicable {
+  std::vector<TupleId> strict;  // strictly subsuming tuples
+  TupleId self = kInvalidTuple;
+};
+
+Applicable CollectApplicable(const HierarchicalRelation& relation,
+                             const Item& item,
+                             const std::vector<bool>* exclude) {
+  Applicable out;
+  for (TupleId id : relation.TuplesSubsuming(item)) {
+    if (exclude != nullptr && id < exclude->size() && (*exclude)[id]) continue;
+    if (relation.tuple(id).item == item) {
+      out.self = id;
+    } else {
+      out.strict.push_back(id);
+    }
+  }
+  return out;
+}
+
+/// Off-path immediate predecessors: applicable tuples not preempted by a
+/// more specifically binding applicable tuple.
+std::vector<TupleId> OffPathBinders(const HierarchicalRelation& relation,
+                                    const std::vector<TupleId>& applicable) {
+  const Schema& schema = relation.schema();
+  std::vector<TupleId> binders;
+  for (TupleId t : applicable) {
+    bool preempted = false;
+    for (TupleId other : applicable) {
+      if (other == t) continue;
+      if (ItemBindsBelow(schema, relation.tuple(t).item,
+                         relation.tuple(other).item)) {
+        preempted = true;
+        break;
+      }
+    }
+    if (!preempted) binders.push_back(t);
+  }
+  return binders;
+}
+
+/// On-path reachability: is there a path from `from` to `to` in the product
+/// item hierarchy whose interior nodes carry no asserted tuple? Interior
+/// nodes necessarily lie in the interval [from, to], i.e. they subsume `to`
+/// and are subsumed by `from`, so the search explores only that interval.
+Result<bool> HasUnblockedPath(const HierarchicalRelation& relation,
+                              const Item& from, const Item& to,
+                              const std::vector<bool>* exclude,
+                              size_t limit) {
+  const Schema& schema = relation.schema();
+  std::unordered_set<Item, ItemHash> seen;
+  std::deque<Item> queue;
+  queue.push_back(from);
+  seen.insert(from);
+  while (!queue.empty()) {
+    Item u = std::move(queue.front());
+    queue.pop_front();
+    for (size_t i = 0; i < schema.size(); ++i) {
+      const Hierarchy* h = schema.hierarchy(i);
+      for (NodeId c : h->Children(u[i])) {
+        if (!h->Subsumes(c, to[i])) continue;  // stay inside the interval
+        Item next = u;
+        next[i] = c;
+        if (next == to) return true;
+        if (seen.contains(next)) continue;
+        // Interior nodes carrying an asserted (non-excluded) tuple block
+        // the path.
+        std::optional<TupleId> blocker = relation.FindItem(next);
+        if (blocker.has_value() &&
+            !(exclude != nullptr && *blocker < exclude->size() &&
+              (*exclude)[*blocker])) {
+          continue;
+        }
+        if (seen.size() >= limit) {
+          return Status::ResourceExhausted(
+              StrCat("on-path preemption search exceeded ", limit,
+                     " product items; consider off-path preemption"));
+        }
+        seen.insert(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+Result<std::vector<TupleId>> OnPathBinders(
+    const HierarchicalRelation& relation, const Item& item,
+    const std::vector<TupleId>& applicable, const std::vector<bool>* exclude,
+    size_t limit) {
+  std::vector<TupleId> binders;
+  for (TupleId t : applicable) {
+    HIREL_ASSIGN_OR_RETURN(
+        bool unblocked,
+        HasUnblockedPath(relation, relation.tuple(t).item, item, exclude,
+                         limit));
+    if (unblocked) binders.push_back(t);
+  }
+  return binders;
+}
+
+}  // namespace
+
+Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
+                                        const Item& item,
+                                        const std::vector<bool>& exclude,
+                                        const InferenceOptions& options) {
+  Applicable applicable = CollectApplicable(relation, item, &exclude);
+  Binding binding;
+  if (applicable.self != kInvalidTuple) {
+    binding.self_bound = true;
+    binding.binders = {applicable.self};
+    return binding;
+  }
+  switch (options.preemption) {
+    case PreemptionMode::kOffPath:
+      binding.binders = OffPathBinders(relation, applicable.strict);
+      break;
+    case PreemptionMode::kOnPath: {
+      HIREL_ASSIGN_OR_RETURN(
+          binding.binders,
+          OnPathBinders(relation, item, applicable.strict, &exclude,
+                        options.on_path_search_limit));
+      break;
+    }
+    case PreemptionMode::kNone:
+      binding.binders = applicable.strict;
+      break;
+  }
+  return binding;
+}
+
+Result<Binding> ComputeBinding(const HierarchicalRelation& relation,
+                               const Item& item,
+                               const InferenceOptions& options) {
+  static const std::vector<bool> kNoExclusions;
+  return ComputeBindingExcluding(relation, item, kNoExclusions, options);
+}
+
+TupleBindingGraph BuildTupleBindingGraph(const HierarchicalRelation& relation,
+                                         const Item& item) {
+  const Schema& schema = relation.schema();
+  TupleBindingGraph graph;
+  graph.item = item;
+  graph.nodes = relation.TuplesSubsuming(item);
+  graph.edges.resize(graph.nodes.size());
+
+  auto item_of = [&](size_t i) -> const Item& {
+    return relation.tuple(graph.nodes[i]).item;
+  };
+
+  // Hasse edges among applicable tuples: a -> b iff a strictly subsumes b
+  // with no applicable tuple strictly between.
+  for (size_t a = 0; a < graph.nodes.size(); ++a) {
+    for (size_t b = 0; b < graph.nodes.size(); ++b) {
+      if (a == b) continue;
+      if (!ItemStrictlySubsumes(schema, item_of(a), item_of(b))) continue;
+      bool covered = false;
+      for (size_t c = 0; c < graph.nodes.size(); ++c) {
+        if (c == a || c == b) continue;
+        if (ItemStrictlySubsumes(schema, item_of(a), item_of(c)) &&
+            ItemStrictlySubsumes(schema, item_of(c), item_of(b))) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) graph.edges[a].push_back(b);
+    }
+  }
+
+  // The item's immediate predecessors: minimal applicable tuples, or the
+  // exact-match tuple alone if one exists.
+  for (size_t a = 0; a < graph.nodes.size(); ++a) {
+    if (item_of(a) == item) {
+      graph.immediate_predecessors = {a};
+      graph.edges[a].push_back(TupleBindingGraph::kItemNode);
+      return graph;
+    }
+  }
+  for (size_t a = 0; a < graph.nodes.size(); ++a) {
+    bool minimal = true;
+    for (size_t b = 0; b < graph.nodes.size(); ++b) {
+      if (a != b && ItemStrictlySubsumes(schema, item_of(a), item_of(b))) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) {
+      graph.immediate_predecessors.push_back(a);
+      graph.edges[a].push_back(TupleBindingGraph::kItemNode);
+    }
+  }
+  return graph;
+}
+
+std::string TupleBindingGraphToString(const HierarchicalRelation& relation,
+                                      const TupleBindingGraph& graph) {
+  const Schema& schema = relation.schema();
+  std::string out = StrCat("tuple-binding graph for ",
+                           ItemToString(schema, graph.item), ":\n");
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const HTuple& t = relation.tuple(graph.nodes[i]);
+    out += StrCat("  [", i, "] ", TruthToString(t.truth), " ",
+                  ItemToString(schema, t.item), " ->");
+    if (graph.edges[i].empty()) out += " (none)";
+    for (size_t succ : graph.edges[i]) {
+      if (succ == TupleBindingGraph::kItemNode) {
+        out += " <item>";
+      } else {
+        out += StrCat(" [", succ, "]");
+      }
+    }
+    out += "\n";
+  }
+  out += "  immediate predecessor(s):";
+  if (graph.immediate_predecessors.empty()) {
+    out += " (none: closed world)";
+  }
+  for (size_t p : graph.immediate_predecessors) {
+    out += StrCat(" [", p, "]");
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace hirel

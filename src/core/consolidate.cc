@@ -1,0 +1,80 @@
+#include "core/consolidate.h"
+
+#include <algorithm>
+
+#include "core/subsumption.h"
+
+namespace hirel {
+
+namespace {
+
+/// Redundancy of one tuple given an exclusion mask of already-removed
+/// tuples: same truth value as every immediate predecessor, with the
+/// universal negated tuple standing in when there is none.
+Result<bool> RedundantGiven(const HierarchicalRelation& relation, TupleId id,
+                            std::vector<bool>& exclude,
+                            const InferenceOptions& options) {
+  const HTuple& t = relation.tuple(id);
+  // Exclude the tuple itself so its predecessors are computed, not the
+  // tuple's own (self-binding) presence.
+  exclude[id] = true;
+  Result<Binding> binding =
+      ComputeBindingExcluding(relation, t.item, exclude, options);
+  exclude[id] = false;
+  if (!binding.ok()) return binding.status();
+  if (binding->binders.empty()) {
+    // Only the universal negated tuple precedes it.
+    return t.truth == Truth::kNegative;
+  }
+  for (TupleId p : binding->binders) {
+    if (relation.tuple(p).truth != t.truth) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> IsRedundant(const HierarchicalRelation& relation, TupleId id,
+                         const InferenceOptions& options) {
+  if (!relation.alive(id)) {
+    return Status::NotFound("tuple is not alive");
+  }
+  std::vector<bool> exclude(static_cast<size_t>(id) + 1, false);
+  return RedundantGiven(relation, id, exclude, options);
+}
+
+Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
+                                  const InferenceOptions& options) {
+  // Examine tuples most-general-first; the subsumption graph's node list is
+  // already a topological order.
+  SubsumptionGraph graph = BuildSubsumptionGraph(relation);
+
+  size_t capacity = 0;
+  for (TupleId id : graph.nodes) {
+    capacity = std::max<size_t>(capacity, id + 1);
+  }
+  std::vector<bool> removed(capacity, false);
+
+  std::vector<TupleId> to_erase;
+  for (TupleId id : graph.nodes) {
+    HIREL_ASSIGN_OR_RETURN(bool redundant,
+                           RedundantGiven(relation, id, removed, options));
+    if (redundant) {
+      removed[id] = true;
+      to_erase.push_back(id);
+    }
+  }
+  for (TupleId id : to_erase) {
+    HIREL_RETURN_IF_ERROR(relation.Erase(id));
+  }
+  return to_erase.size();
+}
+
+Result<HierarchicalRelation> Consolidated(const HierarchicalRelation& relation,
+                                          const InferenceOptions& options) {
+  HierarchicalRelation copy = relation;
+  HIREL_RETURN_IF_ERROR(ConsolidateInPlace(copy, options).status());
+  return copy;
+}
+
+}  // namespace hirel

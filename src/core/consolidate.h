@@ -1,0 +1,37 @@
+// Consolidate: remove redundant tuples (Section 3.3.1).
+//
+// "A tuple tA is redundant if and only if it has the same truth value as
+// all its immediate predecessors in the subsumption graph of the relation."
+// A negated tuple with no predecessor is capped by the universal negated
+// tuple and hence redundant. Tuples are examined in topologically sorted
+// order (most general first), recomputing predecessors as deletions alter
+// the subsumption graph; this yields the unique minimum relation with the
+// same extension.
+
+#ifndef HIREL_CORE_CONSOLIDATE_H_
+#define HIREL_CORE_CONSOLIDATE_H_
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Removes redundant tuples from `relation` in place. Returns the number of
+/// tuples removed. The relation's extension is unchanged.
+Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
+                                  const InferenceOptions& options = {});
+
+/// Functional form: returns the consolidated copy, leaving the argument
+/// untouched (consolidate "takes as its argument a relation, and produces
+/// as its result a relation").
+Result<HierarchicalRelation> Consolidated(const HierarchicalRelation& relation,
+                                          const InferenceOptions& options = {});
+
+/// True iff the tuple `id` is redundant in `relation` as it stands.
+Result<bool> IsRedundant(const HierarchicalRelation& relation, TupleId id,
+                         const InferenceOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_CORE_CONSOLIDATE_H_

@@ -1,0 +1,59 @@
+// Explicate: flatten a hierarchical relation to (part of) its extension
+// (Section 3.3.2).
+//
+// "The explicate operator takes a relation as its argument, along with a
+// specification of a subset of the attributes of the relation, and produces
+// a relation as the result. ... all tuples in the relation after
+// explication correspond to atomic items [on the specified attributes].
+// This operator is useful when a count, average, or other statistical
+// operation is to be performed over the relation."
+//
+// Algorithm (the paper's): traverse the subsumption graph in reverse
+// topologically sorted order (most specific first); for the tuple at each
+// node enumerate the membership of class values for the attributes being
+// explicated; insert each enumerated tuple unless a tuple on the same item
+// has already been inserted. After a *full* explication every negated tuple
+// is redundant and a following consolidate removes them all.
+
+#ifndef HIREL_CORE_EXPLICATE_H_
+#define HIREL_CORE_EXPLICATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Options for Explicate.
+struct ExplicateOptions {
+  /// Inference options (preemption mode) used when resolving overrides.
+  InferenceOptions inference;
+
+  /// Upper bound on the number of result tuples; exceeding it fails with
+  /// kResourceExhausted ("a potentially infinite relation can be stored in
+  /// constant space" — the flattened form need not fit).
+  size_t max_result_tuples = 10'000'000;
+
+  /// For full explication: drop the (all-redundant) negated tuples, leaving
+  /// exactly the extension. Ignored for partial explication, where negated
+  /// tuples are not redundant and are kept.
+  bool consolidate_after = true;
+};
+
+/// Explicates `relation` on the attribute positions in `attrs` (all
+/// positions if empty). Returns a new relation over the same schema.
+Result<HierarchicalRelation> Explicate(const HierarchicalRelation& relation,
+                                       const std::vector<size_t>& attrs = {},
+                                       const ExplicateOptions& options = {});
+
+/// The extension of `relation`: every atomic item with a positive inferred
+/// truth value, sorted. This is the "equivalent flat relation" every
+/// hierarchical relation uniquely denotes (Section 3).
+Result<std::vector<Item>> Extension(const HierarchicalRelation& relation,
+                                    const ExplicateOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_CORE_EXPLICATE_H_

@@ -1,0 +1,205 @@
+#include "core/hierarchical_relation.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+const char* PreemptionModeToString(PreemptionMode mode) {
+  switch (mode) {
+    case PreemptionMode::kOffPath:
+      return "off-path";
+    case PreemptionMode::kOnPath:
+      return "on-path";
+    case PreemptionMode::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+Status HierarchicalRelation::ValidateItem(const Item& item) const {
+  if (item.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name_, "': item arity ", item.size(),
+               " does not match schema arity ", schema_.size()));
+  }
+  for (size_t i = 0; i < item.size(); ++i) {
+    if (!schema_.hierarchy(i)->alive(item[i])) {
+      return Status::InvalidArgument(
+          StrCat("relation '", name_, "': attribute '", schema_.name(i),
+                 "' references dead node ", item[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TupleId> HierarchicalRelation::Insert(Item item, Truth truth) {
+  HIREL_RETURN_IF_ERROR(ValidateItem(item));
+  auto it = item_index_.find(item);
+  if (it != item_index_.end()) {
+    if (tuples_[it->second].truth == truth) {
+      return Status::AlreadyExists(
+          StrCat("relation '", name_, "': duplicate tuple ",
+                 ItemToString(schema_, item)));
+    }
+    return Status::IntegrityViolation(
+        StrCat("relation '", name_, "': item ", ItemToString(schema_, item),
+               " is already asserted with the opposite truth value"));
+  }
+  TupleId id = static_cast<TupleId>(tuples_.size());
+  tuples_.push_back(HTuple{std::move(item), truth});
+  alive_.push_back(true);
+  ++num_alive_;
+  item_index_.emplace(tuples_.back().item, id);
+  if (component_index_.size() != schema_.size()) {
+    component_index_.resize(schema_.size());
+  }
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    component_index_[i][tuples_.back().item[i]].push_back(id);
+  }
+  return id;
+}
+
+Result<TupleId> HierarchicalRelation::Upsert(Item item, Truth truth) {
+  HIREL_RETURN_IF_ERROR(ValidateItem(item));
+  auto it = item_index_.find(item);
+  if (it != item_index_.end()) {
+    tuples_[it->second].truth = truth;
+    return it->second;
+  }
+  return Insert(std::move(item), truth);
+}
+
+Status HierarchicalRelation::Erase(TupleId id) {
+  if (!alive(id)) {
+    return Status::NotFound(StrCat("relation '", name_, "': tuple ", id));
+  }
+  item_index_.erase(tuples_[id].item);
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    auto it = component_index_[i].find(tuples_[id].item[i]);
+    if (it != component_index_[i].end()) {
+      auto& bucket = it->second;
+      bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
+                   bucket.end());
+      if (bucket.empty()) component_index_[i].erase(it);
+    }
+  }
+  alive_[id] = false;
+  --num_alive_;
+  return Status::OK();
+}
+
+Status HierarchicalRelation::EraseItem(const Item& item) {
+  auto it = item_index_.find(item);
+  if (it == item_index_.end()) {
+    return Status::NotFound(StrCat("relation '", name_, "': no tuple on ",
+                                   ItemToString(schema_, item)));
+  }
+  return Erase(it->second);
+}
+
+void HierarchicalRelation::Clear() {
+  tuples_.clear();
+  alive_.clear();
+  item_index_.clear();
+  component_index_.clear();
+  num_alive_ = 0;
+}
+
+std::optional<TupleId> HierarchicalRelation::FindItem(const Item& item) const {
+  auto it = item_index_.find(item);
+  if (it == item_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Truth> HierarchicalRelation::TruthAt(const Item& item) const {
+  auto it = item_index_.find(item);
+  if (it == item_index_.end()) return std::nullopt;
+  return tuples_[it->second].truth;
+}
+
+std::vector<TupleId> HierarchicalRelation::TupleIds() const {
+  std::vector<TupleId> ids;
+  ids.reserve(num_alive_);
+  for (TupleId id = 0; id < tuples_.size(); ++id) {
+    if (alive_[id]) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<TupleId> HierarchicalRelation::TuplesSubsuming(
+    const Item& item) const {
+  std::vector<TupleId> out;
+  if (num_alive_ == 0 || item.size() != schema_.size()) return out;
+  if (schema_.empty()) return TupleIds();  // the empty item subsumes itself
+  // Candidates: tuples whose first component is an ancestor of item[0]
+  // (subsumption on attribute 0 is necessary). Verified in full below; the
+  // result comes out in ascending id order for determinism.
+  const Dag& dag = schema_.hierarchy(0)->dag();
+  if (!dag.alive(item[0])) return out;
+  for (NodeId ancestor : dag.Ancestors(item[0])) {
+    auto it = component_index_[0].find(ancestor);
+    if (it == component_index_[0].end()) continue;
+    for (TupleId id : it->second) {
+      if (ItemSubsumes(schema_, tuples_[id].item, item)) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TupleId> HierarchicalRelation::TuplesSubsumedBy(
+    const Item& item) const {
+  std::vector<TupleId> out;
+  if (num_alive_ == 0 || item.size() != schema_.size()) return out;
+  if (schema_.empty()) return TupleIds();
+  const Dag& dag = schema_.hierarchy(0)->dag();
+  if (!dag.alive(item[0])) return out;
+  for (NodeId descendant : dag.Descendants(item[0])) {
+    auto it = component_index_[0].find(descendant);
+    if (it == component_index_[0].end()) continue;
+    for (TupleId id : it->second) {
+      if (ItemSubsumes(schema_, item, tuples_[id].item)) out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t HierarchicalRelation::CoveredAtomCount() const {
+  size_t count = 0;
+  for (TupleId id = 0; id < tuples_.size(); ++id) {
+    if (alive_[id] && tuples_[id].truth == Truth::kPositive) {
+      count += ItemExtensionSize(schema_, tuples_[id].item);
+    }
+  }
+  return count;
+}
+
+size_t HierarchicalRelation::ApproxBytes() const {
+  size_t bytes = 0;
+  for (TupleId id = 0; id < tuples_.size(); ++id) {
+    if (!alive_[id]) continue;
+    bytes += sizeof(HTuple) + tuples_[id].item.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+std::string HierarchicalRelation::ToString() const {
+  std::string out = StrCat(name_, schema_.ToString(), "\n");
+  for (TupleId id : TupleIds()) {
+    const HTuple& t = tuples_[id];
+    out += StrCat("  ", TruthToString(t.truth), " ");
+    for (size_t i = 0; i < t.item.size(); ++i) {
+      if (i > 0) out += ", ";
+      const Hierarchy* h = schema_.hierarchy(i);
+      if (h->is_class(t.item[i])) out += "ALL ";
+      out += h->NodeName(t.item[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hirel

@@ -1,0 +1,171 @@
+// HierarchicalRelation: a relation whose tuples are items (classes or
+// instances per attribute) with truth values (Section 2).
+//
+// "Every tuple is an item with an associated truth value. The truth value
+// of a tuple is a Boolean variable that is true for a positive (normal)
+// tuple and false for a negated tuple."
+//
+// A relation stores at most one tuple per item: two identical tuples are
+// duplicates (removed exactly as in a standard relational database), and a
+// positive and a negative tuple on the same item would be a direct
+// contradiction, rejected at insert time. Redundant (non-identical) tuples
+// ARE retained — "redundant tuples are eliminated in our model only when
+// explicitly requested by the user through a consolidate" (Section 3.2).
+
+#ifndef HIREL_CORE_HIERARCHICAL_RELATION_H_
+#define HIREL_CORE_HIERARCHICAL_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "types/item.h"
+#include "types/schema.h"
+
+namespace hirel {
+
+/// Index of a tuple within its relation. Stable until the tuple is erased;
+/// erased ids are never reused.
+using TupleId = uint32_t;
+
+inline constexpr TupleId kInvalidTuple = 0xffffffffu;
+
+/// A stored tuple: an item plus its truth value.
+struct HTuple {
+  Item item;
+  Truth truth = Truth::kPositive;
+
+  friend bool operator==(const HTuple& a, const HTuple& b) {
+    return a.truth == b.truth && a.item == b.item;
+  }
+};
+
+/// Which preemption semantics inference uses to order binding strength
+/// (Appendix). Off-path is the paper's default throughout its examples.
+enum class PreemptionMode : uint8_t {
+  /// Tuple i binds more strongly than j iff there is a path from j to i.
+  /// Equivalent to taking minimal asserted subsumers; requires hierarchies
+  /// to hold only their transitive reduction.
+  kOffPath = 0,
+  /// Tuple i binds more strongly than j iff every hierarchy path from j to
+  /// the item passes through i. Requires redundant edges to be retained.
+  kOnPath = 1,
+  /// No preemption: every asserted subsumer binds; any disagreement in
+  /// truth values is a conflict.
+  kNone = 2,
+};
+
+const char* PreemptionModeToString(PreemptionMode mode);
+
+/// A named hierarchical relation over a schema.
+class HierarchicalRelation {
+ public:
+  HierarchicalRelation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  HierarchicalRelation(const HierarchicalRelation&) = default;
+  HierarchicalRelation& operator=(const HierarchicalRelation&) = default;
+  HierarchicalRelation(HierarchicalRelation&&) = default;
+  HierarchicalRelation& operator=(HierarchicalRelation&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live tuples.
+  size_t size() const { return num_alive_; }
+  bool empty() const { return num_alive_ == 0; }
+
+  // ----- Mutation (unchecked w.r.t. the ambiguity constraint; see
+  // integrity.h / transaction.h for guarded updates) ------------------------
+
+  /// Inserts a tuple. Fails with:
+  ///  * kInvalidArgument if the item arity mismatches the schema or a node
+  ///    is not alive in its hierarchy;
+  ///  * kAlreadyExists if an identical tuple is present (duplicate);
+  ///  * kIntegrityViolation if the same item is present with the opposite
+  ///    truth value (a direct contradiction: no binding order could ever
+  ///    disambiguate it).
+  Result<TupleId> Insert(Item item, Truth truth);
+
+  /// Inserts, replacing any existing tuple on the same item.
+  Result<TupleId> Upsert(Item item, Truth truth);
+
+  /// Erases the tuple with the given id; kNotFound if dead/out of range.
+  Status Erase(TupleId id);
+
+  /// Erases the tuple on `item`; kNotFound if absent.
+  Status EraseItem(const Item& item);
+
+  /// Removes all tuples.
+  void Clear();
+
+  // ----- Lookup -------------------------------------------------------------
+
+  bool alive(TupleId id) const {
+    return id < tuples_.size() && alive_[id];
+  }
+
+  /// The tuple with id `id`; must be alive.
+  const HTuple& tuple(TupleId id) const { return tuples_[id]; }
+
+  /// The id of the tuple asserted exactly on `item`, if any.
+  std::optional<TupleId> FindItem(const Item& item) const;
+
+  /// The truth value asserted exactly on `item`, if any (no inference).
+  std::optional<Truth> TruthAt(const Item& item) const;
+
+  /// Ids of all live tuples, ascending.
+  std::vector<TupleId> TupleIds() const;
+
+  /// Ids of live tuples whose item subsumes `item` (including an exact
+  /// match). These are the nodes of the item's tuple-binding graph.
+  ///
+  /// Served from the per-attribute inverted index: candidates are the
+  /// tuples whose first component is an ancestor of item[0], then verified
+  /// on the remaining attributes — O(ancestors + candidates) instead of a
+  /// relation scan.
+  std::vector<TupleId> TuplesSubsuming(const Item& item) const;
+
+  /// Ids of live tuples whose item is subsumed by `item`.
+  std::vector<TupleId> TuplesSubsumedBy(const Item& item) const;
+
+  /// Total number of atomic items covered by positive tuples (an upper
+  /// bound on the extension size, ignoring exceptions). Used by storage
+  /// accounting in benchmarks.
+  size_t CoveredAtomCount() const;
+
+  /// Approximate in-memory footprint of the stored tuples in bytes.
+  size_t ApproxBytes() const;
+
+  /// Renders the relation as the paper's figures do: one "+"/"-" column
+  /// followed by attribute values, classes prefixed with the universal
+  /// quantifier "∀" (rendered as "ALL ").
+  std::string ToString() const;
+
+ private:
+  Status ValidateItem(const Item& item) const;
+
+  std::string name_;
+  Schema schema_;
+
+  std::vector<HTuple> tuples_;
+  std::vector<bool> alive_;
+  size_t num_alive_ = 0;
+
+  std::unordered_map<Item, TupleId, ItemHash> item_index_;
+
+  // Inverted index: per attribute, component node -> live tuple ids using
+  // that node at that position. Accelerates TuplesSubsuming /
+  // TuplesSubsumedBy, the two scans behind all binding computations.
+  std::vector<std::unordered_map<NodeId, std::vector<TupleId>>>
+      component_index_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_CORE_HIERARCHICAL_RELATION_H_

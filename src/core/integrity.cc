@@ -1,0 +1,33 @@
+#include "core/integrity.h"
+
+namespace hirel {
+
+Result<TupleId> GuardedInsert(HierarchicalRelation& relation, Item item,
+                              Truth truth, const InferenceOptions& options) {
+  HIREL_ASSIGN_OR_RETURN(TupleId id, relation.Insert(std::move(item), truth));
+  Status check = CheckAmbiguity(relation, options);
+  if (!check.ok()) {
+    Status undo = relation.Erase(id);
+    if (!undo.ok()) return undo;
+    return check;
+  }
+  return id;
+}
+
+Status GuardedErase(HierarchicalRelation& relation, const Item& item,
+                    const InferenceOptions& options) {
+  std::optional<TupleId> id = relation.FindItem(item);
+  if (!id.has_value()) {
+    return Status::NotFound("no tuple on the given item");
+  }
+  Truth truth = relation.tuple(*id).truth;
+  HIREL_RETURN_IF_ERROR(relation.Erase(*id));
+  Status check = CheckAmbiguity(relation, options);
+  if (!check.ok()) {
+    HIREL_RETURN_IF_ERROR(relation.Insert(item, truth).status());
+    return check;
+  }
+  return Status::OK();
+}
+
+}  // namespace hirel

@@ -1,0 +1,34 @@
+// Guarded updates enforcing the ambiguity constraint (Section 3.1).
+//
+// "Whenever an update is made we require that the update does not create an
+// unresolved conflict." GuardedInsert/GuardedErase verify consistency after
+// the change and roll the change back if it introduced a conflict;
+// Transaction (transaction.h) batches several updates so a conflict may be
+// created and resolved within the same transaction.
+
+#ifndef HIREL_CORE_INTEGRITY_H_
+#define HIREL_CORE_INTEGRITY_H_
+
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/conflict.h"
+#include "core/hierarchical_relation.h"
+
+namespace hirel {
+
+/// Inserts (item, truth) and verifies the ambiguity constraint still holds.
+/// On a fresh conflict the insert is rolled back and kConflict is returned
+/// (describing the conflicted site and the minimal resolution set's size).
+Result<TupleId> GuardedInsert(HierarchicalRelation& relation, Item item,
+                              Truth truth, const InferenceOptions& options = {});
+
+/// Erases the tuple on `item` and verifies no conflict becomes exposed
+/// (removing a conflict-resolving tuple re-creates the conflict it
+/// resolved; cf. the Fig. 3 discussion in Section 3.2). Rolls back on
+/// failure.
+Status GuardedErase(HierarchicalRelation& relation, const Item& item,
+                    const InferenceOptions& options = {});
+
+}  // namespace hirel
+
+#endif  // HIREL_CORE_INTEGRITY_H_

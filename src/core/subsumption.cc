@@ -1,0 +1,112 @@
+#include "core/subsumption.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation) {
+  const Schema& schema = relation.schema();
+  SubsumptionGraph graph;
+
+  std::vector<TupleId> ids = relation.TupleIds();
+  size_t n = ids.size();
+
+  auto binds_below = [&](size_t a, size_t b) {
+    return ItemBindsBelow(schema, relation.tuple(ids[a]).item,
+                          relation.tuple(ids[b]).item);
+  };
+  auto strictly_below = [&](size_t a, size_t b) {
+    return a != b && binds_below(a, b);
+  };
+
+  // Topological order: sort by a count of strict subsumers, then stable.
+  // (Any linear extension of the order works; counting ancestors yields
+  // one: if a strictly subsumes b, a has strictly fewer strict subsumers
+  // ... not in general with partial orders, so do a proper Kahn pass.)
+  std::vector<std::vector<size_t>> succ(n), pred(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      if (!strictly_below(a, b)) continue;
+      // Hasse edge a -> b iff nothing strictly between.
+      bool covered = false;
+      for (size_t c = 0; c < n; ++c) {
+        if (c == a || c == b) continue;
+        if (strictly_below(a, c) && strictly_below(c, b)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        succ[a].push_back(b);
+        pred[b].push_back(a);
+      }
+    }
+  }
+
+  // Kahn topological sort (general first).
+  std::vector<size_t> indegree(n);
+  std::vector<size_t> ready;
+  for (size_t i = 0; i < n; ++i) {
+    indegree[i] = pred[i].size();
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<size_t> order;  // positions in `ids`
+  order.reserve(n);
+  for (size_t head = 0; head < ready.size(); ++head) {
+    size_t u = ready[head];
+    order.push_back(u);
+    for (size_t v : succ[u]) {
+      if (--indegree[v] == 0) ready.push_back(v);
+    }
+  }
+
+  // Remap into topological positions.
+  std::vector<size_t> position(n);
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+
+  graph.nodes.resize(n);
+  graph.successors.resize(n);
+  graph.predecessors.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t old = order[i];
+    graph.nodes[i] = ids[old];
+    for (size_t s : succ[old]) graph.successors[i].push_back(position[s]);
+    for (size_t p : pred[old]) graph.predecessors[i].push_back(position[p]);
+    std::sort(graph.successors[i].begin(), graph.successors[i].end());
+    std::sort(graph.predecessors[i].begin(), graph.predecessors[i].end());
+    if (graph.predecessors[i].empty()) {
+      graph.predecessors[i].push_back(SubsumptionGraph::kUniversalNode);
+      graph.sources.push_back(i);
+    }
+  }
+  return graph;
+}
+
+std::string SubsumptionGraphToString(const HierarchicalRelation& relation,
+                                     const SubsumptionGraph& graph) {
+  const Schema& schema = relation.schema();
+  std::string out = StrCat("subsumption graph of '", relation.name(), "':\n");
+  out += "  [universal negated tuple]\n";
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    const HTuple& t = relation.tuple(graph.nodes[i]);
+    out += StrCat("  ", TruthToString(t.truth), " ",
+                  ItemToString(schema, t.item), "  <- ");
+    std::vector<std::string> preds;
+    for (size_t p : graph.predecessors[i]) {
+      if (p == SubsumptionGraph::kUniversalNode) {
+        preds.push_back("[universal]");
+      } else {
+        const HTuple& pt = relation.tuple(graph.nodes[p]);
+        preds.push_back(StrCat(TruthToString(pt.truth), " ",
+                               ItemToString(schema, pt.item)));
+      }
+    }
+    out += Join(preds, ", ");
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hirel

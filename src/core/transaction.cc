@@ -1,0 +1,69 @@
+#include "core/transaction.h"
+
+#include "core/conflict.h"
+
+namespace hirel {
+
+void Transaction::Insert(Item item, Truth truth) {
+  ops_.push_back(Op{OpKind::kInsert, std::move(item), truth});
+}
+
+void Transaction::Erase(Item item) {
+  ops_.push_back(Op{OpKind::kErase, std::move(item), Truth::kPositive});
+}
+
+Status Transaction::Commit() {
+  std::vector<Undo> undo_log;
+  undo_log.reserve(ops_.size());
+
+  auto rollback = [&]() {
+    // Reverse in LIFO order, then abort: staged operations are discarded,
+    // like any aborted transaction's.
+    for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
+      if (it->kind == OpKind::kInsert) {
+        // Reverse an applied insert.
+        (void)relation_->EraseItem(it->item);
+      } else {
+        // Reverse an applied erase.
+        (void)relation_->Insert(it->item, it->truth);
+      }
+    }
+    ops_.clear();
+  };
+
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kInsert) {
+      Result<TupleId> inserted = relation_->Insert(op.item, op.truth);
+      if (!inserted.ok()) {
+        rollback();
+        return inserted.status();
+      }
+      undo_log.push_back(Undo{OpKind::kInsert, op.item, op.truth, false,
+                              Truth::kPositive});
+    } else {
+      std::optional<TupleId> id = relation_->FindItem(op.item);
+      if (!id.has_value()) {
+        rollback();
+        return Status::NotFound("transaction erases a non-existent tuple");
+      }
+      Truth prior = relation_->tuple(*id).truth;
+      Status erased = relation_->Erase(*id);
+      if (!erased.ok()) {
+        rollback();
+        return erased;
+      }
+      undo_log.push_back(
+          Undo{OpKind::kErase, op.item, prior, true, prior});
+    }
+  }
+
+  Status check = CheckAmbiguity(*relation_, options_);
+  if (!check.ok()) {
+    rollback();
+    return check;
+  }
+  ops_.clear();
+  return Status::OK();
+}
+
+}  // namespace hirel

@@ -1,0 +1,51 @@
+// Automatic hierarchical encoding — the second extension sketched in the
+// paper's conclusion: "the database system could mechanically organize
+// traditional relation(s) given into hierarchical relations ... in such a
+// way that storage is minimized."
+//
+// Given a single-attribute extension (a set of instances) and its domain
+// hierarchy, CompressExtension computes a hierarchical relation with that
+// exact extension using the *minimum possible number of tuples*. For tree
+// hierarchies the problem decomposes exactly: a bottom-up dynamic program
+// over (node, inherited-truth) chooses, per class, whether to assert a
+// tuple that flips the inherited default. For DAG hierarchies the problem
+// contains minimum set cover (the paper's own np-hardness observation in
+// Section 3.2), so hirel refuses rather than silently approximating.
+
+#ifndef HIREL_EXTENSIONS_COMPRESS_H_
+#define HIREL_EXTENSIONS_COMPRESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/hierarchical_relation.h"
+#include "hierarchy/hierarchy.h"
+
+namespace hirel {
+
+/// Computes the minimum-tuple hierarchical relation over `hierarchy` whose
+/// extension is exactly `extension` (a set of instance nodes).
+///
+/// Requirements:
+///  * every node of `hierarchy` has at most one parent (a tree); otherwise
+///    kNotSupported;
+///  * every element of `extension` is a live instance node; otherwise
+///    kInvalidArgument.
+///
+/// The result is always consistent (tree hierarchies admit no
+/// multiple-inheritance conflicts) and already consolidated (minimality
+/// implies irredundancy).
+Result<HierarchicalRelation> CompressExtension(
+    std::string name, Hierarchy* hierarchy,
+    const std::vector<NodeId>& extension);
+
+/// Convenience: re-encodes an existing single-attribute relation in place,
+/// replacing its tuples with the minimal encoding of its current
+/// extension. Returns the number of tuples saved (may be negative-free:
+/// the result is never larger than the consolidated input).
+Result<size_t> CompressInPlace(HierarchicalRelation& relation);
+
+}  // namespace hirel
+
+#endif  // HIREL_EXTENSIONS_COMPRESS_H_

@@ -1,0 +1,154 @@
+#include "flat/flat_ops.h"
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+Result<FlatRelation> FlatSelectEquals(const FlatRelation& relation,
+                                      size_t attr, NodeId node) {
+  const Schema& schema = relation.schema();
+  if (attr >= schema.size()) {
+    return Status::InvalidArgument("flat select: attribute out of range");
+  }
+  FlatRelation result(StrCat(relation.name(), "_select"), schema);
+  for (const Item& row : relation.Rows()) {
+    if (schema.hierarchy(attr)->Subsumes(node, row[attr])) {
+      HIREL_RETURN_IF_ERROR(result.Insert(row));
+    }
+  }
+  return result;
+}
+
+Result<FlatRelation> FlatSelectWhere(
+    const FlatRelation& relation, size_t attr,
+    const std::function<bool(const Value&)>& predicate) {
+  const Schema& schema = relation.schema();
+  if (attr >= schema.size()) {
+    return Status::InvalidArgument("flat select: attribute out of range");
+  }
+  FlatRelation result(StrCat(relation.name(), "_where"), schema);
+  for (const Item& row : relation.Rows()) {
+    if (predicate(schema.hierarchy(attr)->InstanceValue(row[attr]))) {
+      HIREL_RETURN_IF_ERROR(result.Insert(row));
+    }
+  }
+  return result;
+}
+
+Result<FlatRelation> FlatProject(const FlatRelation& relation,
+                                 const std::vector<size_t>& keep) {
+  const Schema& schema = relation.schema();
+  Schema result_schema;
+  for (size_t p : keep) {
+    if (p >= schema.size()) {
+      return Status::InvalidArgument("flat project: attribute out of range");
+    }
+    HIREL_RETURN_IF_ERROR(
+        result_schema.Append(schema.name(p), schema.hierarchy(p)));
+  }
+  FlatRelation result(StrCat(relation.name(), "_project"),
+                      std::move(result_schema));
+  for (const Item& row : relation.Rows()) {
+    Item projected(keep.size());
+    for (size_t k = 0; k < keep.size(); ++k) projected[k] = row[keep[k]];
+    HIREL_RETURN_IF_ERROR(result.Insert(projected));
+  }
+  return result;
+}
+
+Result<FlatRelation> FlatJoinOn(
+    const FlatRelation& left, const FlatRelation& right,
+    const std::vector<std::pair<size_t, size_t>>& on) {
+  const Schema& ls = left.schema();
+  const Schema& rs = right.schema();
+  std::vector<bool> right_is_join(rs.size(), false);
+  for (const auto& [li, ri] : on) {
+    if (li >= ls.size() || ri >= rs.size()) {
+      return Status::InvalidArgument("flat join: attribute out of range");
+    }
+    if (ls.hierarchy(li) != rs.hierarchy(ri)) {
+      return Status::InvalidArgument(
+          "flat join: attributes range over different hierarchies");
+    }
+    right_is_join[ri] = true;
+  }
+  Schema schema;
+  for (size_t i = 0; i < ls.size(); ++i) {
+    HIREL_RETURN_IF_ERROR(schema.Append(ls.name(i), ls.hierarchy(i)));
+  }
+  for (size_t j = 0; j < rs.size(); ++j) {
+    if (right_is_join[j]) continue;
+    std::string name = rs.name(j);
+    if (schema.IndexOf(name).ok()) name = StrCat(right.name(), ".", name);
+    HIREL_RETURN_IF_ERROR(schema.Append(std::move(name), rs.hierarchy(j)));
+  }
+
+  FlatRelation result(StrCat(left.name(), "_join_", right.name()),
+                      std::move(schema));
+  for (const Item& lrow : left.Rows()) {
+    for (const Item& rrow : right.Rows()) {
+      bool match = true;
+      for (const auto& [li, ri] : on) {
+        if (lrow[li] != rrow[ri]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Item row = lrow;
+      for (size_t j = 0; j < rs.size(); ++j) {
+        if (!right_is_join[j]) row.push_back(rrow[j]);
+      }
+      HIREL_RETURN_IF_ERROR(result.Insert(row));
+    }
+  }
+  return result;
+}
+
+namespace {
+
+Result<FlatRelation> FlatSetOp(const FlatRelation& left,
+                               const FlatRelation& right, const char* op_name,
+                               bool in_left_required, bool right_keeps,
+                               bool right_removes) {
+  if (!left.schema().CompatibleWith(right.schema())) {
+    return Status::InvalidArgument(
+        StrCat("flat ", op_name, ": incompatible schemas"));
+  }
+  FlatRelation result(StrCat(left.name(), "_", op_name, "_", right.name()),
+                      left.schema());
+  for (const Item& row : left.Rows()) {
+    bool in_right = right.Contains(row);
+    if (right_removes && in_right) continue;
+    if (right_keeps && !in_right) continue;
+    HIREL_RETURN_IF_ERROR(result.Insert(row));
+  }
+  if (!in_left_required) {
+    for (const Item& row : right.Rows()) {
+      HIREL_RETURN_IF_ERROR(result.Insert(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<FlatRelation> FlatUnion(const FlatRelation& left,
+                               const FlatRelation& right) {
+  return FlatSetOp(left, right, "union", /*in_left_required=*/false,
+                   /*right_keeps=*/false, /*right_removes=*/false);
+}
+
+Result<FlatRelation> FlatIntersect(const FlatRelation& left,
+                                   const FlatRelation& right) {
+  return FlatSetOp(left, right, "intersect", /*in_left_required=*/true,
+                   /*right_keeps=*/true, /*right_removes=*/false);
+}
+
+Result<FlatRelation> FlatDifference(const FlatRelation& left,
+                                    const FlatRelation& right) {
+  return FlatSetOp(left, right, "difference", /*in_left_required=*/true,
+                   /*right_keeps=*/false, /*right_removes=*/true);
+}
+
+}  // namespace hirel

@@ -1,0 +1,47 @@
+// Flat relational operators: the reference semantics for the hierarchical
+// algebra. Each operator mirrors its counterpart in src/algebra/ but works
+// on explicit row sets.
+
+#ifndef HIREL_FLAT_FLAT_OPS_H_
+#define HIREL_FLAT_FLAT_OPS_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "flat/flat_relation.h"
+#include "types/value.h"
+
+namespace hirel {
+
+/// Rows whose `attr` component is a member of `node` (subsumption check
+/// against the attribute's hierarchy).
+Result<FlatRelation> FlatSelectEquals(const FlatRelation& relation,
+                                      size_t attr, NodeId node);
+
+/// Rows whose `attr` component's value satisfies `predicate`.
+Result<FlatRelation> FlatSelectWhere(
+    const FlatRelation& relation, size_t attr,
+    const std::function<bool(const Value&)>& predicate);
+
+/// Projection onto the attribute positions `keep` (duplicates collapse).
+Result<FlatRelation> FlatProject(const FlatRelation& relation,
+                                 const std::vector<size_t>& keep);
+
+/// Equi-join on (left position, right position) pairs; result columns are
+/// all left attributes followed by right non-join attributes.
+Result<FlatRelation> FlatJoinOn(const FlatRelation& left,
+                                const FlatRelation& right,
+                                const std::vector<std::pair<size_t, size_t>>& on);
+
+Result<FlatRelation> FlatUnion(const FlatRelation& left,
+                               const FlatRelation& right);
+Result<FlatRelation> FlatIntersect(const FlatRelation& left,
+                                   const FlatRelation& right);
+Result<FlatRelation> FlatDifference(const FlatRelation& left,
+                                    const FlatRelation& right);
+
+}  // namespace hirel
+
+#endif  // HIREL_FLAT_FLAT_OPS_H_

@@ -1,0 +1,61 @@
+#include "flat/flat_relation.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+Status FlatRelation::Insert(const Item& row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        StrCat("flat relation '", name_, "': row arity mismatch"));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!schema_.hierarchy(i)->alive(row[i])) {
+      return Status::InvalidArgument(
+          StrCat("flat relation '", name_, "': dead node in row"));
+    }
+    if (!schema_.hierarchy(i)->is_instance(row[i])) {
+      return Status::InvalidArgument(
+          StrCat("flat relation '", name_, "': attribute '", schema_.name(i),
+                 "' holds class '", schema_.hierarchy(i)->NodeName(row[i]),
+                 "'; flat rows must be atomic"));
+    }
+  }
+  rows_.insert(row);
+  return Status::OK();
+}
+
+Status FlatRelation::Erase(const Item& row) {
+  if (rows_.erase(row) == 0) {
+    return Status::NotFound(
+        StrCat("flat relation '", name_, "': row not present"));
+  }
+  return Status::OK();
+}
+
+std::vector<Item> FlatRelation::Rows() const {
+  std::vector<Item> rows(rows_.begin(), rows_.end());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+size_t FlatRelation::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const Item& row : rows_) {
+    bytes += sizeof(Item) + row.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+Result<FlatRelation> FlatRelation::FromRows(std::string name, Schema schema,
+                                            const std::vector<Item>& rows) {
+  FlatRelation relation(std::move(name), std::move(schema));
+  for (const Item& row : rows) {
+    HIREL_RETURN_IF_ERROR(relation.Insert(row));
+  }
+  return relation;
+}
+
+}  // namespace hirel

@@ -1,0 +1,64 @@
+// FlatRelation: the standard relational model hirel is upward-compatible
+// with — a set of atomic rows, no classes, no negation.
+//
+// The flat module is the ground truth the property-test suite checks every
+// hierarchical operator against ("any manipulations on hierarchical
+// relations should have the same effect whether performed on the
+// hierarchical relations or on the equivalent flat relations"), and the
+// storage baseline for the paper's compression claims.
+
+#ifndef HIREL_FLAT_FLAT_RELATION_H_
+#define HIREL_FLAT_FLAT_RELATION_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "types/item.h"
+#include "types/schema.h"
+
+namespace hirel {
+
+/// A named set of atomic items over a schema.
+class FlatRelation {
+ public:
+  FlatRelation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts an atomic row. Duplicate inserts are no-ops returning OK (a
+  /// relation is a set). Fails with kInvalidArgument if the item is not
+  /// atomic or mismatches the schema.
+  Status Insert(const Item& row);
+
+  /// Removes a row; kNotFound if absent.
+  Status Erase(const Item& row);
+
+  bool Contains(const Item& row) const { return rows_.contains(row); }
+
+  /// All rows, sorted (for deterministic comparison and display).
+  std::vector<Item> Rows() const;
+
+  /// Approximate in-memory footprint of the stored rows in bytes.
+  size_t ApproxBytes() const;
+
+  /// Builds a flat relation from an extension (e.g. core/explicate.h's
+  /// Extension output).
+  static Result<FlatRelation> FromRows(std::string name, Schema schema,
+                                       const std::vector<Item>& rows);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unordered_set<Item, ItemHash> rows_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_FLAT_FLAT_RELATION_H_

@@ -1,0 +1,65 @@
+#include "flat/membership_baseline.h"
+
+namespace hirel {
+
+MembershipTable::MembershipTable(const Hierarchy& hierarchy)
+    : hierarchy_(&hierarchy) {
+  for (NodeId parent : hierarchy.Nodes()) {
+    if (!hierarchy.is_class(parent)) continue;
+    for (NodeId child : hierarchy.Children(parent)) {
+      children_[parent].push_back(child);
+      ++num_rows_;
+    }
+  }
+}
+
+std::vector<NodeId> MembershipTable::MembersOf(
+    NodeId class_node, MembershipQueryStats* stats) const {
+  // Semi-naive evaluation: frontier ⋈ isa until the frontier empties.
+  std::unordered_set<NodeId> reached{class_node};
+  std::vector<NodeId> frontier{class_node};
+  std::vector<NodeId> members;
+  while (!frontier.empty()) {
+    if (stats != nullptr) ++stats->joins;
+    std::vector<NodeId> next;
+    for (NodeId node : frontier) {
+      auto it = children_.find(node);
+      if (it == children_.end()) continue;
+      for (NodeId child : it->second) {
+        if (stats != nullptr) ++stats->tuples_scanned;
+        if (!reached.insert(child).second) continue;
+        if (hierarchy_->is_instance(child)) {
+          members.push_back(child);
+        }
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (hierarchy_->is_instance(class_node)) members.push_back(class_node);
+  return members;
+}
+
+bool MembershipTable::IsMember(NodeId instance, NodeId class_node,
+                               MembershipQueryStats* stats) const {
+  if (instance == class_node) return true;
+  std::unordered_set<NodeId> reached{class_node};
+  std::vector<NodeId> frontier{class_node};
+  while (!frontier.empty()) {
+    if (stats != nullptr) ++stats->joins;
+    std::vector<NodeId> next;
+    for (NodeId node : frontier) {
+      auto it = children_.find(node);
+      if (it == children_.end()) continue;
+      for (NodeId child : it->second) {
+        if (stats != nullptr) ++stats->tuples_scanned;
+        if (child == instance) return true;
+        if (reached.insert(child).second) next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+}  // namespace hirel

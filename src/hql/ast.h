@@ -1,0 +1,210 @@
+// HQL abstract syntax tree.
+
+#ifndef HIREL_HQL_AST_H_
+#define HIREL_HQL_AST_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "types/value.h"
+
+namespace hirel {
+namespace hql {
+
+/// One term in a tuple pattern: `ALL bird`, `tweety`, `'tweety'`, or 3000.
+struct Term {
+  enum class Kind {
+    kAll,      // ALL <class>: universal quantification over a class
+    kName,     // bare identifier: an instance (or, failing that, a class)
+    kLiteral,  // quoted string / number
+  };
+  Kind kind = Kind::kName;
+  std::string name;  // for kAll / kName
+  Value literal;     // for kLiteral
+};
+
+struct CreateHierarchyStmt {
+  std::string name;
+  bool keep_redundant_edges = false;  // CREATE HIERARCHY x ON PATH? (unused)
+};
+
+struct CreateClassStmt {
+  std::string name;
+  std::string hierarchy;
+  std::vector<std::string> parents;  // empty: directly under the root
+};
+
+struct CreateInstanceStmt {
+  Value value;
+  std::string hierarchy;
+  std::vector<std::string> parents;
+};
+
+struct CreateRelationStmt {
+  std::string name;
+  // (attribute name, hierarchy name)
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// CREATE RELATION x AS a UNION b / INTERSECT / EXCEPT / JOIN.
+struct CreateAsStmt {
+  enum class Op { kUnion, kIntersect, kExcept, kJoin };
+  std::string name;
+  Op op = Op::kUnion;
+  std::string left;
+  std::string right;
+};
+
+/// CREATE RELATION x AS PROJECT src ON (a, b).
+struct CreateProjectStmt {
+  std::string name;
+  std::string source;
+  std::vector<std::string> attributes;
+};
+
+/// CONNECT <parent> TO <child> IN <hierarchy>.
+struct ConnectStmt {
+  std::string parent;
+  std::string child;
+  std::string hierarchy;
+};
+
+/// PREFER <stronger> OVER <weaker> IN <hierarchy>.
+struct PreferStmt {
+  std::string stronger;
+  std::string weaker;
+  std::string hierarchy;
+};
+
+/// ASSERT / DENY / RETRACT rel(term, ...).
+struct FactStmt {
+  enum class Kind { kAssert, kDeny, kRetract };
+  Kind kind = Kind::kAssert;
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+/// SELECT * FROM rel [WHERE attr = term].
+struct SelectStmt {
+  std::string relation;
+  bool has_where = false;
+  std::string attribute;
+  Term term;
+};
+
+/// EXPLAIN rel(term, ...).
+struct ExplainStmt {
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+struct ConsolidateStmt {
+  std::string relation;
+};
+
+/// EXPLICATE rel [ON (a, b)].
+struct ExplicateStmt {
+  std::string relation;
+  std::vector<std::string> attributes;
+};
+
+/// EXTENSION rel.
+struct ExtensionStmt {
+  std::string relation;
+};
+
+struct ShowStmt {
+  enum class What {
+    kHierarchy,
+    kRelation,
+    kHierarchies,
+    kRelations,
+    kRules,
+    kSubsumption,  // SHOW SUBSUMPTION rel: the Fig. 6a construction
+  };
+  What what = What::kRelations;
+  std::string name;
+};
+
+struct DropStmt {
+  bool hierarchy = false;
+  std::string name;
+};
+
+struct SaveStmt {
+  std::string path;
+};
+
+struct LoadStmt {
+  std::string path;
+};
+
+struct HelpStmt {};
+
+/// COMPRESS rel: re-encode a single-attribute relation minimally
+/// (Section 4's automatic hierarchical organisation).
+struct CompressStmt {
+  std::string relation;
+};
+
+/// BEGIN rel: start staging facts on `rel` into a transaction.
+struct BeginStmt {
+  std::string relation;
+};
+
+/// COMMIT: apply the staged facts atomically, checking consistency once.
+struct CommitStmt {};
+
+/// ABORT: discard the staged facts.
+struct AbortStmt {};
+
+/// SET PREEMPTION offpath|onpath|none.
+struct SetPreemptionStmt {
+  std::string mode;
+};
+
+/// RULE 'head(args) :- body.': register a Datalog rule.
+struct RuleStmt {
+  std::string text;
+};
+
+/// DERIVE: evaluate all registered rules to fixpoint.
+struct DeriveStmt {};
+
+/// SHOW BINDING rel(term, ...): the item's tuple-binding graph (Fig. 1d).
+struct ShowBindingStmt {
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+/// DROP CLASS c IN h / DROP INSTANCE v IN h: the paper's node-elimination
+/// procedure, guarded against dangling tuple references.
+struct EliminateStmt {
+  std::string hierarchy;
+  Term node;
+};
+
+/// COUNT rel [BY attr]: extension cardinality, optionally rolled up by the
+/// top-level classes of one attribute's taxonomy.
+struct CountStmt {
+  std::string relation;
+  bool by_attribute = false;
+  std::string attribute;
+};
+
+using Statement =
+    std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
+                 CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
+                 ConnectStmt, PreferStmt, FactStmt, SelectStmt, ExplainStmt,
+                 ConsolidateStmt, ExplicateStmt, ExtensionStmt, ShowStmt,
+                 DropStmt, SaveStmt, LoadStmt, HelpStmt, CompressStmt,
+                 BeginStmt, CommitStmt, AbortStmt, SetPreemptionStmt,
+                 RuleStmt, DeriveStmt, CountStmt, ShowBindingStmt,
+                 EliminateStmt>;
+
+}  // namespace hql
+}  // namespace hirel
+
+#endif  // HIREL_HQL_AST_H_

@@ -1,0 +1,513 @@
+#include "hql/executor.h"
+
+#include "algebra/join.h"
+#include "algebra/aggregate.h"
+#include "algebra/justify.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "common/str_util.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/integrity.h"
+#include "core/subsumption.h"
+#include "extensions/compress.h"
+#include "rules/rule.h"
+#include "hql/parser.h"
+#include "hql/printer.h"
+#include "io/snapshot.h"
+#include "io/text_dump.h"
+
+namespace hirel {
+namespace hql {
+
+namespace {
+
+/// Resolves a term against a hierarchy. With `allow_intern`, unknown
+/// literal values are interned as fresh instances under the root (how
+/// scalar attributes acquire their values on first use).
+Result<NodeId> ResolveTerm(Hierarchy* hierarchy, const Term& term,
+                           bool allow_intern) {
+  switch (term.kind) {
+    case Term::Kind::kAll:
+      return hierarchy->FindClass(term.name);
+    case Term::Kind::kName: {
+      Result<NodeId> as_instance =
+          hierarchy->FindInstance(Value::String(term.name));
+      if (as_instance.ok()) return as_instance;
+      Result<NodeId> as_class = hierarchy->FindClass(term.name);
+      if (as_class.ok()) return as_class;
+      return Status::NotFound(
+          StrCat("no instance or class named '", term.name,
+                 "' in hierarchy '", hierarchy->name(),
+                 "' (CREATE INSTANCE / CREATE CLASS first, or quote a "
+                 "literal)"));
+    }
+    case Term::Kind::kLiteral: {
+      Result<NodeId> found = hierarchy->FindInstance(term.literal);
+      if (found.ok()) return found;
+      if (allow_intern) return hierarchy->Intern(term.literal);
+      return found;
+    }
+  }
+  return Status::Internal("unhandled term kind");
+}
+
+Result<Item> ResolveItem(const Schema& schema, const std::vector<Term>& terms,
+                         bool allow_intern) {
+  if (terms.size() != schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", terms.size(), " does not match relation arity ",
+               schema.size()));
+  }
+  Item item(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    HIREL_ASSIGN_OR_RETURN(
+        item[i], ResolveTerm(schema.hierarchy(i), terms[i], allow_intern));
+  }
+  return item;
+}
+
+}  // namespace
+
+Result<std::string> Executor::Execute(std::string_view source) {
+  HIREL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                         ParseScript(source));
+  std::string output;
+  for (const Statement& statement : statements) {
+    HIREL_ASSIGN_OR_RETURN(std::string part, ExecuteStatement(statement));
+    output += part;
+  }
+  return output;
+}
+
+Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
+  struct Visitor {
+    Executor& self;
+    Database& db;
+
+    Result<std::string> operator()(const CreateHierarchyStmt& stmt) {
+      HierarchyOptions options;
+      options.keep_redundant_edges = stmt.keep_redundant_edges;
+      HIREL_RETURN_IF_ERROR(db.CreateHierarchy(stmt.name, options).status());
+      return StrCat("created hierarchy '", stmt.name, "'\n");
+    }
+
+    Result<std::string> operator()(const CreateClassStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(Hierarchy * h, db.GetHierarchy(stmt.hierarchy));
+      NodeId node = kInvalidNode;
+      if (stmt.parents.empty()) {
+        HIREL_ASSIGN_OR_RETURN(node, h->AddClass(stmt.name));
+      } else {
+        for (size_t i = 0; i < stmt.parents.size(); ++i) {
+          HIREL_ASSIGN_OR_RETURN(NodeId parent,
+                                 h->FindClass(stmt.parents[i]));
+          if (i == 0) {
+            HIREL_ASSIGN_OR_RETURN(node, h->AddClass(stmt.name, parent));
+          } else {
+            HIREL_RETURN_IF_ERROR(h->AddEdge(parent, node));
+          }
+        }
+      }
+      return StrCat("created class '", stmt.name, "' in '", stmt.hierarchy,
+                    "'\n");
+    }
+
+    Result<std::string> operator()(const CreateInstanceStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(Hierarchy * h, db.GetHierarchy(stmt.hierarchy));
+      NodeId node = kInvalidNode;
+      if (stmt.parents.empty()) {
+        HIREL_ASSIGN_OR_RETURN(node, h->AddInstance(stmt.value));
+      } else {
+        for (size_t i = 0; i < stmt.parents.size(); ++i) {
+          HIREL_ASSIGN_OR_RETURN(NodeId parent,
+                                 h->FindClass(stmt.parents[i]));
+          if (i == 0) {
+            HIREL_ASSIGN_OR_RETURN(node, h->AddInstance(stmt.value, parent));
+          } else {
+            HIREL_RETURN_IF_ERROR(h->AddEdge(parent, node));
+          }
+        }
+      }
+      return StrCat("created instance '", stmt.value.ToString(), "' in '",
+                    stmt.hierarchy, "'\n");
+    }
+
+    Result<std::string> operator()(const CreateRelationStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(
+          db.CreateRelation(stmt.name, stmt.attributes).status());
+      return StrCat("created relation '", stmt.name, "'\n");
+    }
+
+    Result<std::string> operator()(const CreateAsStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * left,
+                             db.GetRelation(stmt.left));
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * right,
+                             db.GetRelation(stmt.right));
+      Result<HierarchicalRelation> result = [&]() {
+        SetOpOptions setop_options;
+        setop_options.inference = self.options_;
+        JoinOptions join_options;
+        join_options.inference = self.options_;
+        switch (stmt.op) {
+          case CreateAsStmt::Op::kUnion:
+            return Union(*left, *right, setop_options);
+          case CreateAsStmt::Op::kIntersect:
+            return Intersect(*left, *right, setop_options);
+          case CreateAsStmt::Op::kExcept:
+            return Difference(*left, *right, setop_options);
+          case CreateAsStmt::Op::kJoin:
+            return NaturalJoin(*left, *right, join_options);
+        }
+        return Result<HierarchicalRelation>(
+            Status::Internal("unhandled set operation"));
+      }();
+      HIREL_RETURN_IF_ERROR(result.status());
+      result->set_name(stmt.name);
+      HIREL_RETURN_IF_ERROR(db.AdoptRelation(std::move(*result)).status());
+      return StrCat("created relation '", stmt.name, "'\n");
+    }
+
+    Result<std::string> operator()(const CreateProjectStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * source,
+                             db.GetRelation(stmt.source));
+      ProjectOptions options;
+      options.inference = self.options_;
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation result,
+                             Project(*source, stmt.attributes, options));
+      result.set_name(stmt.name);
+      HIREL_RETURN_IF_ERROR(db.AdoptRelation(std::move(result)).status());
+      return StrCat("created relation '", stmt.name, "'\n");
+    }
+
+    Result<std::string> operator()(const ConnectStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(Hierarchy * h, db.GetHierarchy(stmt.hierarchy));
+      HIREL_ASSIGN_OR_RETURN(NodeId parent, h->FindByName(stmt.parent));
+      HIREL_ASSIGN_OR_RETURN(NodeId child, h->FindByName(stmt.child));
+      HIREL_RETURN_IF_ERROR(h->AddEdge(parent, child));
+      return StrCat("connected '", stmt.parent, "' -> '", stmt.child,
+                    "' in '", stmt.hierarchy, "'\n");
+    }
+
+    Result<std::string> operator()(const PreferStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(Hierarchy * h, db.GetHierarchy(stmt.hierarchy));
+      HIREL_ASSIGN_OR_RETURN(NodeId stronger, h->FindByName(stmt.stronger));
+      HIREL_ASSIGN_OR_RETURN(NodeId weaker, h->FindByName(stmt.weaker));
+      HIREL_RETURN_IF_ERROR(h->AddPreferenceEdge(weaker, stronger));
+      return StrCat("preferring '", stmt.stronger, "' over '", stmt.weaker,
+                    "' in '", stmt.hierarchy, "'\n");
+    }
+
+    Result<std::string> operator()(const FactStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      bool interning = stmt.kind != FactStmt::Kind::kRetract;
+      HIREL_ASSIGN_OR_RETURN(
+          Item item, ResolveItem(relation->schema(), stmt.terms, interning));
+      if (self.txn_ != nullptr && stmt.relation == self.txn_relation_) {
+        switch (stmt.kind) {
+          case FactStmt::Kind::kAssert:
+            self.txn_->Assert(std::move(item));
+            break;
+          case FactStmt::Kind::kDeny:
+            self.txn_->Deny(std::move(item));
+            break;
+          case FactStmt::Kind::kRetract:
+            self.txn_->Erase(std::move(item));
+            break;
+        }
+        return StrCat("staged (", self.txn_->num_staged(),
+                      " operation(s) pending on '", self.txn_relation_,
+                      "')\n");
+      }
+      switch (stmt.kind) {
+        case FactStmt::Kind::kAssert:
+          HIREL_RETURN_IF_ERROR(
+              GuardedInsert(*relation, std::move(item), Truth::kPositive,
+                            self.options_)
+                  .status());
+          return StrCat("asserted into '", stmt.relation, "'\n");
+        case FactStmt::Kind::kDeny:
+          HIREL_RETURN_IF_ERROR(
+              GuardedInsert(*relation, std::move(item), Truth::kNegative,
+                            self.options_)
+                  .status());
+          return StrCat("denied in '", stmt.relation, "'\n");
+        case FactStmt::Kind::kRetract:
+          HIREL_RETURN_IF_ERROR(GuardedErase(*relation, item, self.options_));
+          return StrCat("retracted from '", stmt.relation, "'\n");
+      }
+      return Status::Internal("unhandled fact kind");
+    }
+
+    Result<std::string> operator()(const SelectStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      if (!stmt.has_where) {
+        return FormatRelation(*relation);
+      }
+      HIREL_ASSIGN_OR_RETURN(size_t attr,
+                             relation->schema().IndexOf(stmt.attribute));
+      HIREL_ASSIGN_OR_RETURN(
+          NodeId node,
+          ResolveTerm(relation->schema().hierarchy(attr), stmt.term,
+                      /*allow_intern=*/false));
+      HIREL_ASSIGN_OR_RETURN(
+          HierarchicalRelation result,
+          SelectEquals(*relation, attr, node, self.options_));
+      HIREL_ASSIGN_OR_RETURN(size_t dropped,
+                             ConsolidateInPlace(result, self.options_));
+      (void)dropped;
+      return FormatRelation(result);
+    }
+
+    Result<std::string> operator()(const ExplainStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      HIREL_ASSIGN_OR_RETURN(Item item,
+                             ResolveItem(relation->schema(), stmt.terms,
+                                         /*allow_intern=*/false));
+      HIREL_ASSIGN_OR_RETURN(Justification justification,
+                             Explain(*relation, item, self.options_));
+      return JustificationToString(*relation, justification);
+    }
+
+    Result<std::string> operator()(const ConsolidateStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      HIREL_ASSIGN_OR_RETURN(size_t removed,
+                             ConsolidateInPlace(*relation, self.options_));
+      return StrCat("consolidated '", stmt.relation, "': removed ", removed,
+                    " redundant tuple(s)\n");
+    }
+
+    Result<std::string> operator()(const ExplicateStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      std::vector<size_t> positions;
+      for (const std::string& name : stmt.attributes) {
+        HIREL_ASSIGN_OR_RETURN(size_t p, relation->schema().IndexOf(name));
+        positions.push_back(p);
+      }
+      ExplicateOptions options;
+      options.inference = self.options_;
+      // Show the raw explication, negated tuples included; the paper's
+      // consolidate-that-follows is a separate statement.
+      options.consolidate_after = false;
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation result,
+                             Explicate(*relation, positions, options));
+      return FormatRelation(result);
+    }
+
+    Result<std::string> operator()(const ExtensionStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      ExplicateOptions options;
+      options.inference = self.options_;
+      HIREL_ASSIGN_OR_RETURN(std::vector<Item> extension,
+                             Extension(*relation, options));
+      return FormatExtension(relation->schema(), extension,
+                             StrCat("extension of '", stmt.relation, "' (",
+                                    extension.size(), " rows)"));
+    }
+
+    Result<std::string> operator()(const ShowStmt& stmt) {
+      switch (stmt.what) {
+        case ShowStmt::What::kHierarchy: {
+          HIREL_ASSIGN_OR_RETURN(const Hierarchy* h,
+                                 std::as_const(db).GetHierarchy(stmt.name));
+          return FormatHierarchy(*h);
+        }
+        case ShowStmt::What::kRelation: {
+          HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                                 std::as_const(db).GetRelation(stmt.name));
+          return FormatRelation(*relation);
+        }
+        case ShowStmt::What::kHierarchies: {
+          std::string out = "hierarchies:\n";
+          for (const std::string& name : db.HierarchyNames()) {
+            out += StrCat("  ", name, "\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kRelations: {
+          std::string out = "relations:\n";
+          for (const std::string& name : db.RelationNames()) {
+            out += StrCat("  ", name, "\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kSubsumption: {
+          HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                                 std::as_const(db).GetRelation(stmt.name));
+          SubsumptionGraph graph = BuildSubsumptionGraph(*relation);
+          return SubsumptionGraphToString(*relation, graph);
+        }
+        case ShowStmt::What::kRules: {
+          std::string out = "rules:\n";
+          for (const std::string& text : self.rule_texts_) {
+            out += StrCat("  ", text, "\n");
+          }
+          return out;
+        }
+      }
+      return Status::Internal("unhandled show kind");
+    }
+
+    Result<std::string> operator()(const DropStmt& stmt) {
+      if (self.txn_ != nullptr && !stmt.hierarchy &&
+          stmt.name == self.txn_relation_) {
+        return Status::InvalidArgument(
+            StrCat("relation '", stmt.name,
+                   "' has an open transaction; COMMIT or ABORT first"));
+      }
+      if (stmt.hierarchy) {
+        HIREL_RETURN_IF_ERROR(db.DropHierarchy(stmt.name));
+        return StrCat("dropped hierarchy '", stmt.name, "'\n");
+      }
+      HIREL_RETURN_IF_ERROR(db.DropRelation(stmt.name));
+      return StrCat("dropped relation '", stmt.name, "'\n");
+    }
+
+    Result<std::string> operator()(const CompressStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      HIREL_ASSIGN_OR_RETURN(size_t saved, CompressInPlace(*relation));
+      return StrCat("compressed '", stmt.relation, "': saved ", saved,
+                    " tuple(s), ", relation->size(), " remain\n");
+    }
+
+    Result<std::string> operator()(const BeginStmt& stmt) {
+      if (self.txn_ != nullptr) {
+        return Status::InvalidArgument(
+            StrCat("a transaction on '", self.txn_relation_,
+                   "' is already open"));
+      }
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      self.txn_ = std::make_unique<Transaction>(relation, self.options_);
+      self.txn_relation_ = stmt.relation;
+      return StrCat("transaction open on '", stmt.relation, "'\n");
+    }
+
+    Result<std::string> operator()(const CommitStmt&) {
+      if (self.txn_ == nullptr) {
+        return Status::InvalidArgument("no open transaction");
+      }
+      Status committed = self.txn_->Commit();
+      self.txn_.reset();
+      std::string relation = std::move(self.txn_relation_);
+      self.txn_relation_.clear();
+      HIREL_RETURN_IF_ERROR(committed);
+      return StrCat("committed to '", relation, "'\n");
+    }
+
+    Result<std::string> operator()(const AbortStmt&) {
+      if (self.txn_ == nullptr) {
+        return Status::InvalidArgument("no open transaction");
+      }
+      self.txn_.reset();
+      std::string relation = std::move(self.txn_relation_);
+      self.txn_relation_.clear();
+      return StrCat("aborted transaction on '", relation, "'\n");
+    }
+
+    Result<std::string> operator()(const ShowBindingStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      HIREL_ASSIGN_OR_RETURN(Item item,
+                             ResolveItem(relation->schema(), stmt.terms,
+                                         /*allow_intern=*/false));
+      TupleBindingGraph graph = BuildTupleBindingGraph(*relation, item);
+      return TupleBindingGraphToString(*relation, graph);
+    }
+
+    Result<std::string> operator()(const EliminateStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(Hierarchy * h, db.GetHierarchy(stmt.hierarchy));
+      NodeId node = kInvalidNode;
+      if (stmt.node.kind == Term::Kind::kAll) {
+        HIREL_ASSIGN_OR_RETURN(node, h->FindClass(stmt.node.name));
+      } else {
+        HIREL_ASSIGN_OR_RETURN(
+            node, ResolveTerm(h, stmt.node, /*allow_intern=*/false));
+      }
+      std::string name = h->NodeName(node);
+      HIREL_RETURN_IF_ERROR(db.EliminateNode(stmt.hierarchy, node));
+      return StrCat("eliminated '", name, "' from '", stmt.hierarchy,
+                    "' (subsumption among the rest preserved)\n");
+    }
+
+    Result<std::string> operator()(const CountStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                             db.GetRelation(stmt.relation));
+      AggregateOptions options;
+      options.inference = self.options_;
+      if (!stmt.by_attribute) {
+        HIREL_ASSIGN_OR_RETURN(size_t count,
+                               CountExtension(*relation, options));
+        return StrCat("count(", stmt.relation, ") = ", count, "\n");
+      }
+      HIREL_ASSIGN_OR_RETURN(size_t attr,
+                             relation->schema().IndexOf(stmt.attribute));
+      HIREL_ASSIGN_OR_RETURN(std::vector<RollUpRow> rows,
+                             RollUpTopLevel(*relation, attr, options));
+      return StrCat("count(", stmt.relation, ") by ", stmt.attribute,
+                    ":\n", RollUpToString(*relation, attr, rows));
+    }
+
+    Result<std::string> operator()(const RuleStmt& stmt) {
+      // Validate against the current catalog before registering.
+      RuleEngine probe(&db);
+      HIREL_RETURN_IF_ERROR(probe.AddRule(stmt.text));
+      self.rule_texts_.push_back(stmt.text);
+      return StrCat("registered rule #", self.rule_texts_.size(), "\n");
+    }
+
+    Result<std::string> operator()(const DeriveStmt&) {
+      RuleEngine engine(&db);
+      for (const std::string& text : self.rule_texts_) {
+        HIREL_RETURN_IF_ERROR(engine.AddRule(text));
+      }
+      RuleOptions options;
+      options.inference = self.options_;
+      HIREL_ASSIGN_OR_RETURN(size_t derived, engine.Evaluate(options));
+      return StrCat("derived ", derived, " fact(s) from ",
+                    self.rule_texts_.size(), " rule(s)\n");
+    }
+
+    Result<std::string> operator()(const SetPreemptionStmt& stmt) {
+      if (EqualsIgnoreCase(stmt.mode, "offpath")) {
+        self.options_.preemption = PreemptionMode::kOffPath;
+      } else if (EqualsIgnoreCase(stmt.mode, "onpath")) {
+        self.options_.preemption = PreemptionMode::kOnPath;
+      } else if (EqualsIgnoreCase(stmt.mode, "none")) {
+        self.options_.preemption = PreemptionMode::kNone;
+      } else {
+        return Status::InvalidArgument(
+            StrCat("unknown preemption mode '", stmt.mode,
+                   "' (expected offpath, onpath, or none)"));
+      }
+      return StrCat("preemption mode: ",
+                    PreemptionModeToString(self.options_.preemption), "\n");
+    }
+
+    Result<std::string> operator()(const SaveStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(SaveDatabase(db, stmt.path));
+      return StrCat("saved to '", stmt.path, "'\n");
+    }
+
+    Result<std::string> operator()(const LoadStmt& stmt) {
+      HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> loaded,
+                             LoadDatabase(stmt.path));
+      self.db_ = std::move(loaded);
+      return StrCat("loaded '", stmt.path, "'\n");
+    }
+
+    Result<std::string> operator()(const HelpStmt&) { return HelpText(); }
+  };
+
+  return std::visit(Visitor{*this, *db_}, statement);
+}
+
+}  // namespace hql
+}  // namespace hirel

@@ -1,0 +1,62 @@
+// HQL executor: statements -> effects on a Database, plus rendered output.
+
+#ifndef HIREL_HQL_EXECUTOR_H_
+#define HIREL_HQL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/transaction.h"
+#include "hql/ast.h"
+
+namespace hirel {
+namespace hql {
+
+/// Executes HQL against an owned Database. Updates are guarded: ASSERT and
+/// DENY reject statements that would violate the ambiguity constraint, so a
+/// resolver tuple must be asserted before the statement it shields (exactly
+/// the ordering discipline Section 3.1 demands of transactions).
+class Executor {
+ public:
+  Executor() : db_(std::make_unique<Database>()) {}
+
+  /// Takes ownership of an existing database.
+  explicit Executor(std::unique_ptr<Database> db) : db_(std::move(db)) {}
+
+  Database& database() { return *db_; }
+  const Database& database() const { return *db_; }
+
+  InferenceOptions& options() { return options_; }
+
+  /// Parses and executes a script; returns accumulated output. Execution
+  /// stops at the first failing statement.
+  Result<std::string> Execute(std::string_view source);
+
+  /// Executes a single parsed statement.
+  Result<std::string> ExecuteStatement(const Statement& statement);
+
+ private:
+  std::unique_ptr<Database> db_;
+  InferenceOptions options_;
+
+  // Active BEGIN..COMMIT/ABORT transaction, if any. While active, ASSERT /
+  // DENY / RETRACT on its relation are staged; COMMIT validates the batch
+  // once (so a conflict may be created and resolved within it, per Section
+  // 3.1). Dropping the relation is refused while the transaction is open.
+  std::unique_ptr<Transaction> txn_;
+  std::string txn_relation_;
+
+  // Registered Datalog rules (RULE '...'); evaluated on DERIVE against
+  // whatever database is current, so LOAD does not invalidate them until
+  // a referenced relation disappears.
+  std::vector<std::string> rule_texts_;
+};
+
+}  // namespace hql
+}  // namespace hirel
+
+#endif  // HIREL_HQL_EXECUTOR_H_

@@ -1,0 +1,21 @@
+// HQL lexer: source text -> token stream.
+
+#ifndef HIREL_HQL_LEXER_H_
+#define HIREL_HQL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "hql/token.h"
+
+namespace hirel {
+
+/// Tokenises `source`. Comments run from "--" to end of line. The returned
+/// vector always ends with a kEnd token. Fails with kParseError on
+/// unterminated strings or unexpected characters, reporting line/column.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace hirel
+
+#endif  // HIREL_HQL_LEXER_H_

@@ -1,0 +1,417 @@
+#include "hql/parser.h"
+
+#include "common/str_util.h"
+#include "hql/lexer.h"
+
+namespace hirel {
+namespace hql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<Statement>> Parse() {
+    std::vector<Statement> statements;
+    while (!Check(TokenType::kEnd)) {
+      HIREL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      statements.push_back(std::move(stmt));
+      HIREL_RETURN_IF_ERROR(Expect(TokenType::kSemicolon).status());
+    }
+    return statements;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+  bool AcceptKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError(
+        StrCat("line ", t.line, ":", t.column, ": ", message, " (found ",
+               t.ToString(), ")"));
+  }
+
+  Result<Token> Expect(TokenType type) {
+    if (!Check(type)) {
+      return Error(StrCat("expected ", TokenTypeToString(type)));
+    }
+    return Advance();
+  }
+
+  Result<Token> ExpectKeyword(const char* kw) {
+    if (!CheckKeyword(kw)) {
+      return Error(StrCat("expected ", kw));
+    }
+    return Advance();
+  }
+
+  Result<std::string> ExpectIdentifier() {
+    if (!Check(TokenType::kIdentifier)) {
+      return Error("expected identifier");
+    }
+    return Advance().text;
+  }
+
+  Result<std::string> ExpectStringLiteral() {
+    if (!Check(TokenType::kString)) {
+      return Error("expected quoted string");
+    }
+    return Advance().text;
+  }
+
+  Result<std::vector<std::string>> ParseIdentifierList() {
+    std::vector<std::string> names;
+    HIREL_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
+    names.push_back(std::move(first));
+    while (Check(TokenType::kComma)) {
+      Advance();
+      HIREL_ASSIGN_OR_RETURN(std::string next, ExpectIdentifier());
+      names.push_back(std::move(next));
+    }
+    return names;
+  }
+
+  Result<Term> ParseTerm() {
+    Term term;
+    if (AcceptKeyword("ALL")) {
+      term.kind = Term::Kind::kAll;
+      HIREL_ASSIGN_OR_RETURN(term.name, ExpectIdentifier());
+      return term;
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIdentifier:
+        term.kind = Term::Kind::kName;
+        term.name = Advance().text;
+        return term;
+      case TokenType::kString:
+        term.kind = Term::Kind::kLiteral;
+        term.literal = Value::String(Advance().text);
+        return term;
+      case TokenType::kInteger:
+        term.kind = Term::Kind::kLiteral;
+        term.literal = Value::Int(Advance().int_value);
+        return term;
+      case TokenType::kFloat:
+        term.kind = Term::Kind::kLiteral;
+        term.literal = Value::Double(Advance().float_value);
+        return term;
+      default:
+        return Error("expected a term (ALL class, name, or literal)");
+    }
+  }
+
+  Result<std::vector<Term>> ParseTermTuple() {
+    HIREL_RETURN_IF_ERROR(Expect(TokenType::kLeftParen).status());
+    std::vector<Term> terms;
+    HIREL_ASSIGN_OR_RETURN(Term first, ParseTerm());
+    terms.push_back(std::move(first));
+    while (Check(TokenType::kComma)) {
+      Advance();
+      HIREL_ASSIGN_OR_RETURN(Term next, ParseTerm());
+      terms.push_back(std::move(next));
+    }
+    HIREL_RETURN_IF_ERROR(Expect(TokenType::kRightParen).status());
+    return terms;
+  }
+
+  Result<Statement> ParseCreate() {
+    if (AcceptKeyword("HIERARCHY")) {
+      CreateHierarchyStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("CLASS")) {
+      CreateClassStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("IN").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.hierarchy, ExpectIdentifier());
+      if (AcceptKeyword("UNDER")) {
+        HIREL_ASSIGN_OR_RETURN(stmt.parents, ParseIdentifierList());
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("INSTANCE")) {
+      CreateInstanceStmt stmt;
+      const Token& t = Peek();
+      switch (t.type) {
+        case TokenType::kIdentifier:
+          stmt.value = Value::String(Advance().text);
+          break;
+        case TokenType::kString:
+          stmt.value = Value::String(Advance().text);
+          break;
+        case TokenType::kInteger:
+          stmt.value = Value::Int(Advance().int_value);
+          break;
+        case TokenType::kFloat:
+          stmt.value = Value::Double(Advance().float_value);
+          break;
+        default:
+          return Error("expected an instance value");
+      }
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("IN").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.hierarchy, ExpectIdentifier());
+      if (AcceptKeyword("UNDER")) {
+        HIREL_ASSIGN_OR_RETURN(stmt.parents, ParseIdentifierList());
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("RELATION")) {
+      std::string name;
+      HIREL_ASSIGN_OR_RETURN(name, ExpectIdentifier());
+      if (AcceptKeyword("AS")) {
+        if (AcceptKeyword("PROJECT")) {
+          CreateProjectStmt stmt;
+          stmt.name = std::move(name);
+          HIREL_ASSIGN_OR_RETURN(stmt.source, ExpectIdentifier());
+          HIREL_RETURN_IF_ERROR(ExpectKeyword("ON").status());
+          HIREL_RETURN_IF_ERROR(Expect(TokenType::kLeftParen).status());
+          HIREL_ASSIGN_OR_RETURN(stmt.attributes, ParseIdentifierList());
+          HIREL_RETURN_IF_ERROR(Expect(TokenType::kRightParen).status());
+          return Statement(std::move(stmt));
+        }
+        CreateAsStmt stmt;
+        stmt.name = std::move(name);
+        HIREL_ASSIGN_OR_RETURN(stmt.left, ExpectIdentifier());
+        if (AcceptKeyword("UNION")) {
+          stmt.op = CreateAsStmt::Op::kUnion;
+        } else if (AcceptKeyword("INTERSECT")) {
+          stmt.op = CreateAsStmt::Op::kIntersect;
+        } else if (AcceptKeyword("EXCEPT")) {
+          stmt.op = CreateAsStmt::Op::kExcept;
+        } else if (AcceptKeyword("JOIN")) {
+          stmt.op = CreateAsStmt::Op::kJoin;
+        } else {
+          return Error("expected UNION, INTERSECT, EXCEPT, or JOIN");
+        }
+        HIREL_ASSIGN_OR_RETURN(stmt.right, ExpectIdentifier());
+        return Statement(std::move(stmt));
+      }
+      CreateRelationStmt stmt;
+      stmt.name = std::move(name);
+      HIREL_RETURN_IF_ERROR(Expect(TokenType::kLeftParen).status());
+      while (true) {
+        HIREL_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier());
+        HIREL_RETURN_IF_ERROR(Expect(TokenType::kColon).status());
+        HIREL_ASSIGN_OR_RETURN(std::string hierarchy, ExpectIdentifier());
+        stmt.attributes.emplace_back(std::move(attr), std::move(hierarchy));
+        if (!Check(TokenType::kComma)) break;
+        Advance();
+      }
+      HIREL_RETURN_IF_ERROR(Expect(TokenType::kRightParen).status());
+      return Statement(std::move(stmt));
+    }
+    return Error("expected HIERARCHY, CLASS, INSTANCE, or RELATION");
+  }
+
+  Result<Statement> ParseStatement() {
+    if (AcceptKeyword("CREATE")) return ParseCreate();
+    if (AcceptKeyword("CONNECT")) {
+      ConnectStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.parent, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("TO").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.child, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("IN").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.hierarchy, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("PREFER")) {
+      PreferStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.stronger, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("OVER").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.weaker, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("IN").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.hierarchy, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (CheckKeyword("ASSERT") || CheckKeyword("DENY") ||
+        CheckKeyword("RETRACT")) {
+      FactStmt stmt;
+      if (AcceptKeyword("ASSERT")) {
+        stmt.kind = FactStmt::Kind::kAssert;
+      } else if (AcceptKeyword("DENY")) {
+        stmt.kind = FactStmt::Kind::kDeny;
+      } else {
+        Advance();
+        stmt.kind = FactStmt::Kind::kRetract;
+      }
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      HIREL_ASSIGN_OR_RETURN(stmt.terms, ParseTermTuple());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SELECT")) {
+      SelectStmt stmt;
+      HIREL_RETURN_IF_ERROR(Expect(TokenType::kStar).status());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("FROM").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      if (AcceptKeyword("WHERE")) {
+        stmt.has_where = true;
+        HIREL_ASSIGN_OR_RETURN(stmt.attribute, ExpectIdentifier());
+        HIREL_RETURN_IF_ERROR(Expect(TokenType::kEquals).status());
+        HIREL_ASSIGN_OR_RETURN(stmt.term, ParseTerm());
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("EXPLAIN")) {
+      ExplainStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      HIREL_ASSIGN_OR_RETURN(stmt.terms, ParseTermTuple());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("CONSOLIDATE")) {
+      ConsolidateStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("EXPLICATE")) {
+      ExplicateStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      if (AcceptKeyword("ON")) {
+        HIREL_RETURN_IF_ERROR(Expect(TokenType::kLeftParen).status());
+        HIREL_ASSIGN_OR_RETURN(stmt.attributes, ParseIdentifierList());
+        HIREL_RETURN_IF_ERROR(Expect(TokenType::kRightParen).status());
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("EXTENSION")) {
+      ExtensionStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SHOW")) {
+      ShowStmt stmt;
+      if (AcceptKeyword("HIERARCHY")) {
+        stmt.what = ShowStmt::What::kHierarchy;
+        HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      } else if (AcceptKeyword("RELATION")) {
+        stmt.what = ShowStmt::What::kRelation;
+        HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      } else if (AcceptKeyword("HIERARCHIES")) {
+        stmt.what = ShowStmt::What::kHierarchies;
+      } else if (AcceptKeyword("RELATIONS")) {
+        stmt.what = ShowStmt::What::kRelations;
+      } else if (AcceptKeyword("RULES")) {
+        stmt.what = ShowStmt::What::kRules;
+      } else if (AcceptKeyword("SUBSUMPTION")) {
+        stmt.what = ShowStmt::What::kSubsumption;
+        HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      } else if (AcceptKeyword("BINDING")) {
+        ShowBindingStmt binding;
+        HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
+        HIREL_ASSIGN_OR_RETURN(binding.terms, ParseTermTuple());
+        return Statement(std::move(binding));
+      } else {
+        return Error(
+            "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, or "
+            "RULES");
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("DROP")) {
+      if (CheckKeyword("CLASS") || CheckKeyword("INSTANCE")) {
+        EliminateStmt stmt;
+        if (AcceptKeyword("CLASS")) {
+          stmt.node.kind = Term::Kind::kAll;
+          HIREL_ASSIGN_OR_RETURN(stmt.node.name, ExpectIdentifier());
+        } else {
+          Advance();
+          HIREL_ASSIGN_OR_RETURN(stmt.node, ParseTerm());
+        }
+        HIREL_RETURN_IF_ERROR(ExpectKeyword("IN").status());
+        HIREL_ASSIGN_OR_RETURN(stmt.hierarchy, ExpectIdentifier());
+        return Statement(std::move(stmt));
+      }
+      DropStmt stmt;
+      if (AcceptKeyword("HIERARCHY")) {
+        stmt.hierarchy = true;
+      } else if (AcceptKeyword("RELATION")) {
+        stmt.hierarchy = false;
+      } else {
+        return Error(
+            "expected HIERARCHY, RELATION, CLASS, or INSTANCE");
+      }
+      HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SAVE")) {
+      SaveStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.path, ExpectStringLiteral());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("LOAD")) {
+      LoadStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.path, ExpectStringLiteral());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("HELP")) {
+      return Statement(HelpStmt{});
+    }
+    if (AcceptKeyword("COMPRESS")) {
+      CompressStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("BEGIN")) {
+      BeginStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("COMMIT")) {
+      return Statement(CommitStmt{});
+    }
+    if (AcceptKeyword("ABORT")) {
+      return Statement(AbortStmt{});
+    }
+    if (AcceptKeyword("RULE")) {
+      RuleStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.text, ExpectStringLiteral());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("DERIVE")) {
+      return Statement(DeriveStmt{});
+    }
+    if (AcceptKeyword("COUNT")) {
+      CountStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      if (AcceptKeyword("BY")) {
+        stmt.by_attribute = true;
+        HIREL_ASSIGN_OR_RETURN(stmt.attribute, ExpectIdentifier());
+      }
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("SET")) {
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("PREEMPTION").status());
+      SetPreemptionStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.mode, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    return Error("expected a statement");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Statement>> ParseScript(std::string_view source) {
+  HIREL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace hql
+}  // namespace hirel

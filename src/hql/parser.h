@@ -1,0 +1,45 @@
+// HQL parser: token stream -> statements.
+//
+// Grammar (';'-terminated statements, '--' comments, keywords
+// case-insensitive):
+//
+//   CREATE HIERARCHY h;
+//   CREATE CLASS c IN h [UNDER p1, p2, ...];
+//   CREATE INSTANCE <literal-or-name> IN h [UNDER p1, ...];
+//   CREATE RELATION r (attr: h, ...);
+//   CREATE RELATION r AS a UNION b;          -- also INTERSECT/EXCEPT/JOIN
+//   CREATE RELATION r AS PROJECT s ON (a, ...);
+//   CONNECT parent TO child IN h;
+//   PREFER stronger OVER weaker IN h;
+//   ASSERT r(term, ...);   DENY r(term, ...);   RETRACT r(term, ...);
+//     term := ALL class | name | 'string' | 42 | 3.5
+//   SELECT * FROM r [WHERE attr = term];
+//   EXPLAIN r(term, ...);
+//   CONSOLIDATE r;
+//   EXPLICATE r [ON (attr, ...)];
+//   EXTENSION r;
+//   SHOW HIERARCHY h; SHOW RELATION r; SHOW HIERARCHIES; SHOW RELATIONS;
+//   DROP HIERARCHY h; DROP RELATION r;
+//   SAVE 'path'; LOAD 'path';
+//   HELP;
+
+#ifndef HIREL_HQL_PARSER_H_
+#define HIREL_HQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "hql/ast.h"
+
+namespace hirel {
+namespace hql {
+
+/// Parses a full script into statements. Fails with kParseError carrying
+/// line/column context.
+Result<std::vector<Statement>> ParseScript(std::string_view source);
+
+}  // namespace hql
+}  // namespace hirel
+
+#endif  // HIREL_HQL_PARSER_H_

@@ -1,0 +1,64 @@
+#include "hql/printer.h"
+
+namespace hirel {
+namespace hql {
+
+std::string HelpText() {
+  return R"(HQL statements (';'-terminated, '--' starts a comment):
+
+  schema
+    CREATE HIERARCHY h;
+    CREATE CLASS c IN h [UNDER p1, p2, ...];
+    CREATE INSTANCE v IN h [UNDER p1, ...];      -- v: name, 'string', or number
+    CONNECT parent TO child IN h;                -- extra subsumption edge
+    PREFER stronger OVER weaker IN h;            -- preference edge (appendix)
+    CREATE RELATION r (attr: h, ...);
+
+  facts
+    ASSERT r(term, ...);                         -- positive tuple
+    DENY r(term, ...);                           -- negated tuple (exception)
+    RETRACT r(term, ...);                        -- remove a tuple
+      term := ALL class | name | 'string' | 42 | 3.5
+    BEGIN r; ... COMMIT;                         -- stage facts, check once
+    ABORT;                                       -- discard staged facts
+
+  queries
+    SELECT * FROM r [WHERE attr = term];
+    EXPLAIN r(term, ...);                        -- justification (Fig. 9)
+    EXTENSION r;                                 -- equivalent flat relation
+    EXPLICATE r [ON (attr, ...)];
+    CONSOLIDATE r;                               -- drop redundant tuples
+    COUNT r [BY attr];                           -- extension statistics
+    COMPRESS r;                                  -- re-encode minimally
+    SET PREEMPTION offpath;                      -- or onpath / none
+
+  rules (Datalog layer)
+    RULE 'head(?x) :- body(?x), not other(?x).';
+    DERIVE;                                      -- evaluate to fixpoint
+    SHOW RULES;
+
+  derived relations
+    CREATE RELATION x AS a UNION b;              -- also INTERSECT / EXCEPT / JOIN
+    CREATE RELATION x AS PROJECT r ON (attr, ...);
+
+  catalog
+    SHOW HIERARCHIES; SHOW RELATIONS;
+    SHOW SUBSUMPTION r;                          -- Fig. 6a construction
+    SHOW BINDING r(term, ...);                   -- Fig. 1d construction
+    DROP CLASS c IN h; DROP INSTANCE v IN h;     -- node elimination
+    SHOW HIERARCHY h; SHOW RELATION r;
+    DROP HIERARCHY h; DROP RELATION r;
+    SAVE 'path'; LOAD 'path';
+    HELP;
+)";
+}
+
+std::string Banner() {
+  return
+      "hirel shell — hierarchical relational model "
+      "(Jagadish, SIGMOD 1989)\n"
+      "type HELP; for the statement list, or Ctrl-D to exit.\n";
+}
+
+}  // namespace hql
+}  // namespace hirel

@@ -1,0 +1,20 @@
+// HQL shell helpers: help text and prompt banners.
+
+#ifndef HIREL_HQL_PRINTER_H_
+#define HIREL_HQL_PRINTER_H_
+
+#include <string>
+
+namespace hirel {
+namespace hql {
+
+/// The HELP statement's output: a syntax summary of every HQL statement.
+std::string HelpText();
+
+/// Banner printed by the interactive shell on startup.
+std::string Banner();
+
+}  // namespace hql
+}  // namespace hirel
+
+#endif  // HIREL_HQL_PRINTER_H_

@@ -1,0 +1,53 @@
+// HQL token definitions.
+//
+// HQL (Hierarchical Query Language) is the small declarative language the
+// hirel shell speaks; see hql/parser.h for the grammar and examples/ for
+// usage.
+
+#ifndef HIREL_HQL_TOKEN_H_
+#define HIREL_HQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hirel {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,    // animal, flying_creatures
+  kInteger,       // 3000
+  kFloat,         // 3.5
+  kString,        // 'tweety' or "tweety"
+  kLeftParen,     // (
+  kRightParen,    // )
+  kComma,         // ,
+  kSemicolon,     // ;
+  kColon,         // :
+  kEquals,        // =
+  kStar,          // *
+  kKeyword,       // any reserved word, normalised to upper case
+};
+
+const char* TokenTypeToString(TokenType type);
+
+/// One lexical token. For keywords, `text` holds the upper-cased keyword;
+/// for identifiers and strings, the raw (unquoted) text; for numbers, the
+/// literal characters.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t line = 1;
+  size_t column = 1;
+
+  bool IsKeyword(const char* keyword) const;
+  std::string ToString() const;
+};
+
+/// True if `word` (case-insensitive) is an HQL reserved word.
+bool IsReservedWord(const std::string& word);
+
+}  // namespace hirel
+
+#endif  // HIREL_HQL_TOKEN_H_

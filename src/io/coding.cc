@@ -1,0 +1,89 @@
+#include "io/coding.h"
+
+#include <cstring>
+
+namespace hirel {
+
+void PutFixed8(std::string* dst, uint8_t value) {
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  PutVarint64(dst, value);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutLengthPrefixedString(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+void PutDouble(std::string* dst, double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  // Fixed 8-byte little-endian representation.
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+Result<uint8_t> Decoder::GetFixed8() {
+  if (pos_ >= data_.size()) {
+    return Status::Corruption("truncated fixed8");
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint64_t> Decoder::GetVarint64() {
+  uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < data_.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return Status::Corruption("truncated or overlong varint");
+}
+
+Result<uint32_t> Decoder::GetVarint32() {
+  HIREL_ASSIGN_OR_RETURN(uint64_t value, GetVarint64());
+  if (value > 0xffffffffULL) {
+    return Status::Corruption("varint32 out of range");
+  }
+  return static_cast<uint32_t>(value);
+}
+
+Result<std::string> Decoder::GetLengthPrefixedString() {
+  HIREL_ASSIGN_OR_RETURN(uint64_t size, GetVarint64());
+  if (size > remaining()) {
+    return Status::Corruption("truncated length-prefixed string");
+  }
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+Result<double> Decoder::GetDouble() {
+  if (remaining() < 8) {
+    return Status::Corruption("truncated double");
+  }
+  uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+            << (8 * i);
+  }
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace hirel

@@ -1,0 +1,45 @@
+// Binary encoding primitives for the snapshot format (LevelDB-style
+// varints and length-prefixed strings).
+
+#ifndef HIREL_IO_CODING_H_
+#define HIREL_IO_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hirel {
+
+/// Appends encodings to a std::string buffer.
+void PutFixed8(std::string* dst, uint8_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedString(std::string* dst, std::string_view value);
+void PutDouble(std::string* dst, double value);
+
+/// Sequential decoder over a byte buffer. All getters fail with
+/// kCorruption on truncated or malformed input.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ >= data_.size(); }
+
+  Result<uint8_t> GetFixed8();
+  Result<uint32_t> GetVarint32();
+  Result<uint64_t> GetVarint64();
+  Result<std::string> GetLengthPrefixedString();
+  Result<double> GetDouble();
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_IO_CODING_H_

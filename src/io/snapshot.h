@@ -1,0 +1,36 @@
+// Snapshot: whole-database persistence.
+//
+// A snapshot serialises every hierarchy (nodes in topological order, so the
+// loader can rebuild parents before children) and every relation (tuples as
+// remapped node references). Node ids are re-densified on save, so a loaded
+// database is isomorphic to — but not pointer/id-identical with — the
+// original. An FNV-1a checksum trailer detects corruption.
+
+#ifndef HIREL_IO_SNAPSHOT_H_
+#define HIREL_IO_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "catalog/database.h"
+#include "common/result.h"
+
+namespace hirel {
+
+/// Serialises `db` into a byte buffer.
+Result<std::string> SerializeDatabase(const Database& db);
+
+/// Reconstructs a database from a buffer produced by SerializeDatabase.
+/// Fails with kCorruption on malformed input or checksum mismatch.
+Result<std::unique_ptr<Database>> DeserializeDatabase(std::string_view data);
+
+/// Saves `db` to `path` (atomically: write to a temp file, then rename).
+Status SaveDatabase(const Database& db, const std::string& path);
+
+/// Loads a database from `path`.
+Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path);
+
+}  // namespace hirel
+
+#endif  // HIREL_IO_SNAPSHOT_H_

@@ -1,0 +1,120 @@
+// Write-ahead logging and the durable database wrapper.
+//
+// A LoggedDatabase is a Database plus a durability directory:
+//
+//   <dir>/snapshot.hirel   last checkpoint (io/snapshot.h format)
+//   <dir>/wal.log          operations applied since that checkpoint
+//
+// Every mutating call validates and applies the operation to the in-memory
+// database first, then appends a record to the log and flushes; the
+// operation is durable once the call returns OK. Open() loads the
+// snapshot (if any) and replays the log; a torn tail — the unfinished last
+// record of a crashed writer — is detected via per-record checksums and
+// truncated away, exactly the recovery contract of production engines.
+// Checkpoint() writes a fresh snapshot and resets the log.
+//
+// Log records reference hierarchy nodes by *name/value*, not by NodeId, so
+// replay is insensitive to the id remapping snapshots perform.
+
+#ifndef HIREL_IO_WAL_H_
+#define HIREL_IO_WAL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "core/binding.h"
+
+namespace hirel {
+
+/// Appends length-prefixed, checksummed records to a log file.
+class WalWriter {
+ public:
+  /// Opens (creating or appending to) the log at `path`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(std::string_view payload);
+
+ private:
+  explicit WalWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_;
+};
+
+/// Reads every intact record of a log. A torn final record is silently
+/// dropped and reported through `truncated_tail` (pass nullptr to ignore);
+/// corruption *before* the tail is an error.
+Result<std::vector<std::string>> ReadWalRecords(const std::string& path,
+                                                bool* truncated_tail);
+
+/// A Database with checkpoint + write-ahead-log durability.
+class LoggedDatabase {
+ public:
+  /// Opens (or initialises) the durable database in directory `dir`. The
+  /// directory must exist.
+  static Result<std::unique_ptr<LoggedDatabase>> Open(const std::string& dir);
+
+  /// Read access to the underlying database (queries never log).
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+
+  /// Number of log records replayed by Open (for observability/tests).
+  size_t replayed_records() const { return replayed_; }
+
+  // ----- Logged mutations ---------------------------------------------------
+
+  Result<Hierarchy*> CreateHierarchy(const std::string& name,
+                                     HierarchyOptions options = {});
+  Result<NodeId> AddClass(const std::string& hierarchy,
+                          const std::string& class_name,
+                          const std::vector<std::string>& parents = {});
+  Result<NodeId> AddInstance(const std::string& hierarchy, const Value& value,
+                             const std::vector<std::string>& parents = {});
+  Status AddEdge(const std::string& hierarchy, const std::string& parent,
+                 const std::string& child);
+  Status AddPreferenceEdge(const std::string& hierarchy,
+                           const std::string& weaker,
+                           const std::string& stronger);
+  Result<HierarchicalRelation*> CreateRelation(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& attributes);
+  Status DropRelation(const std::string& name);
+  Status DropHierarchy(const std::string& name);
+
+  /// Guarded tuple insert (rejects ambiguity violations), then logs.
+  Result<TupleId> Insert(const std::string& relation, const Item& item,
+                         Truth truth, const InferenceOptions& options = {});
+
+  /// Guarded tuple erase, then logs.
+  Status EraseItem(const std::string& relation, const Item& item,
+                   const InferenceOptions& options = {});
+
+  /// Writes a fresh snapshot and resets the log.
+  Status Checkpoint();
+
+ private:
+  LoggedDatabase(std::string dir, std::unique_ptr<Database> db,
+                 std::unique_ptr<WalWriter> wal)
+      : dir_(std::move(dir)), db_(std::move(db)), wal_(std::move(wal)) {}
+
+  std::string snapshot_path() const { return dir_ + "/snapshot.hirel"; }
+  std::string wal_path() const { return dir_ + "/wal.log"; }
+
+  std::string dir_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<WalWriter> wal_;
+  size_t replayed_ = 0;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_IO_WAL_H_

@@ -1,0 +1,516 @@
+#include "rules/rule.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "core/explicate.h"
+
+namespace hirel {
+
+namespace {
+
+/// Minimal cursor-based lexer for the rule syntax.
+class RuleCursor {
+ public:
+  explicit RuleCursor(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Accept(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Accept(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start ||
+        std::isdigit(static_cast<unsigned char>(text_[start]))) {
+      return Status::ParseError(
+          StrCat("rule: expected identifier at offset ", start));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  size_t position() const { return pos_; }
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  std::string_view text() const { return text_; }
+  void Advance() { ++pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+using VarBinding = std::unordered_map<std::string, NodeId>;
+using ExtensionSet = std::unordered_set<Item, ItemHash>;
+
+struct RelationFacts {
+  std::vector<Item> rows;
+  ExtensionSet index;
+};
+
+}  // namespace
+
+std::string Rule::ToString(const Database& db) const {
+  auto atom_to_string = [&](const RuleAtom& atom) {
+    std::string out = atom.negated ? "not " : "";
+    out += atom.relation;
+    out += "(";
+    Result<const HierarchicalRelation*> relation =
+        db.GetRelation(atom.relation);
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      const RuleArg& arg = atom.args[i];
+      if (arg.kind == RuleArg::Kind::kVariable) {
+        out += "?" + arg.variable;
+      } else if (relation.ok() && i < (*relation)->schema().size()) {
+        const Hierarchy* h = (*relation)->schema().hierarchy(i);
+        if (h->is_class(arg.node)) out += "ALL ";
+        out += h->NodeName(arg.node);
+      } else {
+        out += StrCat("#", arg.node);
+      }
+    }
+    out += ")";
+    return out;
+  };
+  std::string out = atom_to_string(head);
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += atom_to_string(body[i]);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+Result<Rule> RuleEngine::ParseRule(std::string_view text) const {
+  RuleCursor cursor(text);
+
+  auto parse_atom = [&](bool allow_not) -> Result<RuleAtom> {
+    RuleAtom atom;
+    if (allow_not && (cursor.Accept("not ") || cursor.Accept("NOT ") ||
+                      cursor.Accept('!'))) {
+      atom.negated = true;
+    }
+    HIREL_ASSIGN_OR_RETURN(atom.relation, cursor.Identifier());
+    HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                           db_->GetRelation(atom.relation));
+    const Schema& schema = relation->schema();
+    if (!cursor.Accept('(')) {
+      return Status::ParseError(
+          StrCat("rule: expected '(' after '", atom.relation, "'"));
+    }
+    while (true) {
+      size_t position = atom.args.size();
+      if (position >= schema.size()) {
+        return Status::ParseError(
+            StrCat("rule: too many arguments for '", atom.relation, "'"));
+      }
+      Hierarchy* hierarchy = schema.hierarchy(position);
+      char c = cursor.Peek();
+      if (c == '?') {
+        cursor.Advance();
+        HIREL_ASSIGN_OR_RETURN(std::string name, cursor.Identifier());
+        atom.args.push_back(RuleArg::Var(std::move(name)));
+      } else if (c == '\'') {
+        cursor.Advance();
+        std::string literal;
+        while (cursor.Peek() != '\'' && cursor.Peek() != '\0') {
+          literal.push_back(cursor.Peek());
+          cursor.Advance();
+        }
+        if (!cursor.Accept('\'')) {
+          return Status::ParseError("rule: unterminated string literal");
+        }
+        HIREL_ASSIGN_OR_RETURN(
+            NodeId node, hierarchy->FindInstance(Value::String(literal)));
+        atom.args.push_back(RuleArg::Node(node));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        std::string number;
+        number.push_back(c);
+        cursor.Advance();
+        bool is_float = false;
+        while (std::isdigit(static_cast<unsigned char>(cursor.Peek())) ||
+               cursor.Peek() == '.') {
+          if (cursor.Peek() == '.') is_float = true;
+          number.push_back(cursor.Peek());
+          cursor.Advance();
+        }
+        Value value = is_float
+                          ? Value::Double(std::strtod(number.c_str(), nullptr))
+                          : Value::Int(std::strtoll(number.c_str(), nullptr,
+                                                    10));
+        HIREL_ASSIGN_OR_RETURN(NodeId node, hierarchy->FindInstance(value));
+        atom.args.push_back(RuleArg::Node(node));
+      } else {
+        HIREL_ASSIGN_OR_RETURN(std::string name, cursor.Identifier());
+        NodeId node = kInvalidNode;
+        if (name == "ALL") {
+          HIREL_ASSIGN_OR_RETURN(std::string class_name, cursor.Identifier());
+          HIREL_ASSIGN_OR_RETURN(node, hierarchy->FindClass(class_name));
+        } else {
+          HIREL_ASSIGN_OR_RETURN(node, hierarchy->FindByName(name));
+        }
+        atom.args.push_back(RuleArg::Node(node));
+      }
+      if (cursor.Accept(',')) continue;
+      if (cursor.Accept(')')) break;
+      return Status::ParseError(
+          StrCat("rule: expected ',' or ')' in '", atom.relation, "'"));
+    }
+    if (atom.args.size() != schema.size()) {
+      return Status::ParseError(
+          StrCat("rule: '", atom.relation, "' expects ", schema.size(),
+                 " arguments, got ", atom.args.size()));
+    }
+    return atom;
+  };
+
+  Rule rule;
+  HIREL_ASSIGN_OR_RETURN(rule.head, parse_atom(/*allow_not=*/false));
+  if (cursor.Accept(":-")) {
+    while (true) {
+      HIREL_ASSIGN_OR_RETURN(RuleAtom atom, parse_atom(/*allow_not=*/true));
+      rule.body.push_back(std::move(atom));
+      if (!cursor.Accept(',')) break;
+    }
+  }
+  (void)cursor.Accept('.');
+  if (!cursor.AtEnd()) {
+    return Status::ParseError(
+        StrCat("rule: trailing characters at offset ", cursor.position()));
+  }
+  return rule;
+}
+
+Status RuleEngine::AddRule(Rule rule) {
+  // Head relation must exist with the right arity; body atoms were checked
+  // against their relations at parse time for parsed rules, so re-check for
+  // programmatically built ones.
+  HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* head_relation,
+                         db_->GetRelation(rule.head.relation));
+  if (rule.head.args.size() != head_relation->schema().size()) {
+    return Status::InvalidArgument(
+        StrCat("rule head '", rule.head.relation, "' arity mismatch"));
+  }
+  if (rule.head.negated) {
+    return Status::InvalidArgument("rule head must not be negated");
+  }
+
+  std::unordered_set<std::string> positive_vars;
+  for (const RuleAtom& atom : rule.body) {
+    HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                           db_->GetRelation(atom.relation));
+    if (atom.args.size() != relation->schema().size()) {
+      return Status::InvalidArgument(
+          StrCat("rule body atom '", atom.relation, "' arity mismatch"));
+    }
+    if (!atom.negated) {
+      for (const RuleArg& arg : atom.args) {
+        if (arg.kind == RuleArg::Kind::kVariable) {
+          positive_vars.insert(arg.variable);
+        }
+      }
+    }
+  }
+  for (const RuleAtom& atom : rule.body) {
+    if (!atom.negated) continue;
+    HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                           db_->GetRelation(atom.relation));
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const RuleArg& arg = atom.args[i];
+      if (arg.kind == RuleArg::Kind::kVariable) {
+        if (!positive_vars.contains(arg.variable)) {
+          return Status::InvalidArgument(
+              StrCat("unsafe rule: variable ?", arg.variable,
+                     " of a negated atom never occurs positively"));
+        }
+      } else if (relation->schema().hierarchy(i)->is_class(arg.node)) {
+        return Status::InvalidArgument(
+            "negated atoms cannot take class constants");
+      }
+    }
+  }
+  for (const RuleArg& arg : rule.head.args) {
+    if (arg.kind == RuleArg::Kind::kVariable &&
+        !positive_vars.contains(arg.variable)) {
+      return Status::InvalidArgument(
+          StrCat("unsafe rule: head variable ?", arg.variable,
+                 " never occurs in a positive body atom"));
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Status RuleEngine::AddRule(std::string_view text) {
+  HIREL_ASSIGN_OR_RETURN(Rule rule, ParseRule(text));
+  return AddRule(std::move(rule));
+}
+
+Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
+  // --- Stratification -------------------------------------------------------
+  std::unordered_set<std::string> idb;
+  for (const Rule& rule : rules_) idb.insert(rule.head.relation);
+
+  std::unordered_map<std::string, size_t> stratum;
+  for (const std::string& name : idb) stratum[name] = 0;
+  size_t limit = idb.size() + 1;
+  bool changed = true;
+  for (size_t round = 0; changed && round <= limit * limit; ++round) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      size_t& head_stratum = stratum[rule.head.relation];
+      for (const RuleAtom& atom : rule.body) {
+        if (!idb.contains(atom.relation)) continue;
+        size_t required =
+            stratum[atom.relation] + (atom.negated ? 1 : 0);
+        if (head_stratum < required) {
+          head_stratum = required;
+          changed = true;
+        }
+      }
+    }
+    for (const auto& [name, s] : stratum) {
+      if (s > limit) {
+        return Status::InvalidArgument(
+            StrCat("program is not stratifiable: negation cycle through '",
+                   name, "'"));
+      }
+    }
+  }
+  size_t max_stratum = 0;
+  for (const auto& [name, s] : stratum) {
+    max_stratum = std::max(max_stratum, s);
+  }
+
+  // --- Bottom-up fixpoint per stratum ---------------------------------------
+  ExplicateOptions explicate_options;
+  explicate_options.inference = options.inference;
+
+  std::unordered_map<std::string, RelationFacts> facts;
+  // Semi-naive evaluation: per IDB relation, the extension rows that are
+  // new since the previous round. Recursive rules re-join only against
+  // these deltas instead of the whole extension.
+  std::unordered_map<std::string, std::vector<Item>> delta;
+  auto extension_of =
+      [&](const HierarchicalRelation& relation) -> Result<std::vector<Item>> {
+    // Fast path: a relation holding only positive atomic tuples (the shape
+    // derived relations converge to) IS its own extension; skip the
+    // subsumption-graph construction Explicate would perform.
+    bool all_atomic_positive = true;
+    std::vector<Item> rows;
+    rows.reserve(relation.size());
+    for (TupleId id : relation.TupleIds()) {
+      const HTuple& t = relation.tuple(id);
+      if (t.truth != Truth::kPositive ||
+          !ItemIsAtomic(relation.schema(), t.item)) {
+        all_atomic_positive = false;
+        break;
+      }
+      rows.push_back(t.item);
+    }
+    if (all_atomic_positive) return rows;
+    return Extension(relation, explicate_options);
+  };
+  auto refresh = [&](const std::string& name,
+                     bool track_delta) -> Status {
+    HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                           db_->GetRelation(name));
+    HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows, extension_of(*relation));
+    RelationFacts& slot = facts[name];
+    if (track_delta) {
+      std::vector<Item>& fresh = delta[name];
+      for (const Item& row : rows) {
+        if (!slot.index.contains(row)) fresh.push_back(row);
+      }
+    }
+    slot.rows = std::move(rows);
+    slot.index = ExtensionSet(slot.rows.begin(), slot.rows.end());
+    return Status::OK();
+  };
+
+  // All referenced relations get an initial extension.
+  std::unordered_set<std::string> referenced;
+  for (const Rule& rule : rules_) {
+    referenced.insert(rule.head.relation);
+    for (const RuleAtom& atom : rule.body) referenced.insert(atom.relation);
+  }
+  for (const std::string& name : referenced) {
+    HIREL_RETURN_IF_ERROR(refresh(name, /*track_delta=*/false));
+  }
+
+  size_t total_derived = 0;
+  for (size_t s = 0; s <= max_stratum; ++s) {
+    for (size_t round = 0;; ++round) {
+      if (round >= options.max_rounds) {
+        return Status::ResourceExhausted(
+            StrCat("rule evaluation exceeded ", options.max_rounds,
+                   " rounds in stratum ", s));
+      }
+      size_t derived_this_round = 0;
+      std::unordered_set<std::string> pending_heads;
+      for (const Rule& rule : rules_) {
+        if (stratum[rule.head.relation] != s) continue;
+        // Positions of body atoms over same-stratum IDB relations: after
+        // round 0, at least one of them must consume delta rows or the
+        // rule cannot derive anything new (the semi-naive argument).
+        std::vector<size_t> recursive_positions;
+        for (size_t b = 0; b < rule.body.size(); ++b) {
+          const RuleAtom& atom = rule.body[b];
+          if (!atom.negated && idb.contains(atom.relation) &&
+              stratum[atom.relation] == s) {
+            recursive_positions.push_back(b);
+          }
+        }
+        if (round > 0 && recursive_positions.empty()) continue;
+
+        HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * head_relation,
+                               db_->GetRelation(rule.head.relation));
+        const Schema& head_schema = head_relation->schema();
+
+        // SIZE_MAX: every atom reads the full extension (round 0).
+        size_t delta_position = SIZE_MAX;
+        VarBinding binding;
+        // Recursive join over body atoms.
+        auto match = [&](auto&& self, size_t index) -> Result<size_t> {
+          if (index == rule.body.size()) {
+            Item item(head_schema.size());
+            for (size_t i = 0; i < rule.head.args.size(); ++i) {
+              const RuleArg& arg = rule.head.args[i];
+              item[i] = arg.kind == RuleArg::Kind::kNode
+                            ? arg.node
+                            : binding.at(arg.variable);
+            }
+            if (head_relation->FindItem(item).has_value()) return 0;
+            if (total_derived >= options.max_derived_facts) {
+              return Status::ResourceExhausted(
+                  StrCat("rule evaluation exceeded ",
+                         options.max_derived_facts, " derived facts"));
+            }
+            HIREL_RETURN_IF_ERROR(
+                head_relation->Insert(std::move(item), Truth::kPositive)
+                    .status());
+            ++total_derived;
+            return 1;
+          }
+          const RuleAtom& atom = rule.body[index];
+          HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                                 db_->GetRelation(atom.relation));
+          const Schema& schema = relation->schema();
+          const RelationFacts& slot = facts.at(atom.relation);
+
+          if (atom.negated) {
+            Item probe(atom.args.size());
+            for (size_t i = 0; i < atom.args.size(); ++i) {
+              const RuleArg& arg = atom.args[i];
+              probe[i] = arg.kind == RuleArg::Kind::kNode
+                             ? arg.node
+                             : binding.at(arg.variable);
+            }
+            if (slot.index.contains(probe)) return 0;
+            return self(self, index + 1);
+          }
+
+          size_t derived = 0;
+          const std::vector<Item>& rows =
+              index == delta_position ? delta[atom.relation] : slot.rows;
+          for (const Item& row : rows) {
+            std::vector<std::string> bound_here;
+            bool matches = true;
+            for (size_t i = 0; i < atom.args.size() && matches; ++i) {
+              const RuleArg& arg = atom.args[i];
+              if (arg.kind == RuleArg::Kind::kNode) {
+                const Hierarchy* h = schema.hierarchy(i);
+                matches = h->is_class(arg.node)
+                              ? h->Subsumes(arg.node, row[i])
+                              : row[i] == arg.node;
+              } else {
+                auto it = binding.find(arg.variable);
+                if (it != binding.end()) {
+                  matches = it->second == row[i];
+                } else {
+                  binding.emplace(arg.variable, row[i]);
+                  bound_here.push_back(arg.variable);
+                }
+              }
+            }
+            if (matches) {
+              Result<size_t> below = self(self, index + 1);
+              if (!below.ok()) return below;
+              derived += *below;
+            }
+            for (const std::string& variable : bound_here) {
+              binding.erase(variable);
+            }
+          }
+          return derived;
+        };
+        size_t derived = 0;
+        if (round == 0) {
+          HIREL_ASSIGN_OR_RETURN(derived, match(match, 0));
+        } else {
+          // One pass per recursive position, that position reading delta.
+          for (size_t position : recursive_positions) {
+            delta_position = position;
+            HIREL_ASSIGN_OR_RETURN(size_t part, match(match, 0));
+            derived += part;
+          }
+          delta_position = SIZE_MAX;
+        }
+        derived_this_round += derived;
+        pending_heads.insert(rule.head.relation);
+        (void)derived;
+      }
+      // Swap deltas: what this round derived becomes next round's delta.
+      delta.clear();
+      for (const std::string& name : pending_heads) {
+        HIREL_RETURN_IF_ERROR(refresh(name, /*track_delta=*/true));
+      }
+      pending_heads.clear();
+      if (derived_this_round == 0) break;
+    }
+    delta.clear();
+  }
+  return total_derived;
+}
+
+}  // namespace hirel

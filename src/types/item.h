@@ -1,0 +1,99 @@
+// Item: one member (class or instance) from each attribute domain.
+//
+// "An item is now obtained as one member (class or element) from each of
+// D1, D2, etc. ... Thus an item is a subset of D*, the domain of the
+// relation obtained as the cartesian product of the attribute domains."
+// (Section 2.2.) The item hierarchy is the product of the per-attribute
+// hierarchy graphs; hirel never materialises that product — subsumption in
+// it is exactly component-wise subsumption, which the helpers below expose.
+
+#ifndef HIREL_TYPES_ITEM_H_
+#define HIREL_TYPES_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+#include "types/schema.h"
+
+namespace hirel {
+
+/// One hierarchy node per attribute, positionally aligned with the Schema.
+using Item = std::vector<NodeId>;
+
+/// Truth value of a tuple: true for a positive (normal) tuple, false for a
+/// negated tuple (Section 2.1).
+enum class Truth : uint8_t {
+  kNegative = 0,
+  kPositive = 1,
+};
+
+/// "+" / "-", the notation used in the paper's figures.
+inline const char* TruthToString(Truth t) {
+  return t == Truth::kPositive ? "+" : "-";
+}
+
+inline Truth Negate(Truth t) {
+  return t == Truth::kPositive ? Truth::kNegative : Truth::kPositive;
+}
+
+/// True iff `a` subsumes `b` in the item hierarchy: component-wise
+/// subsumption in every attribute's hierarchy. Reflexive.
+bool ItemSubsumes(const Schema& schema, const Item& a, const Item& b);
+
+/// True iff `a` subsumes `b` and the items differ.
+bool ItemStrictlySubsumes(const Schema& schema, const Item& a, const Item& b);
+
+/// True iff one item subsumes the other.
+bool ItemComparable(const Schema& schema, const Item& a, const Item& b);
+
+/// Like ItemSubsumes but honouring preference edges (Appendix): used when
+/// ordering binding strength, never for set semantics.
+bool ItemBindsBelow(const Schema& schema, const Item& a, const Item& b);
+
+/// Component-wise meet of two comparable-per-component items; empty vector
+/// if some component pair is incomparable.
+Item ItemMeet(const Schema& schema, const Item& a, const Item& b);
+
+/// True iff every component is an instance node: the item denotes a single
+/// element of D*.
+bool ItemIsAtomic(const Schema& schema, const Item& item);
+
+/// Number of atomic items subsumed by `item` (the size of its extension).
+size_t ItemExtensionSize(const Schema& schema, const Item& item);
+
+/// The maximal common subsumees of items a and b in the (virtual) product
+/// graph: all combinations of per-attribute maximal common descendants.
+/// Empty means hirel has no evidence the two items intersect — the paper's
+/// optimistic disjointness assumption.
+std::vector<Item> ItemMaximalCommonDescendants(const Schema& schema,
+                                               const Item& a, const Item& b);
+
+/// Closes `items` under pairwise maximal common descendants, deduplicating.
+/// A set of asserted items closed under MCDs cannot harbour an off-path
+/// conflict at an unasserted site (see conflict.h); the derived relations
+/// produced by the algebra operators use this to stay consistent. Fails
+/// with kResourceExhausted if the closure would exceed `max_items`.
+Status CloseUnderMaximalCommonDescendants(const Schema& schema,
+                                          std::vector<Item>& items,
+                                          size_t max_items = 100'000);
+
+/// "(bird, 3000)"-style rendering using node display names.
+std::string ItemToString(const Schema& schema, const Item& item);
+
+/// Hash functor for unordered containers keyed by Item.
+struct ItemHash {
+  size_t operator()(const Item& item) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (NodeId n : item) {
+      h ^= n;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_TYPES_ITEM_H_

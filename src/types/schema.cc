@@ -1,0 +1,61 @@
+#include "types/schema.h"
+
+#include "common/str_util.h"
+
+namespace hirel {
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound(StrCat("attribute '", name, "'"));
+}
+
+Status Schema::Append(std::string name, Hierarchy* hierarchy) {
+  if (hierarchy == nullptr) {
+    return Status::InvalidArgument("attribute hierarchy must not be null");
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (IndexOf(name).ok()) {
+    return Status::AlreadyExists(StrCat("attribute '", name, "'"));
+  }
+  attributes_.push_back(Attribute{std::move(name), hierarchy});
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ": ";
+    out += attributes_[i].hierarchy->name();
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  if (size() != other.size()) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (attributes_[i].hierarchy != other.attributes_[i].hierarchy) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].hierarchy != b.attributes_[i].hierarchy) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hirel

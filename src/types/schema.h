@@ -1,0 +1,63 @@
+// Schema: the typed attribute list of a relation.
+//
+// Each attribute of a hierarchical relation ranges over the domain described
+// by one Hierarchy (Section 2.2). A scalar attribute is simply bound to a
+// degenerate hierarchy whose non-root nodes are interned instances.
+
+#ifndef HIREL_TYPES_SCHEMA_H_
+#define HIREL_TYPES_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/hierarchy.h"
+
+namespace hirel {
+
+/// One attribute: a name plus the hierarchy its values are drawn from.
+/// The hierarchy is owned by the catalog (or by the test/example); Schema
+/// only references it.
+struct Attribute {
+  std::string name;
+  Hierarchy* hierarchy = nullptr;
+};
+
+/// An ordered list of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  Hierarchy* hierarchy(size_t i) const { return attributes_[i].hierarchy; }
+  const std::string& name(size_t i) const { return attributes_[i].name; }
+
+  /// Index of the attribute named `name`; kNotFound if absent.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// Appends an attribute. Attribute names must be unique within a schema.
+  Status Append(std::string name, Hierarchy* hierarchy);
+
+  /// "rel(a: animal, sz: int)"-style rendering of the attribute list.
+  std::string ToString() const;
+
+  /// Schemas are compatible when they have the same arity and each position
+  /// is bound to the same hierarchy object (attribute names may differ —
+  /// set operations only require domain compatibility).
+  bool CompatibleWith(const Schema& other) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_TYPES_SCHEMA_H_

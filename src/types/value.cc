@@ -1,0 +1,89 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace hirel {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(data_.index());
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream oss;
+      double d = AsDouble();
+      if (d == std::floor(d) && std::isfinite(d)) {
+        oss << d << ".0";
+      } else {
+        oss << d;
+      }
+      return oss.str();
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9e3779b97f4a7c15ULL;
+  switch (type()) {
+    case ValueType::kNull:
+      return seed;
+    case ValueType::kBool:
+      return seed ^ std::hash<bool>{}(AsBool());
+    case ValueType::kInt:
+      return seed ^ std::hash<int64_t>{}(AsInt());
+    case ValueType::kDouble:
+      return seed ^ std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return seed ^ std::hash<std::string>{}(AsString());
+  }
+  return seed;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.type() != b.type()) {
+    return static_cast<int>(a.type()) < static_cast<int>(b.type());
+  }
+  switch (a.type()) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return a.AsBool() < b.AsBool();
+    case ValueType::kInt:
+      return a.AsInt() < b.AsInt();
+    case ValueType::kDouble:
+      return a.AsDouble() < b.AsDouble();
+    case ValueType::kString:
+      return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
+}  // namespace hirel

@@ -1,0 +1,84 @@
+// Value: the atomic (instance-level) datum stored at hierarchy leaves.
+
+#ifndef HIREL_TYPES_VALUE_H_
+#define HIREL_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace hirel {
+
+/// Dynamic type tag of a Value.
+enum class ValueType {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+/// A dynamically typed atomic value. Instances in a hierarchy carry a Value
+/// payload; classes carry only a name. Scalar attribute domains (e.g. the
+/// enclosure sizes of Fig. 11) are hierarchies whose only non-root nodes are
+/// Value-bearing instances.
+///
+/// Values order first by type tag, then by payload, which gives a total
+/// order usable as a map key. Note that Int(1) != Double(1.0): hirel does
+/// not perform implicit numeric coercion.
+class Value {
+ public:
+  /// Constructs the null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Payload(b)); }
+  static Value Int(int64_t i) { return Value(Payload(i)); }
+  static Value Double(double d) { return Value(Payload(d)); }
+  static Value String(std::string s) { return Value(Payload(std::move(s))); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Typed accessors; the value must hold the requested type.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Human-readable rendering ("null", "true", "42", "3.5", "tweety").
+  std::string ToString() const;
+
+  /// Stable hash suitable for unordered containers.
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+  explicit Value(Payload payload) : data_(std::move(payload)) {}
+
+  Payload data_;
+};
+
+/// Hash functor for unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_TYPES_VALUE_H_

@@ -1,0 +1,106 @@
+#include "algebra/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+
+TEST(AggregateTest, CountExtension) {
+  FlyingFixture f;
+  EXPECT_EQ(CountExtension(*f.flies).value(), 4u);
+  f.flies->Clear();
+  EXPECT_EQ(CountExtension(*f.flies).value(), 0u);
+}
+
+TEST(AggregateTest, NumericAggregates) {
+  ElephantFixture f;
+  // ext(enclosure) = {(clyde, 3000), (appu, 2000)}.
+  EXPECT_DOUBLE_EQ(
+      Aggregate(*f.enclosure, 1, AggregateKind::kSum).value(), 5000.0);
+  EXPECT_DOUBLE_EQ(
+      Aggregate(*f.enclosure, 1, AggregateKind::kAvg).value(), 2500.0);
+  EXPECT_DOUBLE_EQ(
+      Aggregate(*f.enclosure, 1, AggregateKind::kMin).value(), 2000.0);
+  EXPECT_DOUBLE_EQ(
+      Aggregate(*f.enclosure, 1, AggregateKind::kMax).value(), 3000.0);
+}
+
+TEST(AggregateTest, EmptyExtensionRules) {
+  ElephantFixture f;
+  f.enclosure->Clear();
+  EXPECT_DOUBLE_EQ(
+      Aggregate(*f.enclosure, 1, AggregateKind::kSum).value(), 0.0);
+  EXPECT_TRUE(Aggregate(*f.enclosure, 1, AggregateKind::kAvg).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Aggregate(*f.enclosure, 1, AggregateKind::kMin).status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregateTest, NonNumericAttributeRejected) {
+  ElephantFixture f;
+  // The color attribute holds strings.
+  EXPECT_TRUE(Aggregate(*f.colors, 1, AggregateKind::kSum).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Aggregate(*f.colors, 9, AggregateKind::kSum).status()
+                  .IsInvalidArgument());
+}
+
+TEST(AggregateTest, RollUpByGivenClasses) {
+  FlyingFixture f;
+  // Flyers per class: birds 4, penguins 3, afp 3, canaries 1.
+  std::vector<RollUpRow> rows =
+      RollUp(*f.flies, 0, {f.bird, f.penguin, f.afp, f.canary}).value();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].count, 4u);
+  EXPECT_EQ(rows[1].count, 3u);
+  EXPECT_EQ(rows[2].count, 3u);
+  EXPECT_EQ(rows[3].count, 1u);
+}
+
+TEST(AggregateTest, RollUpTopLevel) {
+  FlyingFixture f;
+  // The root's only child is bird: one bucket with all 4 flyers.
+  std::vector<RollUpRow> rows = RollUpTopLevel(*f.flies, 0).value();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].group, f.bird);
+  EXPECT_EQ(rows[0].count, 4u);
+}
+
+TEST(AggregateTest, OverlappingGroupsCountTwice) {
+  FlyingFixture f;
+  // patricia sits under both galapagos and afp.
+  std::vector<RollUpRow> rows =
+      RollUp(*f.flies, 0, {f.galapagos, f.afp}).value();
+  // galapagos flyers: patricia. afp flyers: pamela, patricia, peter.
+  EXPECT_EQ(rows[0].count, 1u);
+  EXPECT_EQ(rows[1].count, 3u);
+}
+
+TEST(AggregateTest, RollUpToStringRendersNames) {
+  FlyingFixture f;
+  std::vector<RollUpRow> rows = RollUpTopLevel(*f.flies, 0).value();
+  std::string s = RollUpToString(*f.flies, 0, rows);
+  EXPECT_NE(s.find("bird: 4"), std::string::npos);
+}
+
+TEST(AggregateTest, RollUpValidatesGroups) {
+  FlyingFixture f;
+  EXPECT_TRUE(RollUp(*f.flies, 0, {kInvalidNode}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RollUp(*f.flies, 7, {f.bird}).status().IsInvalidArgument());
+}
+
+TEST(AggregateTest, CountRespectsExceptions) {
+  ElephantFixture f;
+  // color_of extension: clyde dappled, appu white -> 2 rows, not the 6 the
+  // class-level tuples might suggest.
+  EXPECT_EQ(CountExtension(*f.colors).value(), 2u);
+}
+
+}  // namespace
+}  // namespace hirel

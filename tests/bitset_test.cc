@@ -1,0 +1,115 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace hirel {
+namespace {
+
+TEST(BitsetTest, StartsAllZero) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitsetTest, SetClearTest) {
+  DynamicBitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, UnionWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(1);
+  b.Set(65);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(65));
+  EXPECT_FALSE(b.Test(1));
+}
+
+TEST(BitsetTest, IntersectWith) {
+  DynamicBitset a(70), b(70);
+  a.Set(5);
+  a.Set(66);
+  b.Set(66);
+  a.IntersectWith(b);
+  EXPECT_FALSE(a.Test(5));
+  EXPECT_TRUE(a.Test(66));
+}
+
+TEST(BitsetTest, Intersects) {
+  DynamicBitset a(128), b(128);
+  a.Set(100);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(100);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitsetTest, ResetClearsBitsKeepsSize) {
+  DynamicBitset b(10);
+  b.Set(3);
+  b.Reset();
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, ToVector) {
+  DynamicBitset b(200);
+  b.Set(0);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{0, 64, 199}));
+}
+
+TEST(BitsetTest, ResizeGrowsWithZeros) {
+  DynamicBitset b(10);
+  b.Set(9);
+  b.Resize(100);
+  EXPECT_TRUE(b.Test(9));
+  EXPECT_FALSE(b.Test(50));
+  EXPECT_EQ(b.Count(), 1u);
+}
+
+TEST(BitsetTest, ResizeShrinkDropsHighBits) {
+  DynamicBitset b(100);
+  b.Set(90);
+  b.Set(5);
+  b.Resize(10);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_TRUE(b.Test(5));
+  // Growing back must not resurrect the dropped bit.
+  b.Resize(100);
+  EXPECT_FALSE(b.Test(90));
+}
+
+TEST(BitsetTest, Equality) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.Set(10);
+  EXPECT_FALSE(a == b);
+  b.Set(10);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitsetTest, EmptyBitset) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_TRUE(b.ToVector().empty());
+}
+
+}  // namespace
+}  // namespace hirel

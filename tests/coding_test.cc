@@ -1,0 +1,92 @@
+#include "io/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hirel {
+namespace {
+
+TEST(CodingTest, VarintRoundTrip) {
+  std::string buf;
+  std::vector<uint64_t> values{0, 1, 127, 128, 300, 16383, 16384,
+                               0xffffffffULL,
+                               std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Decoder decoder(buf);
+  for (uint64_t v : values) {
+    EXPECT_EQ(decoder.GetVarint64().value(), v);
+  }
+  EXPECT_TRUE(decoder.done());
+}
+
+TEST(CodingTest, Varint32RangeCheck) {
+  std::string buf;
+  PutVarint64(&buf, 0x100000000ULL);
+  Decoder decoder(buf);
+  EXPECT_TRUE(decoder.GetVarint32().status().IsCorruption());
+}
+
+TEST(CodingTest, TruncatedVarintIsCorruption) {
+  std::string buf;
+  PutVarint64(&buf, 300);
+  Decoder decoder(std::string_view(buf).substr(0, 1));
+  EXPECT_TRUE(decoder.GetVarint64().status().IsCorruption());
+}
+
+TEST(CodingTest, Fixed8RoundTrip) {
+  std::string buf;
+  PutFixed8(&buf, 0);
+  PutFixed8(&buf, 255);
+  Decoder decoder(buf);
+  EXPECT_EQ(decoder.GetFixed8().value(), 0);
+  EXPECT_EQ(decoder.GetFixed8().value(), 255);
+  EXPECT_TRUE(decoder.GetFixed8().status().IsCorruption());
+}
+
+TEST(CodingTest, LengthPrefixedStringRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedString(&buf, "");
+  PutLengthPrefixedString(&buf, "hello");
+  std::string binary("\x00\x01\xff", 3);
+  PutLengthPrefixedString(&buf, binary);
+  Decoder decoder(buf);
+  EXPECT_EQ(decoder.GetLengthPrefixedString().value(), "");
+  EXPECT_EQ(decoder.GetLengthPrefixedString().value(), "hello");
+  EXPECT_EQ(decoder.GetLengthPrefixedString().value(), binary);
+}
+
+TEST(CodingTest, TruncatedStringIsCorruption) {
+  std::string buf;
+  PutLengthPrefixedString(&buf, "hello");
+  Decoder decoder(std::string_view(buf).substr(0, 3));
+  EXPECT_TRUE(decoder.GetLengthPrefixedString().status().IsCorruption());
+}
+
+TEST(CodingTest, DoubleRoundTrip) {
+  std::string buf;
+  std::vector<double> values{0.0, -1.5, 3.14159, 1e300, -1e-300};
+  for (double v : values) PutDouble(&buf, v);
+  Decoder decoder(buf);
+  for (double v : values) {
+    EXPECT_DOUBLE_EQ(decoder.GetDouble().value(), v);
+  }
+  Decoder short_decoder(std::string_view(buf).substr(0, 4));
+  EXPECT_TRUE(short_decoder.GetDouble().status().IsCorruption());
+}
+
+TEST(CodingTest, RemainingTracksPosition) {
+  std::string buf;
+  PutVarint64(&buf, 5);
+  PutVarint64(&buf, 6);
+  Decoder decoder(buf);
+  EXPECT_EQ(decoder.remaining(), 2u);
+  ASSERT_TRUE(decoder.GetVarint64().ok());
+  EXPECT_EQ(decoder.remaining(), 1u);
+  EXPECT_FALSE(decoder.done());
+  ASSERT_TRUE(decoder.GetVarint64().ok());
+  EXPECT_TRUE(decoder.done());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,91 @@
+// Concurrent readers: queries are const and must be safe to run in
+// parallel even though reachability caches are built lazily. (Writers are
+// single-threaded by contract; these tests freeze the database first.)
+//
+// Run under TSan to see the point of the double-checked cache locks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+TEST(ConcurrencyTest, ParallelInferenceOnSharedDatabase) {
+  testing::FlyingFixture f;
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 2000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  std::vector<NodeId> atoms = f.animal->Instances();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        NodeId atom = atoms[(t + q) % atoms.size()];
+        Result<Truth> verdict = InferTruth(*f.flies, {atom});
+        if (!verdict.ok()) {
+          ++failures;
+          continue;
+        }
+        bool expected = atom != f.paul;  // only paul is grounded
+        if ((verdict.value() == Truth::kPositive) != expected) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ParallelColdCacheReachability) {
+  // All threads race to trigger the first closure build.
+  for (int trial = 0; trial < 10; ++trial) {
+    Database db;
+    Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 3, 3, 4);
+    std::vector<NodeId> instances = h->Instances();
+    NodeId root = h->root();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (size_t i = t; i < instances.size(); i += 8) {
+          if (!h->Subsumes(root, instances[i])) ++failures;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0) << "trial " << trial;
+  }
+}
+
+TEST(ConcurrencyTest, ParallelOperatorsOnSharedRelations) {
+  testing::LovesFixture f;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < 50; ++q) {
+        Result<HierarchicalRelation> both = Intersect(*f.jill, *f.jack);
+        if (!both.ok() ||
+            Extension(*both).value() !=
+                (std::vector<Item>{{f.base.peter}})) {
+          ++failures;
+        }
+        Result<HierarchicalRelation> sel =
+            SelectEquals(*f.jill, 0, f.base.penguin);
+        if (!sel.ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,176 @@
+#include "core/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(ConflictTest, ConsistentDatabasesPass) {
+  FlyingFixture f;
+  EXPECT_TRUE(CheckAmbiguity(*f.flies).ok());
+  RespectsFixture r(/*with_resolver=*/true);
+  EXPECT_TRUE(CheckAmbiguity(*r.respects).ok());
+}
+
+TEST(ConflictTest, Fig3ConflictDetected) {
+  RespectsFixture f(/*with_resolver=*/false);
+  Status s = CheckAmbiguity(*f.respects);
+  ASSERT_TRUE(s.IsConflict());
+  EXPECT_NE(s.message().find("obsequious_student"), std::string::npos);
+  EXPECT_NE(s.message().find("incoherent_teacher"), std::string::npos);
+
+  std::vector<ConflictSite> sites = FindConflicts(*f.respects).value();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].item, (Item{f.obsequious, f.incoherent}));
+  EXPECT_EQ(sites[0].binders.size(), 2u);
+}
+
+TEST(ConflictTest, SingleAttributeMultipleInheritanceConflict) {
+  FlyingFixture f;
+  // Assert that galapagos penguins specifically cannot fly; Patricia (both
+  // galapagos and AFP) becomes conflicted ("then we have a conflict since
+  // Patricia has two immediate predecessors in the tuple binding graph,
+  // one of them positive, and the other negative").
+  ASSERT_TRUE(f.flies->Insert({f.galapagos}, Truth::kNegative).ok());
+  std::vector<ConflictSite> sites = FindConflicts(*f.flies).value();
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].item, (Item{f.patricia}));
+  EXPECT_TRUE(InferTruth(*f.flies, {f.patricia}).status().IsConflict());
+}
+
+TEST(ConflictTest, ResolverTupleSilencesSite) {
+  FlyingFixture f;
+  ASSERT_TRUE(f.flies->Insert({f.galapagos}, Truth::kNegative).ok());
+  // Resolve in Patricia's favour.
+  ASSERT_TRUE(f.flies->Insert({f.patricia}, Truth::kPositive).ok());
+  EXPECT_TRUE(CheckAmbiguity(*f.flies).ok());
+  EXPECT_EQ(InferTruth(*f.flies, {f.patricia}).value(), Truth::kPositive);
+}
+
+TEST(ConflictTest, ExhaustiveAgreesWithMcdDetectorOffPath) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    testing::RandomFixtureOptions options;
+    options.num_tuples = 6;
+    testing::RandomDatabase rdb(seed, options);
+    // RandomDatabase guarantees consistency; both detectors must agree.
+    EXPECT_TRUE(FindConflicts(*rdb.relation()).value().empty())
+        << "seed " << seed;
+    EXPECT_TRUE(FindConflictsExhaustive(*rdb.relation()).value().empty())
+        << "seed " << seed;
+  }
+}
+
+TEST(ConflictTest, ExhaustiveFindsInjectedConflicts) {
+  RespectsFixture f(/*with_resolver=*/false);
+  std::vector<ConflictSite> sites =
+      FindConflictsExhaustive(*f.respects).value();
+  ASSERT_FALSE(sites.empty());
+  // The MCD site must be among them.
+  bool found = false;
+  for (const ConflictSite& site : sites) {
+    if (site.item == (Item{f.obsequious, f.incoherent})) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConflictTest, ExhaustiveHonoursItemCap) {
+  RespectsFixture f(false);
+  Result<std::vector<ConflictSite>> r =
+      FindConflictsExhaustive(*f.respects, {}, 16, /*max_items=*/2);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(ConflictTest, CompleteResolutionSetEnumeratesCommonSubsumees) {
+  RespectsFixture f(false);
+  std::vector<Item> complete =
+      CompleteConflictResolutionSet(f.respects->schema(),
+                                    {f.obsequious, f.teacher->root()},
+                                    {f.student->root(), f.incoherent})
+          .value();
+  // Common subsumees: {obsequious, john} x {incoherent, jim}.
+  EXPECT_EQ(complete.size(), 4u);
+  EXPECT_NE(std::find(complete.begin(), complete.end(),
+                      (Item{f.john, f.jim})),
+            complete.end());
+  EXPECT_NE(std::find(complete.begin(), complete.end(),
+                      (Item{f.obsequious, f.incoherent})),
+            complete.end());
+}
+
+TEST(ConflictTest, MinimalResolutionSetIsMaximalElements) {
+  RespectsFixture f(false);
+  std::vector<Item> minimal = MinimalConflictResolutionSet(
+      f.respects->schema(), {f.obsequious, f.teacher->root()},
+      {f.student->root(), f.incoherent});
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], (Item{f.obsequious, f.incoherent}));
+}
+
+TEST(ConflictTest, ResolutionSetsOfDisjointItemsAreEmpty) {
+  RespectsFixture f(false);
+  NodeId lazy = f.student->AddClass("lazy_student").value();
+  std::vector<Item> complete =
+      CompleteConflictResolutionSet(f.respects->schema(),
+                                    {f.obsequious, f.incoherent},
+                                    {lazy, f.incoherent})
+          .value();
+  EXPECT_TRUE(complete.empty());
+}
+
+TEST(ConflictTest, CompleteResolutionSetCap) {
+  RespectsFixture f(false);
+  Result<std::vector<Item>> r = CompleteConflictResolutionSet(
+      f.respects->schema(), {f.student->root(), f.teacher->root()},
+      {f.student->root(), f.teacher->root()}, /*max_items=*/3);
+  EXPECT_TRUE(r.status().IsResourceExhausted());
+}
+
+TEST(ConflictTest, ResolveConflictInsertsMinimalSet) {
+  RespectsFixture f(false);
+  ASSERT_TRUE(CheckAmbiguity(*f.respects).IsConflict());
+  ASSERT_TRUE(ResolveConflict(*f.respects,
+                              {f.obsequious, f.teacher->root()},
+                              {f.student->root(), f.incoherent},
+                              Truth::kPositive)
+                  .ok());
+  EXPECT_TRUE(CheckAmbiguity(*f.respects).ok());
+  EXPECT_EQ(f.respects->TruthAt({f.obsequious, f.incoherent}),
+            Truth::kPositive);
+  // Idempotent: items already asserted are skipped.
+  EXPECT_TRUE(ResolveConflict(*f.respects,
+                              {f.obsequious, f.teacher->root()},
+                              {f.student->root(), f.incoherent},
+                              Truth::kNegative)
+                  .ok());
+  EXPECT_EQ(f.respects->TruthAt({f.obsequious, f.incoherent}),
+            Truth::kPositive);
+}
+
+TEST(ConflictTest, ComparableOppositesAreNotConflicts) {
+  FlyingFixture f;
+  // bird+ and penguin- are comparable: exception, not conflict.
+  EXPECT_TRUE(FindConflicts(*f.flies).value().empty());
+}
+
+TEST(ConflictTest, Fig2ProductConflictNeedsBothAxes) {
+  // The Cartesian product of two trees is not a tree: even with tree
+  // hierarchies per attribute, (obsequious, teacher) and (student,
+  // incoherent) are incomparable with a common descendant.
+  RespectsFixture f(false);
+  const Schema& schema = f.respects->schema();
+  Item ot{f.obsequious, f.teacher->root()};
+  Item si{f.student->root(), f.incoherent};
+  EXPECT_FALSE(ItemComparable(schema, ot, si));
+  EXPECT_FALSE(ItemMaximalCommonDescendants(schema, ot, si).empty());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,114 @@
+#include "catalog/database.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/setops.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+TEST(DatabaseTest, CreateAndGetHierarchy) {
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("animal").value();
+  EXPECT_EQ(h->name(), "animal");
+  EXPECT_EQ(db.GetHierarchy("animal").value(), h);
+  EXPECT_TRUE(db.GetHierarchy("plant").status().IsNotFound());
+  EXPECT_TRUE(db.CreateHierarchy("animal").status().IsAlreadyExists());
+  EXPECT_TRUE(db.CreateHierarchy("").status().IsInvalidArgument());
+}
+
+TEST(DatabaseTest, CreateRelationBindsHierarchies) {
+  Database db;
+  db.CreateHierarchy("animal").value();
+  db.CreateHierarchy("color").value();
+  HierarchicalRelation* r =
+      db.CreateRelation("c", {{"a", "animal"}, {"b", "color"}}).value();
+  EXPECT_EQ(r->schema().size(), 2u);
+  EXPECT_EQ(r->schema().hierarchy(0), db.GetHierarchy("animal").value());
+  EXPECT_TRUE(db.CreateRelation("c", {}).status().IsAlreadyExists());
+  EXPECT_TRUE(
+      db.CreateRelation("d", {{"a", "nope"}}).status().IsNotFound());
+}
+
+TEST(DatabaseTest, DropHierarchyGuardedByReferences) {
+  Database db;
+  db.CreateHierarchy("animal").value();
+  db.CreateRelation("r", {{"a", "animal"}}).value();
+  EXPECT_TRUE(db.DropHierarchy("animal").IsIntegrityViolation());
+  ASSERT_TRUE(db.DropRelation("r").ok());
+  EXPECT_TRUE(db.DropHierarchy("animal").ok());
+  EXPECT_TRUE(db.DropHierarchy("animal").IsNotFound());
+}
+
+TEST(DatabaseTest, NamesAreSorted) {
+  Database db;
+  db.CreateHierarchy("zebra").value();
+  db.CreateHierarchy("ant").value();
+  db.CreateRelation("r2", {}).value();
+  db.CreateRelation("r1", {}).value();
+  EXPECT_EQ(db.HierarchyNames(),
+            (std::vector<std::string>{"ant", "zebra"}));
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"r1", "r2"}));
+}
+
+TEST(DatabaseTest, AdoptRelationFromOperator) {
+  testing::LovesFixture f;
+  HierarchicalRelation both = Intersect(*f.jill, *f.jack).value();
+  both.set_name("both_love");
+  HierarchicalRelation* adopted =
+      f.base.db.AdoptRelation(std::move(both)).value();
+  EXPECT_EQ(f.base.db.GetRelation("both_love").value(), adopted);
+}
+
+TEST(DatabaseTest, AdoptRejectsForeignHierarchies) {
+  testing::LovesFixture f;
+  Database other;
+  Hierarchy* h = other.CreateHierarchy("x").value();
+  Schema schema;
+  ASSERT_TRUE(schema.Append("v", h).ok());
+  HierarchicalRelation foreign("foreign", schema);
+  EXPECT_TRUE(f.base.db.AdoptRelation(std::move(foreign))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatabaseTest, AdoptRejectsDuplicateName) {
+  testing::LovesFixture f;
+  HierarchicalRelation dup("jill_loves", f.jill->schema());
+  EXPECT_TRUE(
+      f.base.db.AdoptRelation(std::move(dup)).status().IsAlreadyExists());
+}
+
+TEST(DatabaseTest, ConstAccessors) {
+  Database db;
+  db.CreateHierarchy("animal").value();
+  db.CreateRelation("r", {{"a", "animal"}}).value();
+  const Database& cdb = db;
+  EXPECT_TRUE(cdb.GetHierarchy("animal").ok());
+  EXPECT_TRUE(cdb.GetRelation("r").ok());
+  EXPECT_TRUE(cdb.GetRelation("zzz").status().IsNotFound());
+}
+
+
+TEST(DatabaseTest, EliminateNodeGuardedByTupleReferences) {
+  testing::FlyingFixture f;
+  // galapagos_penguin carries no tuple: elimination reconnects patricia
+  // and paul under penguin.
+  ASSERT_TRUE(f.db.EliminateNode("animal", f.galapagos).ok());
+  EXPECT_TRUE(f.animal->FindClass("galapagos_penguin").status().IsNotFound());
+  EXPECT_TRUE(f.animal->Subsumes(f.penguin, f.paul));
+  // penguin is referenced by the -ALL penguin tuple: refused.
+  EXPECT_TRUE(
+      f.db.EliminateNode("animal", f.penguin).IsIntegrityViolation());
+  // Unknown hierarchy / dead node.
+  EXPECT_TRUE(f.db.EliminateNode("plants", f.penguin).IsNotFound());
+  EXPECT_TRUE(f.db.EliminateNode("animal", f.galapagos).IsNotFound());
+  // Retract the tuple; elimination then proceeds and inference falls back
+  // to the bird default for the former penguins.
+  ASSERT_TRUE(f.flies->EraseItem({f.penguin}).ok());
+  ASSERT_TRUE(f.db.EliminateNode("animal", f.penguin).ok());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,220 @@
+#include "hql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/inference.h"
+
+namespace hirel {
+namespace hql {
+namespace {
+
+constexpr const char* kFlyingScript = R"(
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE CLASS canary IN animal UNDER bird;
+CREATE CLASS penguin IN animal UNDER bird;
+CREATE CLASS galapagos IN animal UNDER penguin;
+CREATE CLASS afp IN animal UNDER penguin;
+CREATE INSTANCE tweety IN animal UNDER canary;
+CREATE INSTANCE paul IN animal UNDER galapagos;
+CREATE INSTANCE pamela IN animal UNDER afp;
+CREATE INSTANCE patricia IN animal UNDER afp, galapagos;
+CREATE INSTANCE peter IN animal UNDER afp;
+CREATE RELATION flies (who: animal);
+ASSERT flies(ALL bird);
+DENY flies(ALL penguin);
+ASSERT flies(ALL afp);
+ASSERT flies(peter);
+)";
+
+TEST(ExecutorTest, BuildsFlyingDatabase) {
+  Executor exec;
+  Result<std::string> out = exec.Execute(kFlyingScript);
+  ASSERT_TRUE(out.ok()) << out.status();
+  Database& db = exec.database();
+  Hierarchy* animal = db.GetHierarchy("animal").value();
+  EXPECT_EQ(animal->num_instances(), 5u);
+  HierarchicalRelation* flies = db.GetRelation("flies").value();
+  EXPECT_EQ(flies->size(), 4u);
+
+  NodeId paul = animal->FindInstance(Value::String("paul")).value();
+  NodeId patricia = animal->FindInstance(Value::String("patricia")).value();
+  EXPECT_EQ(InferTruth(*flies, {paul}).value(), Truth::kNegative);
+  EXPECT_EQ(InferTruth(*flies, {patricia}).value(), Truth::kPositive);
+}
+
+TEST(ExecutorTest, SelectWithWhereRendersTable) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out =
+      exec.Execute("SELECT * FROM flies WHERE who = penguin;").value();
+  // After the executor's consolidation only the informative tuple remains:
+  // among penguins, exactly the amazing flying penguins fly (peter's tuple
+  // is redundant under it).
+  EXPECT_NE(out.find("ALL afp"), std::string::npos);
+  EXPECT_EQ(out.find("peter"), std::string::npos);
+  EXPECT_EQ(out.find("paul"), std::string::npos);
+}
+
+TEST(ExecutorTest, ExplainShowsBinders) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out = exec.Execute("EXPLAIN flies(paul);").value();
+  EXPECT_NE(out.find("binds> - (penguin)"), std::string::npos);
+}
+
+TEST(ExecutorTest, ExtensionAndExplicate) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string ext = exec.Execute("EXTENSION flies;").value();
+  EXPECT_NE(ext.find("tweety"), std::string::npos);
+  EXPECT_EQ(ext.find("paul"), std::string::npos);
+  std::string expl = exec.Execute("EXPLICATE flies ON (who);").value();
+  EXPECT_NE(expl.find("paul"), std::string::npos);  // negative rows kept
+}
+
+TEST(ExecutorTest, GuardedAssertRejectsConflict) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(R"(
+    CREATE HIERARCHY student;
+    CREATE CLASS obsequious IN student;
+    CREATE HIERARCHY teacher;
+    CREATE CLASS incoherent IN teacher;
+    CREATE INSTANCE john IN student UNDER obsequious;
+    CREATE INSTANCE jim IN teacher UNDER incoherent;
+    CREATE RELATION respects (who: student, whom: teacher);
+    ASSERT respects(ALL obsequious, ALL teacher);
+  )").ok());
+  // The Fig. 3 conflict: denied without the resolver in place.
+  Result<std::string> bad =
+      exec.Execute("DENY respects(ALL student, ALL incoherent);");
+  ASSERT_TRUE(bad.status().IsConflict());
+  // With the resolver first, it goes through.
+  ASSERT_TRUE(
+      exec.Execute("ASSERT respects(ALL obsequious, ALL incoherent);").ok());
+  EXPECT_TRUE(
+      exec.Execute("DENY respects(ALL student, ALL incoherent);").ok());
+}
+
+TEST(ExecutorTest, ConsolidateReportsRemovals) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out = exec.Execute("CONSOLIDATE flies;").value();
+  EXPECT_NE(out.find("removed 1 redundant tuple"), std::string::npos);
+}
+
+TEST(ExecutorTest, DerivedRelationsViaCreateAs) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute(R"(
+    CREATE RELATION jill (who: animal);
+    ASSERT jill(ALL bird);
+    DENY jill(ALL penguin);
+    CREATE RELATION both AS flies INTERSECT jill;
+  )").ok());
+  std::string out = exec.Execute("EXTENSION both;").value();
+  EXPECT_NE(out.find("tweety"), std::string::npos);
+  EXPECT_EQ(out.find("peter"), std::string::npos);
+}
+
+TEST(ExecutorTest, ProjectViaCreateAs) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(R"(
+    CREATE HIERARCHY animal;
+    CREATE HIERARCHY color;
+    CREATE CLASS elephant IN animal;
+    CREATE INSTANCE clyde IN animal UNDER elephant;
+    CREATE RELATION color_of (beast: animal, shade: color);
+    ASSERT color_of(ALL elephant, 'grey');
+    CREATE RELATION beasts AS PROJECT color_of ON (beast);
+  )").ok());
+  std::string out = exec.Execute("SHOW RELATION beasts;").value();
+  EXPECT_NE(out.find("ALL elephant"), std::string::npos);
+}
+
+TEST(ExecutorTest, LiteralInterningOnAssertOnly) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(R"(
+    CREATE HIERARCHY sz;
+    CREATE HIERARCHY animal;
+    CREATE CLASS elephant IN animal;
+    CREATE RELATION enclosure (beast: animal, sqft: sz);
+    ASSERT enclosure(ALL elephant, 3000);
+  )").ok());
+  // 3000 was interned.
+  Hierarchy* sz = exec.database().GetHierarchy("sz").value();
+  EXPECT_TRUE(sz->FindInstance(Value::Int(3000)).ok());
+  // Queries do not intern: unknown literal is an error.
+  EXPECT_TRUE(exec.Execute("SELECT * FROM enclosure WHERE sqft = 4000;")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(ExecutorTest, RetractAndShow) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("RETRACT flies(peter);").ok());
+  EXPECT_EQ(exec.database().GetRelation("flies").value()->size(), 3u);
+  std::string out = exec.Execute("SHOW RELATIONS;").value();
+  EXPECT_NE(out.find("flies"), std::string::npos);
+  std::string h = exec.Execute("SHOW HIERARCHY animal;").value();
+  EXPECT_NE(h.find("penguin"), std::string::npos);
+  EXPECT_NE(h.find("* patricia"), std::string::npos);
+}
+
+TEST(ExecutorTest, ConnectAndPrefer) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute(R"(
+    CREATE HIERARCHY d;
+    CREATE CLASS a IN d;
+    CREATE CLASS b IN d;
+    CREATE INSTANCE x IN d UNDER a;
+    CONNECT b TO x IN d;
+    CREATE RELATION r (v: d);
+  )").ok());
+  Hierarchy* h = exec.database().GetHierarchy("d").value();
+  NodeId a = h->FindClass("a").value();
+  NodeId b = h->FindClass("b").value();
+  NodeId x = h->FindInstance(Value::String("x")).value();
+  EXPECT_TRUE(h->Subsumes(b, x));
+  ASSERT_TRUE(exec.Execute("PREFER b OVER a IN d;").ok());
+  EXPECT_TRUE(h->BindsBelow(a, b));
+}
+
+TEST(ExecutorTest, SaveAndLoadRoundTrip) {
+  std::string path = std::string(::testing::TempDir()) + "/hql_db.hirel";
+  {
+    Executor exec;
+    ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+    ASSERT_TRUE(exec.Execute("SAVE '" + path + "';").ok());
+  }
+  Executor fresh;
+  ASSERT_TRUE(fresh.Execute("LOAD '" + path + "';").ok());
+  EXPECT_TRUE(fresh.database().GetRelation("flies").ok());
+  std::remove(path.c_str());
+}
+
+TEST(ExecutorTest, HelpAndErrors) {
+  Executor exec;
+  std::string help = exec.Execute("HELP;").value();
+  EXPECT_NE(help.find("CONSOLIDATE"), std::string::npos);
+  EXPECT_TRUE(exec.Execute("SHOW RELATION nope;").status().IsNotFound());
+  EXPECT_TRUE(exec.Execute("garbage;").status().IsParseError());
+  EXPECT_TRUE(exec.Execute("ASSERT nothing(x);").status().IsNotFound());
+}
+
+TEST(ExecutorTest, DropStatements) {
+  Executor exec;
+  ASSERT_TRUE(exec.Execute("CREATE HIERARCHY d; CREATE RELATION r (v: d);")
+                  .ok());
+  EXPECT_TRUE(exec.Execute("DROP HIERARCHY d;").status()
+                  .IsIntegrityViolation());
+  ASSERT_TRUE(exec.Execute("DROP RELATION r; DROP HIERARCHY d;").ok());
+  EXPECT_TRUE(exec.database().HierarchyNames().empty());
+}
+
+}  // namespace
+}  // namespace hql
+}  // namespace hirel

@@ -1,0 +1,165 @@
+// Failure-injection tests: every fallible path must fail loudly with the
+// right status code and leave state untouched (no partial effects).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "core/integrity.h"
+#include "hql/executor.h"
+#include "io/snapshot.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(FailureInjectionTest, CycleAttemptsLeaveHierarchyUntouched) {
+  FlyingFixture f;
+  size_t edges_before = f.animal->dag().num_edges();
+  EXPECT_TRUE(f.animal->AddEdge(f.penguin, f.bird).IsIntegrityViolation());
+  EXPECT_TRUE(f.animal->AddEdge(f.afp, f.bird).IsIntegrityViolation());
+  EXPECT_EQ(f.animal->dag().num_edges(), edges_before);
+}
+
+TEST(FailureInjectionTest, RejectedGuardedInsertLeavesNoTrace) {
+  RespectsFixture f(/*with_resolver=*/false);
+  ASSERT_TRUE(
+      f.respects->EraseItem({f.student->root(), f.incoherent}).ok());
+  std::string before = f.respects->ToString();
+  ASSERT_TRUE(GuardedInsert(*f.respects, {f.student->root(), f.incoherent},
+                            Truth::kNegative)
+                  .status()
+                  .IsConflict());
+  EXPECT_EQ(f.respects->ToString(), before);
+}
+
+TEST(FailureInjectionTest, SnapshotTrailingGarbageRejected) {
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  // Valid checksum over garbage-extended payload would differ; also test
+  // payload-level trailing bytes by rebuilding the checksum by hand is
+  // out of scope — a plain append must fail the checksum.
+  std::string extended = data + "garbage";
+  EXPECT_TRUE(DeserializeDatabase(extended).status().IsCorruption());
+}
+
+TEST(FailureInjectionTest, SnapshotEveryPrefixFailsCleanly) {
+  // No prefix of a valid snapshot may crash or be accepted.
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  for (size_t len = 0; len < data.size(); len += 7) {
+    Result<std::unique_ptr<Database>> r =
+        DeserializeDatabase(data.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(FailureInjectionTest, SnapshotRandomByteCorruption) {
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  Random rng(99);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::string corrupted = data;
+    size_t pos = rng.Index(corrupted.size());
+    corrupted[pos] =
+        static_cast<char>(corrupted[pos] ^ (1 + rng.Index(255)));
+    Result<std::unique_ptr<Database>> r = DeserializeDatabase(corrupted);
+    // Either detected (usual) or — never — silently wrong: if it parses,
+    // the checksum had to match, which a single-byte flip cannot achieve.
+    EXPECT_FALSE(r.ok()) << "flip at " << pos;
+  }
+}
+
+TEST(FailureInjectionTest, SaveToUnwritablePathFails) {
+  FlyingFixture f;
+  EXPECT_TRUE(
+      SaveDatabase(f.db, "/nonexistent_dir/x.hirel").IsIoError());
+}
+
+TEST(FailureInjectionTest, LoadDirectoryFails) {
+  Result<std::unique_ptr<Database>> r =
+      LoadDatabase(std::string(::testing::TempDir()));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(FailureInjectionTest, HqlScriptStopsAtFirstError) {
+  hql::Executor exec;
+  Result<std::string> out = exec.Execute(
+      "CREATE HIERARCHY a;"
+      "CREATE HIERARCHY a;"  // duplicate: fails here
+      "CREATE HIERARCHY b;");
+  EXPECT_TRUE(out.status().IsAlreadyExists());
+  // The statement after the failure did not run.
+  EXPECT_TRUE(exec.database().GetHierarchy("b").status().IsNotFound());
+  // The statement before it did.
+  EXPECT_TRUE(exec.database().GetHierarchy("a").ok());
+}
+
+TEST(FailureInjectionTest, HqlLoadCorruptFileKeepsCurrentDatabase) {
+  std::string path = TempPath("corrupt.hirel");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "HIRELDB1 this is not a real snapshot";
+  }
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute("CREATE HIERARCHY keepme;").ok());
+  EXPECT_TRUE(exec.Execute("LOAD '" + path + "';").status().IsCorruption());
+  EXPECT_TRUE(exec.database().GetHierarchy("keepme").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjectionTest, ExplicateCapDoesNotCorruptInput) {
+  FlyingFixture f;
+  ExplicateOptions options;
+  options.max_result_tuples = 1;
+  ASSERT_TRUE(Explicate(*f.flies, {}, options).status()
+                  .IsResourceExhausted());
+  EXPECT_EQ(f.flies->size(), 4u);
+}
+
+TEST(FailureInjectionTest, OnPathBlowupReportsResourceExhausted) {
+  // A wide product interval: on-path search must cap out, not hang.
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("wide").value();
+  NodeId top = h->AddClass("top").value();
+  // Two layers of 12 classes each, fully connected.
+  std::vector<NodeId> layer1, layer2;
+  for (int i = 0; i < 12; ++i) {
+    layer1.push_back(
+        h->AddClass("l1_" + std::to_string(i), top).value());
+  }
+  for (int i = 0; i < 12; ++i) {
+    layer2.push_back(
+        h->AddClass("l2_" + std::to_string(i), layer1[0]).value());
+    for (int j = 1; j < 12; ++j) {
+      ASSERT_TRUE(h->AddEdge(layer1[j], layer2.back()).ok());
+    }
+  }
+  NodeId x = h->AddInstance(Value::String("x"), layer2[0]).value();
+  for (int j = 1; j < 12; ++j) {
+    ASSERT_TRUE(h->AddEdge(layer2[j], x).ok());
+  }
+  HierarchicalRelation* r = db.CreateRelation(
+      "r", {{"a", "wide"}, {"b", "wide"}, {"c", "wide"}}).value();
+  ASSERT_TRUE(r->Insert({top, top, top}, Truth::kPositive).ok());
+
+  InferenceOptions options;
+  options.preemption = PreemptionMode::kOnPath;
+  options.on_path_search_limit = 100;
+  Result<Truth> verdict = InferTruth(*r, {x, x, x}, options);
+  EXPECT_TRUE(verdict.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,125 @@
+#include "flat/flat_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "flat/flat_ops.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+
+class FlatTest : public ::testing::Test {
+ protected:
+  FlatTest() : schema_(f_.flies->schema()), flat_("ext", schema_) {
+    EXPECT_TRUE(flat_.Insert({f_.tweety}).ok());
+    EXPECT_TRUE(flat_.Insert({f_.pamela}).ok());
+    EXPECT_TRUE(flat_.Insert({f_.peter}).ok());
+  }
+
+  FlyingFixture f_;
+  Schema schema_;
+  FlatRelation flat_;
+};
+
+TEST_F(FlatTest, InsertIsSetSemantics) {
+  EXPECT_EQ(flat_.size(), 3u);
+  EXPECT_TRUE(flat_.Insert({f_.tweety}).ok());  // duplicate: no-op
+  EXPECT_EQ(flat_.size(), 3u);
+  EXPECT_TRUE(flat_.Contains({f_.tweety}));
+  EXPECT_FALSE(flat_.Contains({f_.paul}));
+}
+
+TEST_F(FlatTest, RejectsClassValuedRows) {
+  EXPECT_TRUE(flat_.Insert({f_.bird}).IsInvalidArgument());
+  EXPECT_TRUE(flat_.Insert({f_.tweety, f_.peter}).IsInvalidArgument());
+}
+
+TEST_F(FlatTest, EraseRow) {
+  EXPECT_TRUE(flat_.Erase({f_.tweety}).ok());
+  EXPECT_FALSE(flat_.Contains({f_.tweety}));
+  EXPECT_TRUE(flat_.Erase({f_.tweety}).IsNotFound());
+}
+
+TEST_F(FlatTest, RowsAreSorted) {
+  std::vector<Item> rows = flat_.Rows();
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(FlatTest, SelectEqualsByClassMembership) {
+  FlatRelation penguins = FlatSelectEquals(flat_, 0, f_.penguin).value();
+  std::vector<Item> expected{{f_.pamela}, {f_.peter}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(penguins.Rows(), expected);
+}
+
+TEST_F(FlatTest, SelectWherePredicate) {
+  FlatRelation ps =
+      FlatSelectWhere(flat_, 0,
+                      [](const Value& v) { return v.AsString()[0] == 'p'; })
+          .value();
+  EXPECT_EQ(ps.size(), 2u);
+}
+
+TEST_F(FlatTest, SetOps) {
+  FlatRelation other("other", schema_);
+  ASSERT_TRUE(other.Insert({f_.peter}).ok());
+  ASSERT_TRUE(other.Insert({f_.paul}).ok());
+
+  EXPECT_EQ(FlatUnion(flat_, other).value().size(), 4u);
+  EXPECT_EQ(FlatIntersect(flat_, other).value().Rows(),
+            (std::vector<Item>{{f_.peter}}));
+  EXPECT_EQ(FlatDifference(flat_, other).value().size(), 2u);
+  EXPECT_EQ(FlatDifference(other, flat_).value().Rows(),
+            (std::vector<Item>{{f_.paul}}));
+}
+
+TEST_F(FlatTest, SetOpsRejectIncompatibleSchemas) {
+  Database db2;
+  Hierarchy* h = db2.CreateHierarchy("x").value();
+  Schema other_schema;
+  ASSERT_TRUE(other_schema.Append("who", h).ok());
+  FlatRelation other("o", other_schema);
+  EXPECT_TRUE(FlatUnion(flat_, other).status().IsInvalidArgument());
+}
+
+TEST_F(FlatTest, ProjectAndJoin) {
+  // Two-column flat relation: (animal, animal) pairs.
+  Schema pair_schema;
+  ASSERT_TRUE(pair_schema.Append("a", f_.animal).ok());
+  ASSERT_TRUE(pair_schema.Append("b", f_.animal).ok());
+  FlatRelation pairs("pairs", pair_schema);
+  ASSERT_TRUE(pairs.Insert({f_.tweety, f_.peter}).ok());
+  ASSERT_TRUE(pairs.Insert({f_.paul, f_.peter}).ok());
+
+  FlatRelation firsts = FlatProject(pairs, {0}).value();
+  EXPECT_EQ(firsts.size(), 2u);
+  FlatRelation seconds = FlatProject(pairs, {1}).value();
+  EXPECT_EQ(seconds.Rows(), (std::vector<Item>{{f_.peter}}));
+
+  // Join pairs.b = flat_.who.
+  FlatRelation joined = FlatJoinOn(pairs, flat_, {{1, 0}}).value();
+  EXPECT_EQ(joined.size(), 2u);
+  for (const Item& row : joined.Rows()) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_EQ(row[1], f_.peter);
+  }
+}
+
+TEST_F(FlatTest, FromRowsValidates) {
+  EXPECT_TRUE(FlatRelation::FromRows("x", schema_, {{f_.tweety}}).ok());
+  EXPECT_TRUE(FlatRelation::FromRows("x", schema_, {{f_.bird}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(FlatTest, ApproxBytesGrowsWithRows) {
+  FlatRelation empty("e", schema_);
+  EXPECT_EQ(empty.ApproxBytes(), 0u);
+  EXPECT_GT(flat_.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace hirel

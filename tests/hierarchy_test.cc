@@ -1,0 +1,229 @@
+#include "hierarchy/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hirel {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+TEST(HierarchyTest, RootIsCreatedWithName) {
+  Hierarchy h("animal");
+  EXPECT_EQ(h.name(), "animal");
+  EXPECT_TRUE(h.is_class(h.root()));
+  EXPECT_EQ(h.NodeName(h.root()), "animal");
+  EXPECT_EQ(h.num_classes(), 1u);
+  EXPECT_EQ(h.FindClass("animal").value(), h.root());
+}
+
+TEST(HierarchyTest, AddClassUnderRootAndParent) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  NodeId penguin = h.AddClass("penguin", bird).value();
+  EXPECT_TRUE(h.Subsumes(h.root(), bird));
+  EXPECT_TRUE(h.Subsumes(bird, penguin));
+  EXPECT_EQ(h.num_classes(), 3u);
+}
+
+TEST(HierarchyTest, DuplicateClassNameRejected) {
+  Hierarchy h("animal");
+  ASSERT_TRUE(h.AddClass("bird").ok());
+  EXPECT_TRUE(h.AddClass("bird").status().IsAlreadyExists());
+  EXPECT_TRUE(h.AddClass("").status().IsInvalidArgument());
+}
+
+TEST(HierarchyTest, AddInstanceAndLookup) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  NodeId tweety = h.AddInstance(S("tweety"), bird).value();
+  EXPECT_TRUE(h.is_instance(tweety));
+  EXPECT_EQ(h.FindInstance(S("tweety")).value(), tweety);
+  EXPECT_EQ(h.InstanceValue(tweety), S("tweety"));
+  EXPECT_EQ(h.NodeName(tweety), "tweety");
+  EXPECT_TRUE(h.AddInstance(S("tweety")).status().IsAlreadyExists());
+}
+
+TEST(HierarchyTest, InstancesCannotHaveChildren) {
+  Hierarchy h("animal");
+  NodeId tweety = h.AddInstance(S("tweety")).value();
+  EXPECT_TRUE(h.AddClass("sub", tweety).status().IsInvalidArgument());
+  NodeId bird = h.AddClass("bird").value();
+  EXPECT_TRUE(h.AddEdge(tweety, bird).IsInvalidArgument());
+}
+
+TEST(HierarchyTest, FindByNameResolvesClassOrInstance) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  NodeId tweety = h.AddInstance(S("tweety"), bird).value();
+  EXPECT_EQ(h.FindByName("bird").value(), bird);
+  EXPECT_EQ(h.FindByName("tweety").value(), tweety);
+  EXPECT_TRUE(h.FindByName("nessie").status().IsNotFound());
+}
+
+TEST(HierarchyTest, InternFindsOrAdds) {
+  Hierarchy h("size");
+  NodeId a = h.Intern(Value::Int(3000));
+  NodeId b = h.Intern(Value::Int(3000));
+  NodeId c = h.Intern(Value::Int(2000));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(h.num_instances(), 2u);
+}
+
+TEST(HierarchyTest, MultipleInheritanceViaAddEdge) {
+  Hierarchy h("animal");
+  NodeId royal = h.AddClass("royal").value();
+  NodeId indian = h.AddClass("indian").value();
+  NodeId appu = h.AddInstance(S("appu"), royal).value();
+  ASSERT_TRUE(h.AddEdge(indian, appu).ok());
+  EXPECT_TRUE(h.Subsumes(royal, appu));
+  EXPECT_TRUE(h.Subsumes(indian, appu));
+  EXPECT_FALSE(h.Comparable(royal, indian));
+}
+
+TEST(HierarchyTest, TypeIrredundancyRejectsCycles) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b", a).value();
+  EXPECT_TRUE(h.AddEdge(b, a).IsIntegrityViolation());
+}
+
+TEST(HierarchyTest, RedundantEdgeDroppedInOffPathMode) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b", a).value();
+  NodeId c = h.AddClass("c", b).value();
+  // a already reaches c through b.
+  ASSERT_TRUE(h.AddEdge(a, c).ok());
+  EXPECT_FALSE(h.dag().HasEdge(a, c));
+  EXPECT_FALSE(h.dag().HasRedundantEdge());
+}
+
+TEST(HierarchyTest, RedundantEdgeKeptInOnPathMode) {
+  Hierarchy h("x", HierarchyOptions{.keep_redundant_edges = true});
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b", a).value();
+  NodeId c = h.AddClass("c", b).value();
+  ASSERT_TRUE(h.AddEdge(a, c).ok());
+  EXPECT_TRUE(h.dag().HasEdge(a, c));
+  // Exact duplicate is still a no-op.
+  EXPECT_TRUE(h.AddEdge(a, c).ok());
+}
+
+TEST(HierarchyTest, MeetOfComparableNodes) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b", a).value();
+  NodeId c = h.AddClass("c").value();
+  EXPECT_EQ(h.Meet(a, b), b);
+  EXPECT_EQ(h.Meet(b, a), b);
+  EXPECT_EQ(h.Meet(a, a), a);
+  EXPECT_EQ(h.Meet(b, c), kInvalidNode);
+}
+
+TEST(HierarchyTest, MaximalCommonDescendantsComparablePair) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b", a).value();
+  EXPECT_EQ(h.MaximalCommonDescendants(a, b), (std::vector<NodeId>{b}));
+}
+
+TEST(HierarchyTest, MaximalCommonDescendantsOverlap) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b").value();
+  NodeId m = h.AddClass("m", a).value();
+  ASSERT_TRUE(h.AddEdge(b, m).ok());
+  NodeId i = h.AddInstance(S("i"), m).value();
+  (void)i;
+  EXPECT_EQ(h.MaximalCommonDescendants(a, b), (std::vector<NodeId>{m}));
+}
+
+TEST(HierarchyTest, MaximalCommonDescendantsDisjoint) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b").value();
+  EXPECT_TRUE(h.MaximalCommonDescendants(a, b).empty());
+}
+
+TEST(HierarchyTest, MaximalCommonDescendantsMultiple) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b").value();
+  NodeId m1 = h.AddClass("m1", a).value();
+  NodeId m2 = h.AddClass("m2", a).value();
+  ASSERT_TRUE(h.AddEdge(b, m1).ok());
+  ASSERT_TRUE(h.AddEdge(b, m2).ok());
+  std::vector<NodeId> mcd = h.MaximalCommonDescendants(a, b);
+  EXPECT_EQ(mcd, (std::vector<NodeId>{m1, m2}));
+}
+
+TEST(HierarchyTest, AtomsUnder) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  NodeId penguin = h.AddClass("penguin", bird).value();
+  NodeId tweety = h.AddInstance(S("tweety"), bird).value();
+  NodeId paul = h.AddInstance(S("paul"), penguin).value();
+  NodeId rex = h.AddInstance(S("rex")).value();  // not a bird
+  (void)rex;
+  std::vector<NodeId> atoms = h.AtomsUnder(bird);
+  EXPECT_EQ(atoms, (std::vector<NodeId>{tweety, paul}));
+  EXPECT_EQ(h.CountAtomsUnder(bird), 2u);
+  EXPECT_EQ(h.CountAtomsUnder(h.root()), 3u);
+  EXPECT_EQ(h.AtomsUnder(paul), (std::vector<NodeId>{paul}));
+}
+
+TEST(HierarchyTest, PreferenceEdgesAffectBindsBelowOnly) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b").value();
+  ASSERT_TRUE(h.AddPreferenceEdge(a, b).ok());
+  EXPECT_FALSE(h.Subsumes(a, b));
+  EXPECT_TRUE(h.BindsBelow(a, b));
+  EXPECT_FALSE(h.BindsBelow(b, a));
+  EXPECT_EQ(h.num_preference_edges(), 1u);
+}
+
+TEST(HierarchyTest, PreferenceCycleRejected) {
+  Hierarchy h("x");
+  NodeId a = h.AddClass("a").value();
+  NodeId b = h.AddClass("b").value();
+  ASSERT_TRUE(h.AddPreferenceEdge(a, b).ok());
+  EXPECT_TRUE(h.AddPreferenceEdge(b, a).IsIntegrityViolation());
+  // Also via subsumption: c subsumes d, so preferring c over d would cycle.
+  NodeId c = h.AddClass("c").value();
+  NodeId d = h.AddClass("d", c).value();
+  EXPECT_TRUE(h.AddPreferenceEdge(d, c).IsIntegrityViolation());
+}
+
+TEST(HierarchyTest, EliminateNodePreservesSubsumption) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  NodeId penguin = h.AddClass("penguin", bird).value();
+  NodeId paul = h.AddInstance(S("paul"), penguin).value();
+  ASSERT_TRUE(h.EliminateNode(penguin).ok());
+  EXPECT_TRUE(h.Subsumes(bird, paul));
+  EXPECT_TRUE(h.FindClass("penguin").status().IsNotFound());
+  EXPECT_EQ(h.num_classes(), 2u);
+  // Name can be reused after elimination.
+  EXPECT_TRUE(h.AddClass("penguin", bird).ok());
+}
+
+TEST(HierarchyTest, EliminateRootRejected) {
+  Hierarchy h("animal");
+  EXPECT_TRUE(h.EliminateNode(h.root()).IsInvalidArgument());
+}
+
+TEST(HierarchyTest, ClassesAndInstancesEnumeration) {
+  Hierarchy h("animal");
+  NodeId bird = h.AddClass("bird").value();
+  h.AddInstance(S("tweety"), bird).value();
+  EXPECT_EQ(h.Classes().size(), 2u);
+  EXPECT_EQ(h.Instances().size(), 1u);
+  EXPECT_EQ(h.Nodes().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hirel

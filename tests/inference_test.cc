@@ -1,0 +1,164 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(InferenceTest, Fig1FlyingCreatures) {
+  FlyingFixture f;
+  // "We infer that Tweety ... is a flying creature."
+  EXPECT_EQ(InferTruth(*f.flies, {f.tweety}).value(), Truth::kPositive);
+  // "Paul, a Galapagos penguin, even though a bird, is not a flying
+  // creature."
+  EXPECT_EQ(InferTruth(*f.flies, {f.paul}).value(), Truth::kNegative);
+  // "We therefore conclude that Pamela is a flying creature."
+  EXPECT_EQ(InferTruth(*f.flies, {f.pamela}).value(), Truth::kPositive);
+  // "...and we conclude that Patricia is a flying creature."
+  EXPECT_EQ(InferTruth(*f.flies, {f.patricia}).value(), Truth::kPositive);
+  // "There is a specific tuple asserting that Peter is a flying creature,
+  // and this tuple overrides all other tuples applicable to Peter."
+  EXPECT_EQ(InferTruth(*f.flies, {f.peter}).value(), Truth::kPositive);
+}
+
+TEST(InferenceTest, ClassLevelQueries) {
+  FlyingFixture f;
+  // Facts about classes are manipulated like facts about instances.
+  EXPECT_EQ(InferTruth(*f.flies, {f.bird}).value(), Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.flies, {f.canary}).value(), Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.flies, {f.penguin}).value(), Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.flies, {f.galapagos}).value(), Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.flies, {f.afp}).value(), Truth::kPositive);
+}
+
+TEST(InferenceTest, ClosedWorldDefaultIsNegative) {
+  FlyingFixture f;
+  NodeId rex = f.animal->AddInstance(Value::String("rex")).value();
+  EXPECT_EQ(InferTruth(*f.flies, {rex}).value(), Truth::kNegative);
+  EXPECT_FALSE(Holds(*f.flies, {rex}).value());
+  // The whole domain defaults to negative too.
+  EXPECT_EQ(InferTruth(*f.flies, {f.animal->root()}).value(),
+            Truth::kNegative);
+}
+
+TEST(InferenceTest, ArityMismatchRejected) {
+  FlyingFixture f;
+  EXPECT_TRUE(InferTruth(*f.flies, {f.bird, f.bird}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(InferenceTest, ConflictReportedWithBinders) {
+  RespectsFixture f(/*with_resolver=*/false);
+  // Without the resolver tuple, (obsequious, incoherent) inherits + from
+  // (obsequious, teacher) and - from (student, incoherent): conflict.
+  Result<Truth> r = InferTruth(*f.respects, {f.obsequious, f.incoherent});
+  ASSERT_TRUE(r.status().IsConflict());
+  EXPECT_NE(r.status().message().find("obsequious"), std::string::npos);
+}
+
+TEST(InferenceTest, ResolverTupleRemovesConflict) {
+  RespectsFixture f(/*with_resolver=*/true);
+  EXPECT_EQ(InferTruth(*f.respects, {f.obsequious, f.incoherent}).value(),
+            Truth::kPositive);
+  // John (an obsequious student) respects jim (an incoherent teacher).
+  EXPECT_EQ(InferTruth(*f.respects, {f.john, f.jim}).value(),
+            Truth::kPositive);
+  // Mary (a generic student) does not respect jim.
+  EXPECT_EQ(InferTruth(*f.respects, {f.mary, f.jim}).value(),
+            Truth::kNegative);
+  // John respects wendy; mary is not known to respect wendy.
+  EXPECT_EQ(InferTruth(*f.respects, {f.john, f.wendy}).value(),
+            Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.respects, {f.mary, f.wendy}).value(),
+            Truth::kNegative);
+}
+
+TEST(InferenceTest, Fig4AppuIsWhiteNotGrey) {
+  ElephantFixture f;
+  // "Royal elephant binds more strongly to Appu than does elephant, so we
+  // conclude that Appu is not grey but white. ... the fact that Appu is an
+  // Indian elephant is treated as an irrelevant fact."
+  EXPECT_EQ(InferTruth(*f.colors, {f.appu, f.grey}).value(),
+            Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.colors, {f.appu, f.white}).value(),
+            Truth::kPositive);
+}
+
+TEST(InferenceTest, Fig4ClydeIsDappled) {
+  ElephantFixture f;
+  EXPECT_EQ(InferTruth(*f.colors, {f.clyde, f.grey}).value(),
+            Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.colors, {f.clyde, f.white}).value(),
+            Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.colors, {f.clyde, f.dappled}).value(),
+            Truth::kPositive);
+}
+
+TEST(InferenceTest, Fig4OrdinaryElephantsStayGrey) {
+  ElephantFixture f;
+  EXPECT_EQ(InferTruth(*f.colors, {f.african, f.grey}).value(),
+            Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.colors, {f.indian, f.white}).value(),
+            Truth::kNegative);
+}
+
+TEST(InferenceTest, Fig11EnclosureSizes) {
+  ElephantFixture f;
+  EXPECT_EQ(InferTruth(*f.enclosure, {f.royal, f.sz3000}).value(),
+            Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.enclosure, {f.indian, f.sz3000}).value(),
+            Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.enclosure, {f.indian, f.sz2000}).value(),
+            Truth::kPositive);
+  // Appu is royal AND indian: 3000 is contested... royal inherits from
+  // elephant (+3000) while indian denies it. For appu the indian tuple is
+  // more specific on no axis - both are incomparable ancestors. But appu
+  // inherits -3000 from indian (depth) vs +3000 from elephant (via royal,
+  // which has no own tuple): indian- preempts elephant+ because indian is
+  // strictly below elephant. No conflict.
+  EXPECT_EQ(InferTruth(*f.enclosure, {f.appu, f.sz3000}).value(),
+            Truth::kNegative);
+  EXPECT_EQ(InferTruth(*f.enclosure, {f.appu, f.sz2000}).value(),
+            Truth::kPositive);
+}
+
+TEST(InferenceTest, ExceptionToExceptionChainOfArbitraryDepth) {
+  // Section 2.1: "one can create exceptions to exceptions in any required
+  // exception hierarchy of arbitrary depth."
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  std::vector<NodeId> chain{h->root()};
+  for (int i = 0; i < 6; ++i) {
+    chain.push_back(
+        h->AddClass("c" + std::to_string(i), chain.back()).value());
+  }
+  NodeId leaf = h->AddInstance(Value::String("leaf"), chain.back()).value();
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  // Alternate truth values down the chain.
+  for (size_t i = 1; i < chain.size(); ++i) {
+    ASSERT_TRUE(r->Insert({chain[i]}, i % 2 == 1 ? Truth::kPositive
+                                                 : Truth::kNegative)
+                    .ok());
+  }
+  // The deepest class has index 6 (even -> negative); leaf inherits it.
+  EXPECT_EQ(InferTruth(*r, {leaf}).value(), Truth::kNegative);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_EQ(InferTruth(*r, {chain[i]}).value(),
+              i % 2 == 1 ? Truth::kPositive : Truth::kNegative);
+  }
+}
+
+TEST(InferenceTest, HoldsConvenience) {
+  FlyingFixture f;
+  EXPECT_TRUE(Holds(*f.flies, {f.tweety}).value());
+  EXPECT_FALSE(Holds(*f.flies, {f.paul}).value());
+}
+
+}  // namespace
+}  // namespace hirel

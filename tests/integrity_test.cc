@@ -1,0 +1,81 @@
+#include "core/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(IntegrityTest, GuardedInsertAcceptsSafeTuples) {
+  FlyingFixture f;
+  NodeId ostrich = f.animal->AddClass("ostrich", f.bird).value();
+  ASSERT_TRUE(GuardedInsert(*f.flies, {ostrich}, Truth::kNegative).ok());
+  EXPECT_EQ(f.flies->size(), 5u);
+}
+
+TEST(IntegrityTest, GuardedInsertRejectsConflictCreatingTuple) {
+  RespectsFixture f(/*with_resolver=*/false);
+  // Start from the consistent prefix (drop the negative tuple first).
+  ASSERT_TRUE(
+      f.respects->EraseItem({f.student->root(), f.incoherent}).ok());
+  ASSERT_TRUE(CheckAmbiguity(*f.respects).ok());
+  // Re-inserting the negative tuple through the guard must fail: it
+  // creates the Fig. 3 conflict.
+  Result<TupleId> r = GuardedInsert(
+      *f.respects, {f.student->root(), f.incoherent}, Truth::kNegative);
+  ASSERT_TRUE(r.status().IsConflict());
+  // And the relation is rolled back.
+  EXPECT_EQ(f.respects->size(), 1u);
+  EXPECT_TRUE(CheckAmbiguity(*f.respects).ok());
+}
+
+TEST(IntegrityTest, GuardedInsertAfterResolverSucceeds) {
+  RespectsFixture f(/*with_resolver=*/false);
+  ASSERT_TRUE(
+      f.respects->EraseItem({f.student->root(), f.incoherent}).ok());
+  // Assert the resolver first, then the exception: the Section 3.1
+  // discipline.
+  ASSERT_TRUE(GuardedInsert(*f.respects, {f.obsequious, f.incoherent},
+                            Truth::kPositive)
+                  .ok());
+  ASSERT_TRUE(GuardedInsert(*f.respects, {f.student->root(), f.incoherent},
+                            Truth::kNegative)
+                  .ok());
+  EXPECT_EQ(f.respects->size(), 3u);
+}
+
+TEST(IntegrityTest, GuardedEraseRejectsRemovingResolver) {
+  RespectsFixture f(/*with_resolver=*/true);
+  // "The former tuple was specifically added to resolve a conflict, and
+  // its elimination would produce an inconsistent state in the database."
+  Status s = GuardedErase(*f.respects, {f.obsequious, f.incoherent});
+  ASSERT_TRUE(s.IsConflict());
+  // Rolled back: the resolver is still there.
+  EXPECT_TRUE(
+      f.respects->FindItem({f.obsequious, f.incoherent}).has_value());
+  EXPECT_TRUE(CheckAmbiguity(*f.respects).ok());
+}
+
+TEST(IntegrityTest, GuardedEraseAcceptsSafeRemoval) {
+  FlyingFixture f;
+  ASSERT_TRUE(GuardedErase(*f.flies, {f.peter}).ok());
+  EXPECT_EQ(f.flies->size(), 3u);
+}
+
+TEST(IntegrityTest, GuardedEraseMissingTuple) {
+  FlyingFixture f;
+  EXPECT_TRUE(GuardedErase(*f.flies, {f.tweety}).IsNotFound());
+}
+
+TEST(IntegrityTest, GuardedInsertRejectsContradiction) {
+  FlyingFixture f;
+  Result<TupleId> r = GuardedInsert(*f.flies, {f.bird}, Truth::kNegative);
+  EXPECT_TRUE(r.status().IsIntegrityViolation());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,150 @@
+#include "types/item.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hirel {
+namespace {
+
+Value S(const char* s) { return Value::String(s); }
+
+/// Two-attribute environment: student x teacher (Fig. 2).
+class ItemTest : public ::testing::Test {
+ protected:
+  ItemTest() : student_("student"), teacher_("teacher") {
+    obsequious_ = student_.AddClass("obsequious").value();
+    john_ = student_.AddInstance(S("john"), obsequious_).value();
+    incoherent_ = teacher_.AddClass("incoherent").value();
+    jim_ = teacher_.AddInstance(S("jim"), incoherent_).value();
+    EXPECT_TRUE(schema_.Append("who", &student_).ok());
+    EXPECT_TRUE(schema_.Append("whom", &teacher_).ok());
+  }
+
+  Hierarchy student_, teacher_;
+  Schema schema_;
+  NodeId obsequious_, john_, incoherent_, jim_;
+};
+
+TEST_F(ItemTest, SubsumptionIsComponentwise) {
+  Item general{student_.root(), teacher_.root()};
+  Item mid{obsequious_, teacher_.root()};
+  Item specific{john_, jim_};
+  EXPECT_TRUE(ItemSubsumes(schema_, general, mid));
+  EXPECT_TRUE(ItemSubsumes(schema_, mid, specific));
+  EXPECT_TRUE(ItemSubsumes(schema_, general, specific));
+  EXPECT_FALSE(ItemSubsumes(schema_, mid, general));
+  EXPECT_TRUE(ItemSubsumes(schema_, specific, specific));  // reflexive
+}
+
+TEST_F(ItemTest, ProductGraphEdgesOfFig2) {
+  // (student, teacher) covers (obsequious, teacher) and
+  // (student, incoherent) but neither of those covers the other.
+  Item st{student_.root(), teacher_.root()};
+  Item ot{obsequious_, teacher_.root()};
+  Item si{student_.root(), incoherent_};
+  Item oi{obsequious_, incoherent_};
+  EXPECT_TRUE(ItemStrictlySubsumes(schema_, st, ot));
+  EXPECT_TRUE(ItemStrictlySubsumes(schema_, st, si));
+  EXPECT_FALSE(ItemComparable(schema_, ot, si));
+  EXPECT_TRUE(ItemStrictlySubsumes(schema_, ot, oi));
+  EXPECT_TRUE(ItemStrictlySubsumes(schema_, si, oi));
+}
+
+TEST_F(ItemTest, StrictSubsumptionExcludesEquality) {
+  Item a{obsequious_, incoherent_};
+  EXPECT_FALSE(ItemStrictlySubsumes(schema_, a, a));
+}
+
+TEST_F(ItemTest, MeetComponentwise) {
+  Item ot{obsequious_, teacher_.root()};
+  Item si{student_.root(), incoherent_};
+  EXPECT_EQ(ItemMeet(schema_, ot, si), (Item{obsequious_, incoherent_}));
+  // Incomparable components yield no meet.
+  NodeId other = student_.AddClass("other").value();
+  Item o1{other, teacher_.root()};
+  Item o2{obsequious_, teacher_.root()};
+  EXPECT_TRUE(ItemMeet(schema_, o1, o2).empty());
+}
+
+TEST_F(ItemTest, Atomicity) {
+  EXPECT_TRUE(ItemIsAtomic(schema_, {john_, jim_}));
+  EXPECT_FALSE(ItemIsAtomic(schema_, {obsequious_, jim_}));
+}
+
+TEST_F(ItemTest, ExtensionSizeIsProductOfMemberCounts) {
+  student_.AddInstance(S("mary"), obsequious_).value();
+  EXPECT_EQ(ItemExtensionSize(schema_, {obsequious_, incoherent_}), 2u);
+  EXPECT_EQ(ItemExtensionSize(schema_, {john_, jim_}), 1u);
+  NodeId empty = student_.AddClass("empty").value();
+  EXPECT_EQ(ItemExtensionSize(schema_, {empty, jim_}), 0u);
+}
+
+TEST_F(ItemTest, MaximalCommonDescendantsComparable) {
+  Item st{student_.root(), teacher_.root()};
+  Item oi{obsequious_, incoherent_};
+  std::vector<Item> mcd = ItemMaximalCommonDescendants(schema_, st, oi);
+  ASSERT_EQ(mcd.size(), 1u);
+  EXPECT_EQ(mcd[0], oi);
+}
+
+TEST_F(ItemTest, MaximalCommonDescendantsCrossPair) {
+  Item ot{obsequious_, teacher_.root()};
+  Item si{student_.root(), incoherent_};
+  std::vector<Item> mcd = ItemMaximalCommonDescendants(schema_, ot, si);
+  ASSERT_EQ(mcd.size(), 1u);
+  EXPECT_EQ(mcd[0], (Item{obsequious_, incoherent_}));
+}
+
+TEST_F(ItemTest, MaximalCommonDescendantsDisjoint) {
+  NodeId lazy = student_.AddClass("lazy").value();
+  Item a{lazy, teacher_.root()};
+  Item b{obsequious_, teacher_.root()};
+  EXPECT_TRUE(ItemMaximalCommonDescendants(schema_, a, b).empty());
+}
+
+TEST_F(ItemTest, ToStringUsesNodeNames) {
+  EXPECT_EQ(ItemToString(schema_, {obsequious_, jim_}), "(obsequious, jim)");
+}
+
+TEST_F(ItemTest, HashEqualItemsEqualHashes) {
+  ItemHash hash;
+  EXPECT_EQ(hash({john_, jim_}), hash({john_, jim_}));
+  // Order-sensitive (the components are raw node ids, so pick distinct
+  // values to make the swap observable).
+  EXPECT_NE(hash({1, 2}), hash({2, 1}));
+  EXPECT_NE(hash({1}), hash({1, 1}));
+}
+
+TEST_F(ItemTest, CloseUnderMcdAddsResolutionSites) {
+  std::vector<Item> items{{obsequious_, teacher_.root()},
+                          {student_.root(), incoherent_}};
+  ASSERT_TRUE(CloseUnderMaximalCommonDescendants(schema_, items).ok());
+  EXPECT_EQ(items.size(), 3u);
+  EXPECT_NE(std::find(items.begin(), items.end(),
+                      (Item{obsequious_, incoherent_})),
+            items.end());
+}
+
+TEST_F(ItemTest, CloseUnderMcdDeduplicates) {
+  std::vector<Item> items{{john_, jim_}, {john_, jim_}};
+  ASSERT_TRUE(CloseUnderMaximalCommonDescendants(schema_, items).ok());
+  EXPECT_EQ(items.size(), 1u);
+}
+
+TEST_F(ItemTest, CloseUnderMcdHonoursCap) {
+  std::vector<Item> items{{obsequious_, teacher_.root()},
+                          {student_.root(), incoherent_}};
+  Status s = CloseUnderMaximalCommonDescendants(schema_, items, 2);
+  EXPECT_TRUE(s.IsResourceExhausted());
+}
+
+TEST_F(ItemTest, TruthHelpers) {
+  EXPECT_STREQ(TruthToString(Truth::kPositive), "+");
+  EXPECT_STREQ(TruthToString(Truth::kNegative), "-");
+  EXPECT_EQ(Negate(Truth::kPositive), Truth::kNegative);
+  EXPECT_EQ(Negate(Truth::kNegative), Truth::kPositive);
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,170 @@
+#include "algebra/join.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/project.h"
+#include "core/explicate.h"
+#include "flat/flat_ops.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+
+void ExpectJoinMatchesFlat(const HierarchicalRelation& left,
+                           const HierarchicalRelation& right,
+                           const std::vector<std::pair<size_t, size_t>>& on) {
+  HierarchicalRelation joined = JoinOn(left, right, on).value();
+  std::vector<Item> hierarchical = Extension(joined).value();
+
+  FlatRelation lf = FlatRelation::FromRows("l", left.schema(),
+                                           Extension(left).value())
+                        .value();
+  FlatRelation rf = FlatRelation::FromRows("r", right.schema(),
+                                           Extension(right).value())
+                        .value();
+  FlatRelation expected = FlatJoinOn(lf, rf, on).value();
+  EXPECT_EQ(hierarchical, expected.Rows());
+}
+
+TEST(JoinTest, Fig11bColorJoinEnclosure) {
+  ElephantFixture f;
+  HierarchicalRelation joined =
+      NaturalJoin(*f.colors, *f.enclosure).value();
+  // Result schema: animal, color, sqft.
+  ASSERT_EQ(joined.schema().size(), 3u);
+  EXPECT_EQ(joined.schema().name(0), "animal");
+  EXPECT_EQ(joined.schema().name(1), "color");
+  EXPECT_EQ(joined.schema().name(2), "sqft");
+
+  std::vector<Item> extension = Extension(joined).value();
+  // clyde: dappled @ 3000 (royal inherits elephant's 3000).
+  // appu: white @ 2000 (indian overrides to 2000).
+  std::vector<Item> expected{{f.clyde, f.dappled, f.sz3000},
+                             {f.appu, f.white, f.sz2000}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(extension, expected);
+
+  ExpectJoinMatchesFlat(*f.colors, *f.enclosure, {{0, 0}});
+}
+
+TEST(JoinTest, Fig11cProjectionBackLosesNothing) {
+  ElephantFixture f;
+  // "Fig. 11 shows the join of two relations followed by a projection back
+  // on one of the original relations. Notice that there is no loss of
+  // information in the process."
+  HierarchicalRelation joined =
+      NaturalJoin(*f.colors, *f.enclosure).value();
+  HierarchicalRelation back =
+      Project(joined, std::vector<std::string>{"animal", "color"}).value();
+  EXPECT_EQ(Extension(back).value(), Extension(*f.colors).value());
+}
+
+TEST(JoinTest, SingleAttributeJoinIsIntersection) {
+  FlyingFixture f;
+  HierarchicalRelation* small =
+      f.db.CreateRelation("small", {{"who", "animal"}}).value();
+  ASSERT_TRUE(small->Insert({f.penguin}, Truth::kPositive).ok());
+  ExpectJoinMatchesFlat(*f.flies, *small, {{0, 0}});
+}
+
+TEST(JoinTest, OverlappingIncomparableClassesMeet) {
+  // R: A+, S: B+, with A,B incomparable but overlapping: the join must
+  // cover the overlap (via maximal common descendants).
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  NodeId a = h->AddClass("a").value();
+  NodeId b = h->AddClass("b").value();
+  NodeId m = h->AddClass("m", a).value();
+  ASSERT_TRUE(h->AddEdge(b, m).ok());
+  NodeId x = h->AddInstance(Value::String("x"), m).value();
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  HierarchicalRelation* s = db.CreateRelation("s", {{"v", "d"}}).value();
+  ASSERT_TRUE(r->Insert({a}, Truth::kPositive).ok());
+  ASSERT_TRUE(s->Insert({b}, Truth::kPositive).ok());
+
+  HierarchicalRelation joined = JoinOn(*r, *s, {{0, 0}}).value();
+  EXPECT_EQ(Extension(joined).value(), (std::vector<Item>{{x}}));
+  ExpectJoinMatchesFlat(*r, *s, {{0, 0}});
+}
+
+TEST(JoinTest, CartesianProductCombinesTruths) {
+  FlyingFixture f;
+  HierarchicalRelation* tiny =
+      f.db.CreateRelation("tiny", {{"other", "animal"}}).value();
+  ASSERT_TRUE(tiny->Insert({f.tweety}, Truth::kPositive).ok());
+  HierarchicalRelation product = CartesianProduct(*f.flies, *tiny).value();
+  EXPECT_EQ(product.schema().size(), 2u);
+  std::vector<Item> extension = Extension(product).value();
+  // ext(flies) x {tweety}.
+  std::vector<Item> expected{{f.tweety, f.tweety},
+                             {f.pamela, f.tweety},
+                             {f.patricia, f.tweety},
+                             {f.peter, f.tweety}};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(extension, expected);
+}
+
+TEST(JoinTest, NameCollisionsAreQualified) {
+  ElephantFixture f;
+  HierarchicalRelation* other = f.db.CreateRelation(
+      "other", {{"beast", "animal"}, {"color", "color"}}).value();
+  ASSERT_TRUE(other->Insert({f.elephant, f.grey}, Truth::kPositive).ok());
+  // Join on animal=beast: "color" appears on both sides.
+  HierarchicalRelation joined =
+      JoinOn(*f.colors, *other, {{0, 0}}).value();
+  ASSERT_EQ(joined.schema().size(), 3u);
+  EXPECT_EQ(joined.schema().name(2), "other.color");
+}
+
+TEST(JoinTest, MismatchedHierarchiesRejected) {
+  ElephantFixture f;
+  EXPECT_TRUE(JoinOn(*f.colors, *f.enclosure, {{0, 1}}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(JoinOn(*f.colors, *f.enclosure, {{9, 0}}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(JoinTest, NaturalJoinRejectsHierarchyMismatchOnSharedName) {
+  Database db;
+  Hierarchy* h1 = db.CreateHierarchy("d1").value();
+  Hierarchy* h2 = db.CreateHierarchy("d2").value();
+  (void)h1;
+  (void)h2;
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d1"}}).value();
+  HierarchicalRelation* s = db.CreateRelation("s", {{"v", "d2"}}).value();
+  EXPECT_TRUE(NaturalJoin(*r, *s).status().IsInvalidArgument());
+}
+
+TEST(JoinTest, DisjointJoinValuesProduceEmptyResult) {
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  NodeId a = h->AddClass("a").value();
+  NodeId b = h->AddClass("b").value();
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  HierarchicalRelation* s = db.CreateRelation("s", {{"v", "d"}}).value();
+  ASSERT_TRUE(r->Insert({a}, Truth::kPositive).ok());
+  ASSERT_TRUE(s->Insert({b}, Truth::kPositive).ok());
+  HierarchicalRelation joined = JoinOn(*r, *s, {{0, 0}}).value();
+  EXPECT_TRUE(Extension(joined).value().empty());
+}
+
+TEST(JoinTest, MatchesFlatOnRandomDatabases) {
+  for (uint64_t seed = 500; seed < 515; ++seed) {
+    testing::RandomFixtureOptions options;
+    options.num_classes = 6;
+    options.num_instances = 8;
+    options.num_tuples = 5;
+    testing::RandomDatabase left(seed, options);
+    testing::RandomDatabase right(seed + 10000, options);
+    // Rebuild the right relation over the left database's hierarchy so the
+    // join attribute shares a domain: join each relation with itself too.
+    ExpectJoinMatchesFlat(*left.relation(), *left.relation(), {{0, 0}});
+    ExpectJoinMatchesFlat(*right.relation(), *right.relation(), {{0, 0}});
+  }
+}
+
+}  // namespace
+}  // namespace hirel

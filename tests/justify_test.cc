@@ -1,0 +1,75 @@
+#include "algebra/justify.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(JustifyTest, Fig9ClydeGreySelectionJustification) {
+  ElephantFixture f;
+  // "Is Clyde grey?" — no: the royal-elephant cancellation applies.
+  Justification j = Explain(*f.colors, {f.clyde, f.grey}).value();
+  EXPECT_FALSE(j.conflict);
+  EXPECT_EQ(j.verdict, Truth::kNegative);
+  // Applicable: (elephant, grey)+ and (royal, grey)-; binder: the latter.
+  ASSERT_EQ(j.applicable.size(), 2u);
+  ASSERT_EQ(j.binders.size(), 1u);
+  EXPECT_EQ(f.colors->tuple(j.binders[0]).item, (Item{f.royal, f.grey}));
+  // Most specific first in the applicable list.
+  EXPECT_EQ(f.colors->tuple(j.applicable[0]).item, (Item{f.royal, f.grey}));
+  EXPECT_EQ(f.colors->tuple(j.applicable[1]).item,
+            (Item{f.elephant, f.grey}));
+}
+
+TEST(JustifyTest, PositiveVerdictWithChain) {
+  FlyingFixture f;
+  Justification j = Explain(*f.flies, {f.patricia}).value();
+  EXPECT_EQ(j.verdict, Truth::kPositive);
+  EXPECT_EQ(j.applicable.size(), 3u);
+  ASSERT_EQ(j.binders.size(), 1u);
+  EXPECT_EQ(f.flies->tuple(j.binders[0]).item, (Item{f.afp}));
+}
+
+TEST(JustifyTest, ClosedWorldJustification) {
+  FlyingFixture f;
+  NodeId rex = f.animal->AddInstance(Value::String("rex")).value();
+  Justification j = Explain(*f.flies, {rex}).value();
+  EXPECT_EQ(j.verdict, Truth::kNegative);
+  EXPECT_TRUE(j.applicable.empty());
+  EXPECT_TRUE(j.binders.empty());
+  std::string s = JustificationToString(*f.flies, j);
+  EXPECT_NE(s.find("closed world"), std::string::npos);
+}
+
+TEST(JustifyTest, ConflictSurfacesInJustification) {
+  RespectsFixture f(/*with_resolver=*/false);
+  Justification j =
+      Explain(*f.respects, {f.obsequious, f.incoherent}).value();
+  EXPECT_TRUE(j.conflict);
+  EXPECT_EQ(j.binders.size(), 2u);
+  std::string s = JustificationToString(*f.respects, j);
+  EXPECT_NE(s.find("CONFLICT"), std::string::npos);
+}
+
+TEST(JustifyTest, ToStringMarksBinders) {
+  FlyingFixture f;
+  Justification j = Explain(*f.flies, {f.paul}).value();
+  std::string s = JustificationToString(*f.flies, j);
+  EXPECT_NE(s.find("binds> - (penguin)"), std::string::npos);
+  EXPECT_NE(s.find("+ (bird)"), std::string::npos);
+}
+
+TEST(JustifyTest, ArityMismatch) {
+  FlyingFixture f;
+  EXPECT_TRUE(Explain(*f.flies, {f.bird, f.bird}).status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,101 @@
+#include "hql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hirel {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Tokenize("").value();
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndNormalised) {
+  std::vector<Token> tokens = Tokenize("select Select SELECT").value();
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  std::vector<Token> tokens = Tokenize("Tweety flying_creatures _x9").value();
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Tweety");
+  EXPECT_EQ(tokens[1].text, "flying_creatures");
+  EXPECT_EQ(tokens[2].text, "_x9");
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  std::vector<Token> tokens = Tokenize("3000 -12 2.5 -0.25").value();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[0].int_value, 3000);
+  EXPECT_EQ(tokens[1].int_value, -12);
+  EXPECT_EQ(tokens[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2.5);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, -0.25);
+}
+
+TEST(LexerTest, StringsBothQuoteStyles) {
+  std::vector<Token> tokens = Tokenize("'tweety' \"big bird\"").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "tweety");
+  EXPECT_EQ(tokens[1].text, "big bird");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerTest, Punctuation) {
+  std::vector<Token> tokens = Tokenize("( ) , ; : = *").value();
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].type, TokenType::kLeftParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRightParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[3].type, TokenType::kSemicolon);
+  EXPECT_EQ(tokens[4].type, TokenType::kColon);
+  EXPECT_EQ(tokens[5].type, TokenType::kEquals);
+  EXPECT_EQ(tokens[6].type, TokenType::kStar);
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  std::vector<Token> tokens =
+      Tokenize("assert -- this is a comment\n flies").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "ASSERT");
+  EXPECT_EQ(tokens[1].text, "flies");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  std::vector<Token> tokens = Tokenize("a\n  bb\ncc dd").value();
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[0].column, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[1].column, 3u);
+  EXPECT_EQ(tokens[2].line, 3u);
+  EXPECT_EQ(tokens[3].line, 3u);
+  EXPECT_EQ(tokens[3].column, 4u);
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsPosition) {
+  Status s = Tokenize("a @ b").status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("1:3"), std::string::npos);
+}
+
+TEST(LexerTest, ReservedWordPredicate) {
+  EXPECT_TRUE(IsReservedWord("select"));
+  EXPECT_TRUE(IsReservedWord("ALL"));
+  EXPECT_TRUE(IsReservedWord("Deny"));
+  EXPECT_FALSE(IsReservedWord("tweety"));
+}
+
+}  // namespace
+}  // namespace hirel

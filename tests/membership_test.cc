@@ -1,0 +1,95 @@
+#include "flat/membership_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+
+TEST(MembershipTest, MaterialisesDirectEdges) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  // One isa row per subsumption edge.
+  EXPECT_EQ(isa.size(), f.animal->dag().num_edges());
+  EXPECT_GT(isa.ApproxBytes(), 0u);
+}
+
+TEST(MembershipTest, MembersOfMatchesAtomsUnder) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  for (NodeId cls : f.animal->Classes()) {
+    std::vector<NodeId> via_joins = isa.MembersOf(cls);
+    std::sort(via_joins.begin(), via_joins.end());
+    EXPECT_EQ(via_joins, f.animal->AtomsUnder(cls))
+        << f.animal->NodeName(cls);
+  }
+}
+
+TEST(MembershipTest, IsMemberMatchesSubsumption) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  for (NodeId cls : f.animal->Classes()) {
+    for (NodeId inst : f.animal->Instances()) {
+      EXPECT_EQ(isa.IsMember(inst, cls), f.animal->Subsumes(cls, inst))
+          << f.animal->NodeName(cls) << " / " << f.animal->NodeName(inst);
+    }
+  }
+}
+
+TEST(MembershipTest, QueryStatsCountJoinPasses) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  MembershipQueryStats stats;
+  isa.MembersOf(f.animal->root(), &stats);
+  // The hierarchy is 4 levels deep (animal > bird > penguin > galapagos >
+  // instances): at least 4 join passes, and every isa row scanned at least
+  // once.
+  EXPECT_GE(stats.joins, 4u);
+  EXPECT_GE(stats.tuples_scanned, isa.size());
+}
+
+TEST(MembershipTest, DeeperClassesNeedFewerJoins) {
+  // The footnote's "repeated joins" degradation is depth-proportional.
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "deep", /*depth=*/6,
+                                             /*fanout=*/1,
+                                             /*instances_per_leaf=*/1);
+  MembershipTable isa(*h);
+  MembershipQueryStats from_root, from_leaf_class;
+  isa.MembersOf(h->root(), &from_root);
+  // The deepest class.
+  NodeId deepest = h->root();
+  while (!h->Children(deepest).empty() &&
+         h->is_class(h->Children(deepest)[0])) {
+    deepest = h->Children(deepest)[0];
+  }
+  isa.MembersOf(deepest, &from_leaf_class);
+  EXPECT_GT(from_root.joins, from_leaf_class.joins);
+}
+
+TEST(MembershipTest, IsMemberShortCircuits) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  MembershipQueryStats all, hit;
+  isa.MembersOf(f.animal->root(), &all);
+  isa.IsMember(f.tweety, f.bird, &hit);
+  EXPECT_LE(hit.tuples_scanned, all.tuples_scanned);
+  EXPECT_TRUE(isa.IsMember(f.tweety, f.tweety));
+  EXPECT_FALSE(isa.IsMember(f.tweety, f.penguin));
+}
+
+TEST(MembershipTest, MultipleInheritanceNotDoubleCounted) {
+  FlyingFixture f;
+  MembershipTable isa(*f.animal);
+  std::vector<NodeId> penguins = isa.MembersOf(f.penguin);
+  // patricia reachable via both galapagos and afp: once only.
+  EXPECT_EQ(std::count(penguins.begin(), penguins.end(), f.patricia), 1);
+}
+
+}  // namespace
+}  // namespace hirel

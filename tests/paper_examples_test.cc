@@ -1,0 +1,180 @@
+// End-to-end integration tests walking through every worked example in the
+// paper, in order, using the public API the way a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "algebra/justify.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "core/conflict.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "core/subsumption.h"
+#include "io/snapshot.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+using testing::LovesFixture;
+using testing::RespectsFixture;
+
+TEST(PaperExamplesTest, Section21FlyingCreatures) {
+  FlyingFixture f;
+  // Storage claim: 4 tuples instead of one per flying creature.
+  EXPECT_EQ(f.flies->size(), 4u);
+  EXPECT_EQ(Extension(*f.flies).value().size(), 4u);
+
+  // The whole cast of Section 2.1.
+  EXPECT_TRUE(Holds(*f.flies, {f.tweety}).value());
+  EXPECT_FALSE(Holds(*f.flies, {f.paul}).value());
+  EXPECT_TRUE(Holds(*f.flies, {f.pamela}).value());
+  EXPECT_TRUE(Holds(*f.flies, {f.patricia}).value());
+  EXPECT_TRUE(Holds(*f.flies, {f.peter}).value());
+}
+
+TEST(PaperExamplesTest, Section21GrowingTheHierarchyChangesExtensions) {
+  FlyingFixture f;
+  // "If class membership is determined as a function, one could
+  // potentially have an infinite number of values that belong to a class":
+  // adding members costs nothing in the relation.
+  size_t tuples_before = f.flies->size();
+  for (int i = 0; i < 100; ++i) {
+    NodeId n = f.animal
+                   ->AddInstance(Value::String("canary" + std::to_string(i)),
+                                 f.canary)
+                   .value();
+    EXPECT_TRUE(Holds(*f.flies, {n}).value());
+  }
+  EXPECT_EQ(f.flies->size(), tuples_before);
+  EXPECT_EQ(Extension(*f.flies).value().size(), 104u);
+}
+
+TEST(PaperExamplesTest, Section22RespectsConflictLifecycle) {
+  // Build the Fig. 3 relation the prescribed way: resolver before the
+  // exception.
+  RespectsFixture f(/*with_resolver=*/true);
+  EXPECT_TRUE(CheckAmbiguity(*f.respects).ok());
+
+  // Dropping the resolver re-creates the conflict of the dashed line.
+  ASSERT_TRUE(f.respects->EraseItem({f.obsequious, f.incoherent}).ok());
+  Status conflicted = CheckAmbiguity(*f.respects);
+  ASSERT_TRUE(conflicted.IsConflict());
+
+  // The minimal conflict-resolution set is exactly the item the paper
+  // inserts.
+  std::vector<ConflictSite> sites = FindConflicts(*f.respects).value();
+  ASSERT_EQ(sites.size(), 1u);
+  std::vector<Item> minimal = MinimalConflictResolutionSet(
+      f.respects->schema(),
+      f.respects->tuple(sites[0].binders[0]).item,
+      f.respects->tuple(sites[0].binders[1]).item);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], (Item{f.obsequious, f.incoherent}));
+}
+
+TEST(PaperExamplesTest, Section31ClydeRoyalElephant) {
+  ElephantFixture f;
+  // The full verdict matrix of Fig. 4.
+  struct Case {
+    NodeId animal;
+    NodeId color;
+    Truth expected;
+  };
+  std::vector<Case> cases{
+      {f.elephant, f.grey, Truth::kPositive},
+      {f.african, f.grey, Truth::kPositive},
+      {f.indian, f.grey, Truth::kPositive},
+      {f.royal, f.grey, Truth::kNegative},
+      {f.royal, f.white, Truth::kPositive},
+      {f.clyde, f.grey, Truth::kNegative},
+      {f.clyde, f.white, Truth::kNegative},
+      {f.clyde, f.dappled, Truth::kPositive},
+      {f.appu, f.grey, Truth::kNegative},
+      {f.appu, f.white, Truth::kPositive},
+      {f.appu, f.dappled, Truth::kNegative},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(InferTruth(*f.colors, {c.animal, c.color}).value(), c.expected)
+        << f.animal->NodeName(c.animal) << " / "
+        << f.color->NodeName(c.color);
+  }
+}
+
+TEST(PaperExamplesTest, Section332FullPipeline) {
+  // consolidate(explicate(R)) == extension, and consolidation after
+  // operators cleans up the redundant tuples the paper mentions.
+  LovesFixture f;
+  HierarchicalRelation uni = Union(*f.jill, *f.jack).value();
+  size_t before = uni.size();
+  ASSERT_TRUE(ConsolidateInPlace(uni).ok());
+  EXPECT_LT(uni.size(), before);
+  EXPECT_EQ(Extension(uni).value().size(), 5u);  // all birds
+}
+
+TEST(PaperExamplesTest, Section34SelectionsAndJustification) {
+  RespectsFixture f;
+  // Fig. 7.
+  HierarchicalRelation fig7 =
+      SelectEquals(*f.respects, "who", "obsequious_student").value();
+  EXPECT_FALSE(Extension(fig7).value().empty());
+  // Fig. 8.
+  HierarchicalRelation fig8 = SelectEquals(*f.respects, "who", "john").value();
+  std::vector<Item> ext = Extension(fig8).value();
+  ASSERT_EQ(ext.size(), 2u);  // john x {jim, wendy}
+
+  // Fig. 9 justification on the elephants.
+  ElephantFixture e;
+  Justification j = Explain(*e.colors, {e.clyde, e.grey}).value();
+  EXPECT_EQ(j.verdict, Truth::kNegative);
+  EXPECT_EQ(j.applicable.size(), 2u);
+}
+
+TEST(PaperExamplesTest, Fig11JoinProjectRoundTrip) {
+  ElephantFixture f;
+  HierarchicalRelation joined = NaturalJoin(*f.colors, *f.enclosure).value();
+  HierarchicalRelation back =
+      Project(joined, std::vector<std::string>{"animal", "color"}).value();
+  EXPECT_EQ(Extension(back).value(), Extension(*f.colors).value());
+}
+
+TEST(PaperExamplesTest, UpwardCompatibilityFlatRelationsWorkUnchanged) {
+  // Section 1/4: "Our model is upwards compatible with the standard
+  // relational model." A relation holding only atomic positive tuples
+  // behaves exactly like a flat relation under every operator.
+  FlyingFixture f;
+  HierarchicalRelation* plain =
+      f.db.CreateRelation("plain", {{"who", "animal"}}).value();
+  ASSERT_TRUE(plain->Insert({f.tweety}, Truth::kPositive).ok());
+  ASSERT_TRUE(plain->Insert({f.paul}, Truth::kPositive).ok());
+
+  // Extension is the tuple set itself.
+  EXPECT_EQ(Extension(*plain).value().size(), 2u);
+  // Consolidation removes nothing.
+  EXPECT_EQ(ConsolidateInPlace(*plain).value(), 0u);
+  // Explication is the identity.
+  EXPECT_EQ(Explicate(*plain).value().size(), 2u);
+  // Selection behaves classically.
+  HierarchicalRelation sel = SelectEquals(*plain, 0, f.tweety).value();
+  EXPECT_EQ(Extension(sel).value(), (std::vector<Item>{{f.tweety}}));
+}
+
+TEST(PaperExamplesTest, WholePaperDatabaseSurvivesPersistence) {
+  ElephantFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(data).value();
+  HierarchicalRelation* colors = loaded->GetRelation("color_of").value();
+  Hierarchy* animal = loaded->GetHierarchy("animal").value();
+  Hierarchy* color = loaded->GetHierarchy("color").value();
+  NodeId appu = animal->FindInstance(Value::String("appu")).value();
+  NodeId white = color->FindInstance(Value::String("white")).value();
+  EXPECT_EQ(InferTruth(*colors, {appu, white}).value(), Truth::kPositive);
+}
+
+}  // namespace
+}  // namespace hirel

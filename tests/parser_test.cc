@@ -1,0 +1,198 @@
+#include "hql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hirel {
+namespace hql {
+namespace {
+
+template <typename T>
+T ParseOne(const std::string& source) {
+  Result<std::vector<Statement>> parsed = ParseScript(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 1u);
+  const T* stmt = std::get_if<T>(&parsed->front());
+  EXPECT_NE(stmt, nullptr);
+  return *stmt;
+}
+
+TEST(ParserTest, CreateHierarchy) {
+  auto stmt = ParseOne<CreateHierarchyStmt>("CREATE HIERARCHY animal;");
+  EXPECT_EQ(stmt.name, "animal");
+}
+
+TEST(ParserTest, CreateClassWithParents) {
+  auto stmt =
+      ParseOne<CreateClassStmt>("create class afp in animal under penguin,"
+                                " bird;");
+  EXPECT_EQ(stmt.name, "afp");
+  EXPECT_EQ(stmt.hierarchy, "animal");
+  EXPECT_EQ(stmt.parents, (std::vector<std::string>{"penguin", "bird"}));
+}
+
+TEST(ParserTest, CreateClassWithoutParents) {
+  auto stmt = ParseOne<CreateClassStmt>("CREATE CLASS bird IN animal;");
+  EXPECT_TRUE(stmt.parents.empty());
+}
+
+TEST(ParserTest, CreateInstanceVariants) {
+  auto named =
+      ParseOne<CreateInstanceStmt>("CREATE INSTANCE tweety IN animal "
+                                   "UNDER canary;");
+  EXPECT_EQ(named.value, Value::String("tweety"));
+  auto quoted =
+      ParseOne<CreateInstanceStmt>("CREATE INSTANCE 'big bird' IN animal;");
+  EXPECT_EQ(quoted.value, Value::String("big bird"));
+  auto number = ParseOne<CreateInstanceStmt>("CREATE INSTANCE 3000 IN sz;");
+  EXPECT_EQ(number.value, Value::Int(3000));
+}
+
+TEST(ParserTest, CreateRelation) {
+  auto stmt = ParseOne<CreateRelationStmt>(
+      "CREATE RELATION color_of (animal: animal, color: color);");
+  EXPECT_EQ(stmt.name, "color_of");
+  ASSERT_EQ(stmt.attributes.size(), 2u);
+  EXPECT_EQ(stmt.attributes[0].first, "animal");
+  EXPECT_EQ(stmt.attributes[1].second, "color");
+}
+
+TEST(ParserTest, CreateAsSetOps) {
+  auto u = ParseOne<CreateAsStmt>("CREATE RELATION x AS a UNION b;");
+  EXPECT_EQ(u.op, CreateAsStmt::Op::kUnion);
+  auto i = ParseOne<CreateAsStmt>("CREATE RELATION x AS a INTERSECT b;");
+  EXPECT_EQ(i.op, CreateAsStmt::Op::kIntersect);
+  auto e = ParseOne<CreateAsStmt>("CREATE RELATION x AS a EXCEPT b;");
+  EXPECT_EQ(e.op, CreateAsStmt::Op::kExcept);
+  auto j = ParseOne<CreateAsStmt>("CREATE RELATION x AS a JOIN b;");
+  EXPECT_EQ(j.op, CreateAsStmt::Op::kJoin);
+  EXPECT_EQ(j.left, "a");
+  EXPECT_EQ(j.right, "b");
+}
+
+TEST(ParserTest, CreateAsProject) {
+  auto stmt = ParseOne<CreateProjectStmt>(
+      "CREATE RELATION x AS PROJECT r ON (a, b);");
+  EXPECT_EQ(stmt.source, "r");
+  EXPECT_EQ(stmt.attributes, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, FactStatements) {
+  auto a = ParseOne<FactStmt>("ASSERT flies(ALL bird);");
+  EXPECT_EQ(a.kind, FactStmt::Kind::kAssert);
+  ASSERT_EQ(a.terms.size(), 1u);
+  EXPECT_EQ(a.terms[0].kind, Term::Kind::kAll);
+  EXPECT_EQ(a.terms[0].name, "bird");
+
+  auto d = ParseOne<FactStmt>("DENY color_of(ALL royal, grey);");
+  EXPECT_EQ(d.kind, FactStmt::Kind::kDeny);
+  ASSERT_EQ(d.terms.size(), 2u);
+  EXPECT_EQ(d.terms[1].kind, Term::Kind::kName);
+
+  auto r = ParseOne<FactStmt>("RETRACT enclosure(ALL elephant, 3000);");
+  EXPECT_EQ(r.kind, FactStmt::Kind::kRetract);
+  EXPECT_EQ(r.terms[1].kind, Term::Kind::kLiteral);
+  EXPECT_EQ(r.terms[1].literal, Value::Int(3000));
+}
+
+TEST(ParserTest, SelectWithAndWithoutWhere) {
+  auto plain = ParseOne<SelectStmt>("SELECT * FROM flies;");
+  EXPECT_FALSE(plain.has_where);
+  auto where = ParseOne<SelectStmt>("SELECT * FROM flies WHERE who = paul;");
+  EXPECT_TRUE(where.has_where);
+  EXPECT_EQ(where.attribute, "who");
+  EXPECT_EQ(where.term.name, "paul");
+}
+
+TEST(ParserTest, ExplainExplicateConsolidateExtension) {
+  auto ex = ParseOne<ExplainStmt>("EXPLAIN flies(patricia);");
+  EXPECT_EQ(ex.relation, "flies");
+  auto con = ParseOne<ConsolidateStmt>("CONSOLIDATE respects;");
+  EXPECT_EQ(con.relation, "respects");
+  auto expl = ParseOne<ExplicateStmt>("EXPLICATE color_of ON (animal);");
+  EXPECT_EQ(expl.attributes, (std::vector<std::string>{"animal"}));
+  auto full = ParseOne<ExplicateStmt>("EXPLICATE color_of;");
+  EXPECT_TRUE(full.attributes.empty());
+  auto ext = ParseOne<ExtensionStmt>("EXTENSION flies;");
+  EXPECT_EQ(ext.relation, "flies");
+}
+
+TEST(ParserTest, ConnectAndPrefer) {
+  auto c = ParseOne<ConnectStmt>("CONNECT galapagos TO patricia IN animal;");
+  EXPECT_EQ(c.parent, "galapagos");
+  EXPECT_EQ(c.child, "patricia");
+  auto p = ParseOne<PreferStmt>("PREFER royal OVER indian IN animal;");
+  EXPECT_EQ(p.stronger, "royal");
+  EXPECT_EQ(p.weaker, "indian");
+}
+
+TEST(ParserTest, ShowDropSaveLoadHelp) {
+  auto sh = ParseOne<ShowStmt>("SHOW HIERARCHY animal;");
+  EXPECT_EQ(sh.what, ShowStmt::What::kHierarchy);
+  auto sr = ParseOne<ShowStmt>("SHOW RELATIONS;");
+  EXPECT_EQ(sr.what, ShowStmt::What::kRelations);
+  auto dr = ParseOne<DropStmt>("DROP RELATION flies;");
+  EXPECT_FALSE(dr.hierarchy);
+  auto dh = ParseOne<DropStmt>("DROP HIERARCHY animal;");
+  EXPECT_TRUE(dh.hierarchy);
+  auto sv = ParseOne<SaveStmt>("SAVE '/tmp/db.hirel';");
+  EXPECT_EQ(sv.path, "/tmp/db.hirel");
+  auto ld = ParseOne<LoadStmt>("LOAD '/tmp/db.hirel';");
+  EXPECT_EQ(ld.path, "/tmp/db.hirel");
+  ParseOne<HelpStmt>("HELP;");
+}
+
+TEST(ParserTest, MultipleStatements) {
+  auto parsed = ParseScript(
+      "CREATE HIERARCHY a; CREATE HIERARCHY b; SHOW HIERARCHIES;");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsCarryLineInfo) {
+  Status s = ParseScript("CREATE RELATION r (a animal);").status();
+  ASSERT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, MissingSemicolonFails) {
+  EXPECT_TRUE(ParseScript("HELP").status().IsParseError());
+}
+
+TEST(ParserTest, GarbageStatementFails) {
+  EXPECT_TRUE(ParseScript("FROBNICATE x;").status().IsParseError());
+  EXPECT_TRUE(ParseScript("CREATE SOMETHING x;").status().IsParseError());
+  EXPECT_TRUE(
+      ParseScript("CREATE RELATION x AS a MINUS b;").status().IsParseError());
+}
+
+
+// Robustness: random token soup must never crash the lexer or parser —
+// only produce parse errors (or occasionally parse, which is fine).
+TEST(ParserTest, RandomTokenSoupNeverCrashes) {
+  const char* fragments[] = {
+      "CREATE",  "HIERARCHY", "RELATION", "ASSERT", "DENY",   "SELECT",
+      "(",       ")",         ",",        ";",      ":",      "=",
+      "*",       "ALL",       "flies",    "bird",   "'str'",  "42",
+      "3.5",     "WHERE",     "FROM",     "JOIN",   "--x\n", "RULE",
+      "BEGIN",   "COMMIT",    "DROP",     "SHOW",   "BY",     "?",
+  };
+  Random rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string script;
+    size_t len = 1 + rng.Index(20);
+    for (size_t i = 0; i < len; ++i) {
+      script += fragments[rng.Index(std::size(fragments))];
+      script += " ";
+    }
+    script += ";";
+    // Must not crash; status may be anything.
+    Result<std::vector<Statement>> parsed = ParseScript(script);
+    (void)parsed;
+  }
+}
+
+}  // namespace
+}  // namespace hql
+}  // namespace hirel

@@ -1,0 +1,154 @@
+// Tests for the appendix's alternative preemption semantics, including the
+// worked Patricia/Pamela cases and cross-mode comparisons.
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+
+InferenceOptions Mode(PreemptionMode mode) {
+  InferenceOptions options;
+  options.preemption = mode;
+  return options;
+}
+
+TEST(PreemptionTest, OffPathIsTheDefaultAndResolvesPatricia) {
+  FlyingFixture f;
+  EXPECT_EQ(InferTruth(*f.flies, {f.patricia}).value(), Truth::kPositive);
+}
+
+TEST(PreemptionTest, OnPathPatriciaIsConflicted) {
+  // "on-path preemption would suggest that since Patricia is a Galapagos
+  // penguin, it may or may not be able to fly, in spite of its being an
+  // amazing flying penguin, and in spite of nothing having been explicitly
+  // stated about Galapagos penguins!"
+  FlyingFixture f;
+  Result<Truth> r =
+      InferTruth(*f.flies, {f.patricia}, Mode(PreemptionMode::kOnPath));
+  EXPECT_TRUE(r.status().IsConflict());
+}
+
+TEST(PreemptionTest, OnPathAgreesWithOffPathElsewhere) {
+  FlyingFixture f;
+  for (NodeId atom : {f.tweety, f.paul, f.pamela, f.peter}) {
+    EXPECT_EQ(
+        InferTruth(*f.flies, {atom}, Mode(PreemptionMode::kOnPath)).value(),
+        InferTruth(*f.flies, {atom}).value())
+        << f.animal->NodeName(atom);
+  }
+}
+
+TEST(PreemptionTest, NoPreemptionConflictsOnAnyMixedApplicables) {
+  // Under no-preemption even Paul conflicts: bird+ and penguin- both bind.
+  FlyingFixture f;
+  Result<Truth> paul =
+      InferTruth(*f.flies, {f.paul}, Mode(PreemptionMode::kNone));
+  EXPECT_TRUE(paul.status().IsConflict());
+  // Tweety has only bird+ applicable: fine in all modes.
+  EXPECT_EQ(
+      InferTruth(*f.flies, {f.tweety}, Mode(PreemptionMode::kNone)).value(),
+      Truth::kPositive);
+}
+
+TEST(PreemptionTest, RedundantEdgeRetainedMakesPamelaConflicted) {
+  // Appendix: "a redundant link in the hierarchy of Fig. 1 could be used
+  // to state that Pamela is a Penguin. Since all immediate predecessors of
+  // a node in its tuple-binding graph are involved ... there would be a
+  // conflict at Pamela."
+  Database db;
+  Hierarchy* animal =
+      db.CreateHierarchy("animal",
+                         HierarchyOptions{.keep_redundant_edges = true})
+          .value();
+  NodeId bird = animal->AddClass("bird").value();
+  NodeId penguin = animal->AddClass("penguin", bird).value();
+  NodeId afp = animal->AddClass("afp", penguin).value();
+  NodeId pamela = animal->AddInstance(Value::String("pamela"), afp).value();
+  // The redundant direct edge penguin -> pamela.
+  ASSERT_TRUE(animal->AddEdge(penguin, pamela).ok());
+
+  HierarchicalRelation* flies =
+      db.CreateRelation("flies", {{"who", "animal"}}).value();
+  ASSERT_TRUE(flies->Insert({bird}, Truth::kPositive).ok());
+  ASSERT_TRUE(flies->Insert({penguin}, Truth::kNegative).ok());
+  ASSERT_TRUE(flies->Insert({afp}, Truth::kPositive).ok());
+
+  // On-path semantics (redundant edges retained): pamela is conflicted.
+  Result<Truth> r =
+      InferTruth(*flies, {pamela}, Mode(PreemptionMode::kOnPath));
+  EXPECT_TRUE(r.status().IsConflict());
+}
+
+TEST(PreemptionTest, OffPathHierarchyDropsThatRedundantEdge) {
+  // With the default options the same AddEdge is a no-op, so Pamela stays
+  // unambiguous — the representation-level guarantee off-path relies on.
+  FlyingFixture f;
+  ASSERT_TRUE(f.animal->AddEdge(f.penguin, f.pamela).ok());
+  EXPECT_FALSE(f.animal->dag().HasEdge(f.penguin, f.pamela));
+  EXPECT_EQ(InferTruth(*f.flies, {f.pamela}).value(), Truth::kPositive);
+}
+
+TEST(PreemptionTest, PreferenceEdgesResolveMultipleInheritanceConflict) {
+  // Appendix: "whenever there is a conflict at a node ... the conflict may
+  // be resolved through the special edge."
+  FlyingFixture f;
+  ASSERT_TRUE(f.flies->Insert({f.galapagos}, Truth::kNegative).ok());
+  ASSERT_TRUE(
+      InferTruth(*f.flies, {f.patricia}).status().IsConflict());
+  // Prefer the AFP reading over the galapagos reading.
+  ASSERT_TRUE(f.animal->AddPreferenceEdge(f.galapagos, f.afp).ok());
+  EXPECT_EQ(InferTruth(*f.flies, {f.patricia}).value(), Truth::kPositive);
+  // And the database is consistent again.
+  EXPECT_TRUE(CheckAmbiguity(*f.flies).ok());
+}
+
+TEST(PreemptionTest, PreferenceEdgeOppositeDirection) {
+  FlyingFixture f;
+  ASSERT_TRUE(f.flies->Insert({f.galapagos}, Truth::kNegative).ok());
+  ASSERT_TRUE(f.animal->AddPreferenceEdge(f.afp, f.galapagos).ok());
+  EXPECT_EQ(InferTruth(*f.flies, {f.patricia}).value(), Truth::kNegative);
+}
+
+TEST(PreemptionTest, ConsolidateUnderNoPreemption) {
+  // Under no-preemption, a more specific tuple with the OPPOSITE truth
+  // value cannot override, so the only consistent relations are those
+  // whose applicable sets agree; redundancy collapses to "any applicable
+  // tuple of the same truth".
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  NodeId a = h->AddClass("a").value();
+  NodeId b = h->AddClass("b", a).value();
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  ASSERT_TRUE(r->Insert({a}, Truth::kPositive).ok());
+  ASSERT_TRUE(r->Insert({b}, Truth::kPositive).ok());
+  EXPECT_EQ(ConsolidateInPlace(*r, Mode(PreemptionMode::kNone)).value(), 1u);
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(PreemptionTest, ExtensionUnderDifferentModesCanDiffer) {
+  FlyingFixture f;
+  ExplicateOptions off;
+  ExplicateOptions on;
+  on.inference = Mode(PreemptionMode::kOnPath);
+  std::vector<Item> ext_off = Extension(*f.flies, off).value();
+  // On-path explication: the paper's algorithm processes most specific
+  // first, so Patricia is claimed by the AFP tuple before the conflict
+  // would be observed; the extension is computed, but inference at
+  // Patricia conflicts. We assert the *inference-level* disagreement.
+  EXPECT_TRUE(InferTruth(*f.flies, {f.patricia},
+                         Mode(PreemptionMode::kOnPath))
+                  .status()
+                  .IsConflict());
+  EXPECT_EQ(ext_off.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,226 @@
+// Property-based tests: on randomized consistent databases, every
+// hierarchical operator must commute with explication, i.e.
+// ext(op_h(R, S)) == op_flat(ext(R), ext(S)), and the two new operators
+// must preserve the extension. These are the semantic guarantees Section 3
+// states ("the semantics of relational operators is not altered even in
+// the case of hierarchical relations").
+
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "common/random.h"
+#include "core/conflict.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "flat/flat_ops.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+class OperatorProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// Builds a second consistent relation over the same single-attribute
+  /// domain as `rdb`.
+  HierarchicalRelation* MakeSecondRelation(testing::RandomDatabase& rdb,
+                                           uint64_t seed) {
+    HierarchicalRelation* s =
+        rdb.db().CreateRelation("s", {{"a0", "domain0"}}).value();
+    Random rng(seed);
+    std::vector<NodeId> nodes = rdb.hierarchy(0)->Nodes();
+    for (int i = 0; i < 6; ++i) {
+      Item item{nodes[rng.Index(nodes.size())]};
+      Truth truth =
+          rng.Bernoulli(0.4) ? Truth::kNegative : Truth::kPositive;
+      (void)s->Insert(item, truth);
+    }
+    while (!CheckAmbiguity(*s).ok()) {
+      std::vector<TupleId> ids = s->TupleIds();
+      EXPECT_FALSE(ids.empty());
+      EXPECT_TRUE(s->Erase(ids.back()).ok());
+    }
+    return s;
+  }
+
+  FlatRelation Flatten(const HierarchicalRelation& r) {
+    return FlatRelation::FromRows("flat", r.schema(), Extension(r).value())
+        .value();
+  }
+};
+
+TEST_P(OperatorProperty, ConsolidatePreservesExtensionAndIsMinimal) {
+  testing::RandomFixtureOptions options;
+  options.num_tuples = 9;
+  testing::RandomDatabase rdb(GetParam(), options);
+  HierarchicalRelation* r = rdb.relation();
+  std::vector<Item> before = Extension(*r).value();
+  ASSERT_TRUE(ConsolidateInPlace(*r).ok());
+  EXPECT_EQ(Extension(*r).value(), before);
+  // Minimality: no surviving tuple is redundant.
+  for (TupleId id : r->TupleIds()) {
+    EXPECT_FALSE(IsRedundant(*r, id).value());
+  }
+}
+
+TEST_P(OperatorProperty, ExplicateEqualsBruteForceInference) {
+  testing::RandomDatabase rdb(GetParam() + 5000, {});
+  HierarchicalRelation* r = rdb.relation();
+  std::vector<Item> extension = Extension(*r).value();
+  std::vector<Item> brute;
+  for (NodeId atom : rdb.hierarchy(0)->Instances()) {
+    if (Holds(*r, {atom}).value()) brute.push_back({atom});
+  }
+  std::sort(brute.begin(), brute.end());
+  EXPECT_EQ(extension, brute);
+}
+
+TEST_P(OperatorProperty, SelectCommutesWithExplication) {
+  testing::RandomDatabase rdb(GetParam() + 10000, {});
+  HierarchicalRelation* r = rdb.relation();
+  FlatRelation flat = Flatten(*r);
+  Random rng(GetParam() + 1);
+  std::vector<NodeId> nodes = rdb.hierarchy(0)->Nodes();
+  for (int probe = 0; probe < 4; ++probe) {
+    NodeId node = nodes[rng.Index(nodes.size())];
+    HierarchicalRelation selected = SelectEquals(*r, 0, node).value();
+    FlatRelation expected = FlatSelectEquals(flat, 0, node).value();
+    EXPECT_EQ(Extension(selected).value(), expected.Rows())
+        << "selecting " << rdb.hierarchy(0)->NodeName(node);
+  }
+}
+
+TEST_P(OperatorProperty, SetOpsCommuteWithExplication) {
+  testing::RandomDatabase rdb(GetParam() + 20000, {});
+  HierarchicalRelation* r = rdb.relation();
+  HierarchicalRelation* s = MakeSecondRelation(rdb, GetParam() * 17 + 3);
+  FlatRelation rf = Flatten(*r);
+  FlatRelation sf = Flatten(*s);
+
+  EXPECT_EQ(Extension(Union(*r, *s).value()).value(),
+            FlatUnion(rf, sf).value().Rows());
+  EXPECT_EQ(Extension(Intersect(*r, *s).value()).value(),
+            FlatIntersect(rf, sf).value().Rows());
+  EXPECT_EQ(Extension(Difference(*r, *s).value()).value(),
+            FlatDifference(rf, sf).value().Rows());
+  EXPECT_EQ(Extension(Difference(*s, *r).value()).value(),
+            FlatDifference(sf, rf).value().Rows());
+}
+
+TEST_P(OperatorProperty, JoinCommutesWithExplication) {
+  testing::RandomDatabase rdb(GetParam() + 30000, {});
+  HierarchicalRelation* r = rdb.relation();
+  HierarchicalRelation* s = MakeSecondRelation(rdb, GetParam() * 13 + 1);
+  FlatRelation rf = Flatten(*r);
+  FlatRelation sf = Flatten(*s);
+  HierarchicalRelation joined = JoinOn(*r, *s, {{0, 0}}).value();
+  FlatRelation expected = FlatJoinOn(rf, sf, {{0, 0}}).value();
+  EXPECT_EQ(Extension(joined).value(), expected.Rows());
+}
+
+TEST_P(OperatorProperty, ProjectCommutesWithExplication) {
+  testing::RandomFixtureOptions options;
+  options.num_attributes = 2;
+  options.num_classes = 5;
+  options.num_instances = 7;
+  options.num_tuples = 5;
+  testing::RandomDatabase rdb(GetParam() + 40000, options);
+  HierarchicalRelation* r = rdb.relation();
+  FlatRelation flat = Flatten(*r);
+  for (size_t keep : {size_t{0}, size_t{1}}) {
+    HierarchicalRelation projected = Project(*r, std::vector<size_t>{keep}).value();
+    FlatRelation expected = FlatProject(flat, {keep}).value();
+    EXPECT_EQ(Extension(projected).value(), expected.Rows())
+        << "keeping attribute " << keep;
+  }
+}
+
+TEST_P(OperatorProperty, DerivedRelationsAreConsistent) {
+  // Operator results must themselves satisfy the ambiguity constraint.
+  testing::RandomDatabase rdb(GetParam() + 50000, {});
+  HierarchicalRelation* r = rdb.relation();
+  HierarchicalRelation* s = MakeSecondRelation(rdb, GetParam() * 11 + 9);
+  EXPECT_TRUE(CheckAmbiguity(Union(*r, *s).value()).ok());
+  EXPECT_TRUE(CheckAmbiguity(Intersect(*r, *s).value()).ok());
+  EXPECT_TRUE(CheckAmbiguity(Difference(*r, *s).value()).ok());
+}
+
+TEST_P(OperatorProperty, MultiAttributeConsolidateAndConflicts) {
+  testing::RandomFixtureOptions options;
+  options.num_attributes = 2;
+  options.num_classes = 5;
+  options.num_instances = 6;
+  options.num_tuples = 6;
+  testing::RandomDatabase rdb(GetParam() + 60000, options);
+  HierarchicalRelation* r = rdb.relation();
+  EXPECT_TRUE(CheckAmbiguity(*r).ok());
+  std::vector<Item> before = Extension(*r).value();
+  ASSERT_TRUE(ConsolidateInPlace(*r).ok());
+  EXPECT_EQ(Extension(*r).value(), before);
+  EXPECT_TRUE(CheckAmbiguity(*r).ok());
+}
+
+
+TEST_P(OperatorProperty, TwoAttributeSetOpsCommuteWithExplication) {
+  testing::RandomFixtureOptions options;
+  options.num_attributes = 2;
+  options.num_classes = 5;
+  options.num_instances = 6;
+  options.num_tuples = 5;
+  testing::RandomDatabase rdb(GetParam() + 70000, options);
+  HierarchicalRelation* r = rdb.relation();
+
+  // A second consistent relation over the same two-attribute schema.
+  HierarchicalRelation* s = rdb.db()
+                                .CreateRelation("s2", {{"a0", "domain0"},
+                                                       {"a1", "domain1"}})
+                                .value();
+  Random rng(GetParam() * 23 + 5);
+  std::vector<NodeId> n0 = rdb.hierarchy(0)->Nodes();
+  std::vector<NodeId> n1 = rdb.hierarchy(1)->Nodes();
+  for (int i = 0; i < 5; ++i) {
+    Item item{n0[rng.Index(n0.size())], n1[rng.Index(n1.size())]};
+    Truth truth = rng.Bernoulli(0.4) ? Truth::kNegative : Truth::kPositive;
+    (void)s->Insert(item, truth);
+  }
+  while (!CheckAmbiguity(*s).ok()) {
+    std::vector<TupleId> ids = s->TupleIds();
+    ASSERT_FALSE(ids.empty());
+    ASSERT_TRUE(s->Erase(ids.back()).ok());
+  }
+
+  FlatRelation rf = Flatten(*r);
+  FlatRelation sf = Flatten(*s);
+  EXPECT_EQ(Extension(Union(*r, *s).value()).value(),
+            FlatUnion(rf, sf).value().Rows());
+  EXPECT_EQ(Extension(Intersect(*r, *s).value()).value(),
+            FlatIntersect(rf, sf).value().Rows());
+  EXPECT_EQ(Extension(Difference(*r, *s).value()).value(),
+            FlatDifference(rf, sf).value().Rows());
+
+  // And a join on the first attribute (schemas share both hierarchies).
+  HierarchicalRelation joined = JoinOn(*r, *s, {{0, 0}}).value();
+  FlatRelation expected = FlatJoinOn(rf, sf, {{0, 0}}).value();
+  EXPECT_EQ(Extension(joined).value(), expected.Rows());
+}
+
+TEST_P(OperatorProperty, SelectWhereCommutesWithExplication) {
+  testing::RandomDatabase rdb(GetParam() + 80000, {});
+  HierarchicalRelation* r = rdb.relation();
+  FlatRelation flat = Flatten(*r);
+  auto predicate = [](const Value& v) {
+    return !v.AsString().empty() && v.AsString().back() % 2 == 0;
+  };
+  HierarchicalRelation selected = SelectWhere(*r, 0, predicate).value();
+  FlatRelation expected = FlatSelectWhere(flat, 0, predicate).value();
+  EXPECT_EQ(Extension(selected).value(), expected.Rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorProperty,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace hirel

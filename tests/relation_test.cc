@@ -1,0 +1,183 @@
+#include "core/hierarchical_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+
+TEST(RelationTest, InsertAndLookup) {
+  FlyingFixture f;
+  EXPECT_EQ(f.flies->size(), 4u);
+  EXPECT_EQ(f.flies->TruthAt({f.bird}), Truth::kPositive);
+  EXPECT_EQ(f.flies->TruthAt({f.penguin}), Truth::kNegative);
+  EXPECT_EQ(f.flies->TruthAt({f.tweety}), std::nullopt);
+  ASSERT_TRUE(f.flies->FindItem({f.peter}).has_value());
+}
+
+TEST(RelationTest, DuplicateTupleRejected) {
+  FlyingFixture f;
+  Result<TupleId> r = f.flies->Insert({f.bird}, Truth::kPositive);
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST(RelationTest, ContradictoryTupleRejected) {
+  FlyingFixture f;
+  Result<TupleId> r = f.flies->Insert({f.bird}, Truth::kNegative);
+  EXPECT_TRUE(r.status().IsIntegrityViolation());
+}
+
+TEST(RelationTest, UpsertReplacesTruth) {
+  FlyingFixture f;
+  ASSERT_TRUE(f.flies->Upsert({f.bird}, Truth::kNegative).ok());
+  EXPECT_EQ(f.flies->TruthAt({f.bird}), Truth::kNegative);
+  EXPECT_EQ(f.flies->size(), 4u);
+  ASSERT_TRUE(f.flies->Upsert({f.canary}, Truth::kPositive).ok());
+  EXPECT_EQ(f.flies->size(), 5u);
+}
+
+TEST(RelationTest, ArityAndLivenessValidated) {
+  FlyingFixture f;
+  EXPECT_TRUE(
+      f.flies->Insert({f.bird, f.bird}, Truth::kPositive).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(f.flies->Insert({kInvalidNode}, Truth::kPositive)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(RelationTest, EraseByIdAndItem) {
+  FlyingFixture f;
+  std::optional<TupleId> id = f.flies->FindItem({f.peter});
+  ASSERT_TRUE(id.has_value());
+  ASSERT_TRUE(f.flies->Erase(*id).ok());
+  EXPECT_FALSE(f.flies->alive(*id));
+  EXPECT_EQ(f.flies->size(), 3u);
+  EXPECT_TRUE(f.flies->Erase(*id).IsNotFound());
+  ASSERT_TRUE(f.flies->EraseItem({f.afp}).ok());
+  EXPECT_TRUE(f.flies->EraseItem({f.afp}).IsNotFound());
+  // Item can be re-inserted after erasure, with either truth.
+  EXPECT_TRUE(f.flies->Insert({f.afp}, Truth::kNegative).ok());
+}
+
+TEST(RelationTest, TupleIdsSkipDead) {
+  FlyingFixture f;
+  std::vector<TupleId> before = f.flies->TupleIds();
+  ASSERT_TRUE(f.flies->Erase(before[1]).ok());
+  std::vector<TupleId> after = f.flies->TupleIds();
+  EXPECT_EQ(after.size(), before.size() - 1);
+  for (TupleId id : after) EXPECT_NE(id, before[1]);
+}
+
+TEST(RelationTest, TuplesSubsumingFindsApplicable) {
+  FlyingFixture f;
+  // Paul (a galapagos penguin): bird+ and penguin- apply; afp+ and peter+
+  // do not.
+  std::vector<TupleId> applicable = f.flies->TuplesSubsuming({f.paul});
+  ASSERT_EQ(applicable.size(), 2u);
+  EXPECT_EQ(f.flies->tuple(applicable[0]).item, (Item{f.bird}));
+  EXPECT_EQ(f.flies->tuple(applicable[1]).item, (Item{f.penguin}));
+  // Patricia: three tuples apply (bird, penguin, afp).
+  EXPECT_EQ(f.flies->TuplesSubsuming({f.patricia}).size(), 3u);
+  // Peter: all four.
+  EXPECT_EQ(f.flies->TuplesSubsuming({f.peter}).size(), 4u);
+}
+
+TEST(RelationTest, TuplesSubsumedBy) {
+  FlyingFixture f;
+  // Under "bird": bird+, penguin-, afp+, peter+ are all subsumed.
+  EXPECT_EQ(f.flies->TuplesSubsumedBy({f.bird}).size(), 4u);
+  EXPECT_EQ(f.flies->TuplesSubsumedBy({f.penguin}).size(), 3u);
+  EXPECT_EQ(f.flies->TuplesSubsumedBy({f.peter}).size(), 1u);
+}
+
+TEST(RelationTest, ClearEmptiesRelation) {
+  FlyingFixture f;
+  f.flies->Clear();
+  EXPECT_TRUE(f.flies->empty());
+  EXPECT_TRUE(f.flies->TupleIds().empty());
+  EXPECT_TRUE(f.flies->Insert({f.bird}, Truth::kNegative).ok());
+}
+
+TEST(RelationTest, CoveredAtomCountUsesPositiveTuplesOnly) {
+  FlyingFixture f;
+  // bird covers 5 instances; afp covers 3; peter covers 1. penguin- is
+  // ignored. (Overlap is intentionally not deduplicated: this is a storage
+  // upper bound.)
+  EXPECT_EQ(f.flies->CoveredAtomCount(), 9u);
+}
+
+TEST(RelationTest, ToStringShowsQuantifiedClasses) {
+  FlyingFixture f;
+  std::string s = f.flies->ToString();
+  EXPECT_NE(s.find("+ ALL bird"), std::string::npos);
+  EXPECT_NE(s.find("- ALL penguin"), std::string::npos);
+  EXPECT_NE(s.find("+ peter"), std::string::npos);
+}
+
+TEST(RelationTest, ApproxBytesPositive) {
+  FlyingFixture f;
+  EXPECT_GT(f.flies->ApproxBytes(), 0u);
+}
+
+// The inverted index behind TuplesSubsuming/TuplesSubsumedBy must agree
+// with a brute-force scan, including after erasures.
+TEST(RelationTest, InvertedIndexMatchesBruteForce) {
+  for (uint64_t seed = 40; seed < 55; ++seed) {
+    testing::RandomFixtureOptions options;
+    options.num_attributes = 2;
+    options.num_classes = 6;
+    options.num_instances = 8;
+    options.num_tuples = 8;
+    testing::RandomDatabase rdb(seed, options);
+    HierarchicalRelation* r = rdb.relation();
+    // Erase a tuple to exercise index maintenance.
+    std::vector<TupleId> ids = r->TupleIds();
+    if (ids.size() > 2) {
+      ASSERT_TRUE(r->Erase(ids[ids.size() / 2]).ok());
+    }
+
+    auto brute_subsuming = [&](const Item& item) {
+      std::vector<TupleId> out;
+      for (TupleId id : r->TupleIds()) {
+        if (ItemSubsumes(r->schema(), r->tuple(id).item, item)) {
+          out.push_back(id);
+        }
+      }
+      return out;
+    };
+    auto brute_subsumed = [&](const Item& item) {
+      std::vector<TupleId> out;
+      for (TupleId id : r->TupleIds()) {
+        if (ItemSubsumes(r->schema(), item, r->tuple(id).item)) {
+          out.push_back(id);
+        }
+      }
+      return out;
+    };
+
+    Random rng(seed * 3 + 1);
+    for (int probe = 0; probe < 10; ++probe) {
+      std::vector<NodeId> n0 = rdb.hierarchy(0)->Nodes();
+      std::vector<NodeId> n1 = rdb.hierarchy(1)->Nodes();
+      Item item{n0[rng.Index(n0.size())], n1[rng.Index(n1.size())]};
+      EXPECT_EQ(r->TuplesSubsuming(item), brute_subsuming(item))
+          << "seed " << seed;
+      EXPECT_EQ(r->TuplesSubsumedBy(item), brute_subsumed(item))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(RelationTest, PreemptionModeNames) {
+  EXPECT_STREQ(PreemptionModeToString(PreemptionMode::kOffPath), "off-path");
+  EXPECT_STREQ(PreemptionModeToString(PreemptionMode::kOnPath), "on-path");
+  EXPECT_STREQ(PreemptionModeToString(PreemptionMode::kNone), "none");
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,65 @@
+#include "algebra/rename.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/join.h"
+#include "core/explicate.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::RespectsFixture;
+
+TEST(RenameTest, RenamesListedAttributesOnly) {
+  RespectsFixture f;
+  HierarchicalRelation renamed =
+      Rename(*f.respects, {{"who", "admirer"}}).value();
+  EXPECT_EQ(renamed.schema().name(0), "admirer");
+  EXPECT_EQ(renamed.schema().name(1), "whom");
+  EXPECT_EQ(renamed.size(), f.respects->size());
+  EXPECT_EQ(Extension(renamed).value(), Extension(*f.respects).value());
+}
+
+TEST(RenameTest, MultipleRenamesAndSwaps) {
+  RespectsFixture f;
+  HierarchicalRelation swapped =
+      Rename(*f.respects, {{"who", "whom"}, {"whom", "who"}}).value();
+  EXPECT_EQ(swapped.schema().name(0), "whom");
+  EXPECT_EQ(swapped.schema().name(1), "who");
+}
+
+TEST(RenameTest, UnknownAttributeFails) {
+  RespectsFixture f;
+  EXPECT_TRUE(
+      Rename(*f.respects, {{"nobody", "x"}}).status().IsNotFound());
+}
+
+TEST(RenameTest, CollisionFails) {
+  RespectsFixture f;
+  EXPECT_TRUE(
+      Rename(*f.respects, {{"who", "whom"}}).status().IsAlreadyExists());
+}
+
+TEST(RenameTest, EnablesSelfJoin) {
+  // The classical use: join a relation with itself on different roles.
+  ElephantFixture f;
+  HierarchicalRelation renamed =
+      Rename(*f.colors, {{"color", "other_color"}}).value();
+  // Natural join now only shares "animal": pairs each animal's colors.
+  HierarchicalRelation joined = NaturalJoin(*f.colors, renamed).value();
+  ASSERT_EQ(joined.schema().size(), 3u);
+  EXPECT_EQ(joined.schema().name(2), "other_color");
+  // clyde: (dappled, dappled) is the only surviving pair.
+  std::vector<Item> ext = Extension(joined).value();
+  for (const Item& row : ext) {
+    if (row[0] == f.clyde) {
+      EXPECT_EQ(row[1], f.dappled);
+      EXPECT_EQ(row[2], f.dappled);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hirel

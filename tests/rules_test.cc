@@ -1,0 +1,296 @@
+#include "rules/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+
+/// Fig. 1 database plus an empty travels_far relation, the paper's own
+/// example of what the Datalog layer should recover.
+struct RulesFixture {
+  RulesFixture() : engine(&zoo.db) {
+    travels_far =
+        zoo.db.CreateRelation("travels_far", {{"who", "animal"}}).value();
+    grounded =
+        zoo.db.CreateRelation("grounded", {{"who", "animal"}}).value();
+  }
+  FlyingFixture zoo;
+  HierarchicalRelation* travels_far;
+  HierarchicalRelation* grounded;
+  RuleEngine engine;
+};
+
+TEST(RulesTest, TweetyCanTravelFar) {
+  // "we lose the ability to infer automatically ... that Tweety can travel
+  // far since flying things can travel far. However, through the use of
+  // logic programming ... we are able to provide an even more powerful
+  // inference mechanism."
+  RulesFixture f;
+  ASSERT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x).").ok());
+  size_t derived = f.engine.Evaluate().value();
+  // ext(flies) = {tweety, pamela, patricia, peter}.
+  EXPECT_EQ(derived, 4u);
+  EXPECT_EQ(InferTruth(*f.travels_far, {f.zoo.tweety}).value(),
+            Truth::kPositive);
+  EXPECT_EQ(InferTruth(*f.travels_far, {f.zoo.paul}).value(),
+            Truth::kNegative);
+}
+
+TEST(RulesTest, EvaluationIsIdempotent) {
+  RulesFixture f;
+  ASSERT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x).").ok());
+  ASSERT_TRUE(f.engine.Evaluate().ok());
+  EXPECT_EQ(f.engine.Evaluate().value(), 0u);
+}
+
+TEST(RulesTest, ClassConstantConstrainsMembership) {
+  RulesFixture f;
+  // Only flying penguins travel far.
+  ASSERT_TRUE(
+      f.engine.AddRule("travels_far(?x) :- flies(?x), swims(ALL penguin)")
+          .IsNotFound());  // no swims relation: parse-time validation
+  ASSERT_TRUE(f.engine
+                  .AddRule("travels_far(?x) :- flies(?x), "
+                           "flies(ALL amazing_flying_penguin).")
+                  .ok());
+  // The second atom is a ground membership test... with a class constant
+  // it matches any row within the class: pamela/patricia/peter satisfy it,
+  // so the body holds and every flyer travels far.
+  EXPECT_EQ(f.engine.Evaluate().value(), 4u);
+}
+
+TEST(RulesTest, VariableWithClassConstantFilter) {
+  RulesFixture f;
+  // travels_far(?x) for penguins only: join the class constraint onto ?x.
+  ASSERT_TRUE(f.engine
+                  .AddRule(
+                      "travels_far(?x) :- flies(?x), jillish(ALL penguin, ?x)")
+                  .IsNotFound());
+  HierarchicalRelation* penguinhood =
+      f.zoo.db.CreateRelation("penguinhood", {{"who", "animal"}}).value();
+  ASSERT_TRUE(
+      penguinhood->Insert({f.zoo.penguin}, Truth::kPositive).ok());
+  ASSERT_TRUE(
+      f.engine.AddRule("travels_far(?x) :- flies(?x), penguinhood(?x).")
+          .ok());
+  EXPECT_EQ(f.engine.Evaluate().value(), 3u);  // pamela, patricia, peter
+  EXPECT_FALSE(f.travels_far->FindItem({f.zoo.tweety}).has_value());
+}
+
+TEST(RulesTest, NegationAsFailure) {
+  RulesFixture f;
+  HierarchicalRelation* birds =
+      f.zoo.db.CreateRelation("is_bird", {{"who", "animal"}}).value();
+  ASSERT_TRUE(birds->Insert({f.zoo.bird}, Truth::kPositive).ok());
+  ASSERT_TRUE(
+      f.engine.AddRule("grounded(?x) :- is_bird(?x), not flies(?x).").ok());
+  EXPECT_EQ(f.engine.Evaluate().value(), 1u);
+  EXPECT_TRUE(f.grounded->FindItem({f.zoo.paul}).has_value());
+}
+
+TEST(RulesTest, RecursiveRulesReachFixpoint) {
+  // Transitive closure: the classic Datalog test.
+  Database db;
+  Hierarchy* node = db.CreateHierarchy("node").value();
+  std::vector<NodeId> n;
+  for (int i = 0; i < 5; ++i) {
+    n.push_back(
+        node->AddInstance(Value::String("n" + std::to_string(i))).value());
+  }
+  HierarchicalRelation* edge =
+      db.CreateRelation("edge", {{"a", "node"}, {"b", "node"}}).value();
+  HierarchicalRelation* path =
+      db.CreateRelation("path", {{"a", "node"}, {"b", "node"}}).value();
+  for (int i = 0; i + 1 < 5; ++i) {
+    ASSERT_TRUE(edge->Insert({n[i], n[i + 1]}, Truth::kPositive).ok());
+  }
+  RuleEngine engine(&db);
+  ASSERT_TRUE(engine.AddRule("path(?a, ?b) :- edge(?a, ?b).").ok());
+  ASSERT_TRUE(
+      engine.AddRule("path(?a, ?c) :- path(?a, ?b), edge(?b, ?c).").ok());
+  EXPECT_EQ(engine.Evaluate().value(), 10u);  // C(5,2) ordered pairs
+  EXPECT_TRUE(path->FindItem({n[0], n[4]}).has_value());
+  EXPECT_FALSE(path->FindItem({n[4], n[0]}).has_value());
+}
+
+TEST(RulesTest, StratifiedNegationAcrossIdb) {
+  RulesFixture f;
+  HierarchicalRelation* birds =
+      f.zoo.db.CreateRelation("is_bird", {{"who", "animal"}}).value();
+  ASSERT_TRUE(birds->Insert({f.zoo.bird}, Truth::kPositive).ok());
+  // Stratum 0: travels_far; stratum 1: grounded (negates an IDB).
+  ASSERT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x).").ok());
+  ASSERT_TRUE(
+      f.engine.AddRule("grounded(?x) :- is_bird(?x), not travels_far(?x).")
+          .ok());
+  ASSERT_TRUE(f.engine.Evaluate().ok());
+  EXPECT_TRUE(f.grounded->FindItem({f.zoo.paul}).has_value());
+  EXPECT_FALSE(f.grounded->FindItem({f.zoo.tweety}).has_value());
+}
+
+TEST(RulesTest, NonStratifiableProgramRejected) {
+  RulesFixture f;
+  ASSERT_TRUE(
+      f.engine.AddRule("travels_far(?x) :- flies(?x), not grounded(?x).")
+          .ok());
+  ASSERT_TRUE(
+      f.engine.AddRule("grounded(?x) :- flies(?x), not travels_far(?x).")
+          .ok());
+  EXPECT_TRUE(f.engine.Evaluate().status().IsInvalidArgument());
+}
+
+TEST(RulesTest, SafetyViolationsRejected) {
+  RulesFixture f;
+  // Head variable never bound positively.
+  EXPECT_TRUE(f.engine.AddRule("travels_far(?y) :- flies(?x).")
+                  .IsInvalidArgument());
+  // Negated-atom variable never bound positively.
+  EXPECT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x), "
+                               "not grounded(?y).")
+                  .IsInvalidArgument());
+  // Class constant in a negated atom.
+  EXPECT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x), "
+                               "not grounded(ALL bird).")
+                  .IsInvalidArgument());
+}
+
+TEST(RulesTest, FactRulesAndClassHeads) {
+  RulesFixture f;
+  // An unconditional class-level fact.
+  ASSERT_TRUE(f.engine.AddRule("travels_far(ALL bird).").ok());
+  EXPECT_EQ(f.engine.Evaluate().value(), 1u);
+  EXPECT_EQ(f.travels_far->TruthAt({f.zoo.bird}), Truth::kPositive);
+  // All birds now travel far, via class-level inference.
+  EXPECT_EQ(InferTruth(*f.travels_far, {f.zoo.paul}).value(),
+            Truth::kPositive);
+}
+
+TEST(RulesTest, ParseErrorsCarryContext) {
+  RulesFixture f;
+  EXPECT_TRUE(f.engine.ParseRule("travels_far(?x").status().IsParseError());
+  EXPECT_TRUE(f.engine.ParseRule("nope(?x).").status().IsNotFound());
+  EXPECT_TRUE(f.engine.ParseRule("travels_far(?x) :- flies(?x) garbage")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(
+      f.engine.ParseRule("travels_far(?x, ?y) :- flies(?x).").status()
+          .IsParseError());
+}
+
+TEST(RulesTest, ToStringRoundTripsShape) {
+  RulesFixture f;
+  Rule rule =
+      f.engine.ParseRule("grounded(?x) :- flies(?x), not travels_far(?x).")
+          .value();
+  std::string text = rule.ToString(f.zoo.db);
+  EXPECT_EQ(text, "grounded(?x) :- flies(?x), not travels_far(?x).");
+  // The rendering reparses to an equivalent rule.
+  EXPECT_TRUE(f.engine.ParseRule(text).ok());
+}
+
+TEST(RulesTest, DerivedFactCapEnforced) {
+  RulesFixture f;
+  ASSERT_TRUE(f.engine.AddRule("travels_far(?x) :- flies(?x).").ok());
+  RuleOptions options;
+  options.max_derived_facts = 2;
+  EXPECT_TRUE(f.engine.Evaluate(options).status().IsResourceExhausted());
+}
+
+TEST(RulesTest, MultiAttributeJoinAcrossRelations) {
+  // respected_flyer(?t) :- flies(?t), respects(?s, ?t): join over two
+  // relations with a shared variable.
+  Database db;
+  Hierarchy* animal = db.CreateHierarchy("animal").value();
+  NodeId bird = animal->AddClass("bird").value();
+  NodeId tweety =
+      animal->AddInstance(Value::String("tweety"), bird).value();
+  NodeId rex = animal->AddInstance(Value::String("rex")).value();
+  (void)rex;
+  Hierarchy* person = db.CreateHierarchy("person").value();
+  NodeId sam = person->AddInstance(Value::String("sam")).value();
+  (void)sam;
+
+  HierarchicalRelation* flies =
+      db.CreateRelation("flies", {{"who", "animal"}}).value();
+  ASSERT_TRUE(flies->Insert({bird}, Truth::kPositive).ok());
+  HierarchicalRelation* admires = db.CreateRelation(
+      "admires", {{"who", "person"}, {"what", "animal"}}).value();
+  ASSERT_TRUE(
+      admires->Insert({person->root(), bird}, Truth::kPositive).ok());
+  HierarchicalRelation* respected =
+      db.CreateRelation("respected_flyer", {{"what", "animal"}}).value();
+
+  RuleEngine engine(&db);
+  ASSERT_TRUE(
+      engine.AddRule("respected_flyer(?t) :- flies(?t), admires(?s, ?t).")
+          .ok());
+  EXPECT_EQ(engine.Evaluate().value(), 1u);
+  EXPECT_TRUE(respected->FindItem({tweety}).has_value());
+}
+
+
+// Property: on random edge relations, the recursive path program computes
+// exactly graph reachability (checked against a brute-force closure).
+class RulesProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RulesProperty, TransitiveClosureMatchesBruteForce) {
+  Random rng(GetParam());
+  constexpr size_t kNodes = 8;
+  Database db;
+  Hierarchy* node = db.CreateHierarchy("node").value();
+  std::vector<NodeId> n;
+  for (size_t i = 0; i < kNodes; ++i) {
+    n.push_back(
+        node->AddInstance(Value::Int(static_cast<int64_t>(i))).value());
+  }
+  HierarchicalRelation* edge =
+      db.CreateRelation("edge", {{"a", "node"}, {"b", "node"}}).value();
+  HierarchicalRelation* path =
+      db.CreateRelation("path", {{"a", "node"}, {"b", "node"}}).value();
+  bool adj[kNodes][kNodes] = {};
+  for (size_t a = 0; a < kNodes; ++a) {
+    for (size_t b = 0; b < kNodes; ++b) {
+      if (a != b && rng.Bernoulli(0.2)) {
+        adj[a][b] = true;
+        ASSERT_TRUE(edge->Insert({n[a], n[b]}, Truth::kPositive).ok());
+      }
+    }
+  }
+  RuleEngine engine(&db);
+  ASSERT_TRUE(engine.AddRule("path(?a, ?b) :- edge(?a, ?b).").ok());
+  ASSERT_TRUE(
+      engine.AddRule("path(?a, ?c) :- path(?a, ?b), edge(?b, ?c).").ok());
+  ASSERT_TRUE(engine.Evaluate().ok());
+
+  // Brute-force closure (Floyd-Warshall).
+  bool reach[kNodes][kNodes];
+  for (size_t a = 0; a < kNodes; ++a) {
+    for (size_t b = 0; b < kNodes; ++b) reach[a][b] = adj[a][b];
+  }
+  for (size_t k = 0; k < kNodes; ++k) {
+    for (size_t a = 0; a < kNodes; ++a) {
+      for (size_t b = 0; b < kNodes; ++b) {
+        reach[a][b] = reach[a][b] || (reach[a][k] && reach[k][b]);
+      }
+    }
+  }
+  for (size_t a = 0; a < kNodes; ++a) {
+    for (size_t b = 0; b < kNodes; ++b) {
+      EXPECT_EQ(path->FindItem({n[a], n[b]}).has_value(), reach[a][b])
+          << "seed " << GetParam() << ": " << a << " -> " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RulesProperty,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,61 @@
+#include "types/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hirel {
+namespace {
+
+TEST(SchemaTest, AppendAndLookup) {
+  Hierarchy animal("animal"), color("color");
+  Schema s;
+  ASSERT_TRUE(s.Append("who", &animal).ok());
+  ASSERT_TRUE(s.Append("shade", &color).ok());
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.name(0), "who");
+  EXPECT_EQ(s.hierarchy(1), &color);
+  EXPECT_EQ(s.IndexOf("shade").value(), 1u);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicateAndInvalid) {
+  Hierarchy animal("animal");
+  Schema s;
+  ASSERT_TRUE(s.Append("who", &animal).ok());
+  EXPECT_TRUE(s.Append("who", &animal).IsAlreadyExists());
+  EXPECT_TRUE(s.Append("", &animal).IsInvalidArgument());
+  EXPECT_TRUE(s.Append("x", nullptr).IsInvalidArgument());
+}
+
+TEST(SchemaTest, ToString) {
+  Hierarchy animal("animal"), size("sq");
+  Schema s;
+  ASSERT_TRUE(s.Append("who", &animal).ok());
+  ASSERT_TRUE(s.Append("area", &size).ok());
+  EXPECT_EQ(s.ToString(), "(who: animal, area: sq)");
+  EXPECT_EQ(Schema().ToString(), "()");
+}
+
+TEST(SchemaTest, CompatibilityIgnoresNames) {
+  Hierarchy animal("animal"), color("color");
+  Schema a, b, c;
+  ASSERT_TRUE(a.Append("x", &animal).ok());
+  ASSERT_TRUE(b.Append("y", &animal).ok());
+  ASSERT_TRUE(c.Append("x", &color).ok());
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+  EXPECT_FALSE(a.CompatibleWith(Schema()));
+}
+
+TEST(SchemaTest, EqualityIncludesNames) {
+  Hierarchy animal("animal");
+  Schema a, b;
+  ASSERT_TRUE(a.Append("x", &animal).ok());
+  ASSERT_TRUE(b.Append("x", &animal).ok());
+  EXPECT_EQ(a, b);
+  Schema c;
+  ASSERT_TRUE(c.Append("y", &animal).ok());
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,147 @@
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SnapshotTest, SerializeDeserializeRoundTrip) {
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(data).value();
+
+  Hierarchy* animal = loaded->GetHierarchy("animal").value();
+  EXPECT_EQ(animal->num_classes(), f.animal->num_classes());
+  EXPECT_EQ(animal->num_instances(), f.animal->num_instances());
+
+  HierarchicalRelation* flies = loaded->GetRelation("flies").value();
+  EXPECT_EQ(flies->size(), f.flies->size());
+
+  // Semantics preserved: same verdicts for every instance by name.
+  for (const char* name :
+       {"tweety", "paul", "pamela", "patricia", "peter"}) {
+    NodeId original = f.animal->FindInstance(Value::String(name)).value();
+    NodeId reloaded = animal->FindInstance(Value::String(name)).value();
+    EXPECT_EQ(InferTruth(*f.flies, {original}).value(),
+              InferTruth(*flies, {reloaded}).value())
+        << name;
+  }
+}
+
+TEST(SnapshotTest, MultiHierarchyMultiRelationRoundTrip) {
+  ElephantFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(data).value();
+  EXPECT_EQ(loaded->HierarchyNames(), f.db.HierarchyNames());
+  EXPECT_EQ(loaded->RelationNames(), f.db.RelationNames());
+
+  // Extensions (by rendered names) must survive.
+  HierarchicalRelation* colors = loaded->GetRelation("color_of").value();
+  std::vector<std::string> names_before, names_after;
+  std::vector<Item> ext_before = Extension(*f.colors).value();
+  for (const Item& item : ext_before) {
+    names_before.push_back(ItemToString(f.colors->schema(), item));
+  }
+  std::vector<Item> ext_after = Extension(*colors).value();
+  for (const Item& item : ext_after) {
+    names_after.push_back(ItemToString(colors->schema(), item));
+  }
+  std::sort(names_before.begin(), names_before.end());
+  std::sort(names_after.begin(), names_after.end());
+  EXPECT_EQ(names_before, names_after);
+
+  // Int-valued instances survive with their type.
+  Hierarchy* size = loaded->GetHierarchy("enclosure_size").value();
+  EXPECT_TRUE(size->FindInstance(Value::Int(3000)).ok());
+  EXPECT_FALSE(size->FindInstance(Value::String("3000")).ok());
+}
+
+TEST(SnapshotTest, PreferenceEdgesAndOptionsSurvive) {
+  Database db;
+  Hierarchy* h =
+      db.CreateHierarchy("d", HierarchyOptions{.keep_redundant_edges = true})
+          .value();
+  NodeId a = h->AddClass("a").value();
+  NodeId b = h->AddClass("b").value();
+  ASSERT_TRUE(h->AddPreferenceEdge(a, b).ok());
+
+  std::string data = SerializeDatabase(db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(data).value();
+  Hierarchy* lh = loaded->GetHierarchy("d").value();
+  EXPECT_TRUE(lh->options().keep_redundant_edges);
+  EXPECT_EQ(lh->num_preference_edges(), 1u);
+  NodeId la = lh->FindClass("a").value();
+  NodeId lb = lh->FindClass("b").value();
+  EXPECT_TRUE(lh->BindsBelow(la, lb));
+  EXPECT_FALSE(lh->Subsumes(la, lb));
+}
+
+TEST(SnapshotTest, SaveAndLoadFile) {
+  FlyingFixture f;
+  std::string path = TempPath("flying.hirel");
+  ASSERT_TRUE(SaveDatabase(f.db, path).ok());
+  std::unique_ptr<Database> loaded = LoadDatabase(path).value();
+  EXPECT_TRUE(loaded->GetRelation("flies").ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LoadMissingFileIsIoError) {
+  EXPECT_TRUE(LoadDatabase("/nonexistent/nowhere.hirel").status()
+                  .IsIoError());
+}
+
+TEST(SnapshotTest, BadMagicIsCorruption) {
+  EXPECT_TRUE(DeserializeDatabase("NOTHIREL????????").status()
+                  .IsCorruption());
+  EXPECT_TRUE(DeserializeDatabase("").status().IsCorruption());
+}
+
+TEST(SnapshotTest, BitFlipIsDetectedByChecksum) {
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  for (size_t pos : {size_t{9}, data.size() / 2, data.size() - 9}) {
+    std::string corrupted = data;
+    corrupted[pos] ^= 0x40;
+    EXPECT_TRUE(DeserializeDatabase(corrupted).status().IsCorruption())
+        << "flip at " << pos;
+  }
+}
+
+TEST(SnapshotTest, TruncationIsDetected) {
+  FlyingFixture f;
+  std::string data = SerializeDatabase(f.db).value();
+  std::string truncated = data.substr(0, data.size() / 2);
+  EXPECT_TRUE(DeserializeDatabase(truncated).status().IsCorruption());
+}
+
+TEST(SnapshotTest, DoubleRoundTripIsStable) {
+  ElephantFixture f;
+  std::string once = SerializeDatabase(f.db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(once).value();
+  std::string twice = SerializeDatabase(*loaded).value();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(SnapshotTest, EmptyDatabaseRoundTrip) {
+  Database db;
+  std::string data = SerializeDatabase(db).value();
+  std::unique_ptr<Database> loaded = DeserializeDatabase(data).value();
+  EXPECT_TRUE(loaded->HierarchyNames().empty());
+  EXPECT_TRUE(loaded->RelationNames().empty());
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,78 @@
+#include "core/subsumption.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(SubsumptionTest, NodesInTopologicalOrder) {
+  FlyingFixture f;
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.flies);
+  ASSERT_EQ(g.nodes.size(), 4u);
+  // bird+ must precede penguin-, which precedes afp+, which precedes
+  // peter+.
+  std::vector<Item> order;
+  for (TupleId id : g.nodes) order.push_back(f.flies->tuple(id).item);
+  EXPECT_EQ(order[0], (Item{f.bird}));
+  EXPECT_EQ(order[1], (Item{f.penguin}));
+  EXPECT_EQ(order[2], (Item{f.afp}));
+  EXPECT_EQ(order[3], (Item{f.peter}));
+}
+
+TEST(SubsumptionTest, HasseEdgesOnly) {
+  FlyingFixture f;
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.flies);
+  // Chain: 0 -> 1 -> 2 -> 3, no transitive shortcuts.
+  EXPECT_EQ(g.successors[0], (std::vector<size_t>{1}));
+  EXPECT_EQ(g.successors[1], (std::vector<size_t>{2}));
+  EXPECT_EQ(g.successors[2], (std::vector<size_t>{3}));
+  EXPECT_TRUE(g.successors[3].empty());
+}
+
+TEST(SubsumptionTest, UniversalNodeCapsSources) {
+  FlyingFixture f;
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.flies);
+  ASSERT_EQ(g.sources.size(), 1u);
+  EXPECT_EQ(g.sources[0], 0u);
+  EXPECT_EQ(g.predecessors[0],
+            (std::vector<size_t>{SubsumptionGraph::kUniversalNode}));
+  EXPECT_EQ(g.predecessors[1], (std::vector<size_t>{0}));
+}
+
+TEST(SubsumptionTest, Fig6aRespectsGraph) {
+  RespectsFixture f;
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.respects);
+  ASSERT_EQ(g.nodes.size(), 3u);
+  // Two incomparable sources: (obsequious, teacher)+ and (student,
+  // incoherent)-; both cover (obsequious, incoherent)+.
+  EXPECT_EQ(g.sources.size(), 2u);
+  // The resolver tuple is last in topological order, with both sources as
+  // immediate predecessors.
+  Item resolver{f.obsequious, f.incoherent};
+  EXPECT_EQ(f.respects->tuple(g.nodes[2]).item, resolver);
+  EXPECT_EQ(g.predecessors[2].size(), 2u);
+}
+
+TEST(SubsumptionTest, EmptyRelation) {
+  FlyingFixture f;
+  f.flies->Clear();
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.flies);
+  EXPECT_TRUE(g.nodes.empty());
+  EXPECT_TRUE(g.sources.empty());
+}
+
+TEST(SubsumptionTest, ToStringMentionsUniversalTuple) {
+  FlyingFixture f;
+  SubsumptionGraph g = BuildSubsumptionGraph(*f.flies);
+  std::string s = SubsumptionGraphToString(*f.flies, g);
+  EXPECT_NE(s.find("universal"), std::string::npos);
+  EXPECT_NE(s.find("(bird)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hirel

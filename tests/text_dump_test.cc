@@ -1,0 +1,92 @@
+#include "io/text_dump.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explicate.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+
+TEST(TextDumpTest, FormatHierarchyShowsTreeAndCounts) {
+  FlyingFixture f;
+  std::string s = FormatHierarchy(*f.animal);
+  EXPECT_NE(s.find("hierarchy animal (6 classes, 5 instances)"),
+            std::string::npos);
+  EXPECT_NE(s.find("bird"), std::string::npos);
+  EXPECT_NE(s.find("* tweety"), std::string::npos);
+  // patricia appears twice (two parents); the repeat is marked with ^.
+  EXPECT_NE(s.find("* patricia ^"), std::string::npos);
+}
+
+TEST(TextDumpTest, FormatRelationRendersQuantifiersAndTruth) {
+  FlyingFixture f;
+  std::string s = FormatRelation(*f.flies);
+  EXPECT_NE(s.find("flies (4 tuples)"), std::string::npos);
+  EXPECT_NE(s.find("ALL bird"), std::string::npos);
+  EXPECT_NE(s.find("| -"), std::string::npos);
+  EXPECT_NE(s.find("| who"), std::string::npos);
+  // Table framing.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(TextDumpTest, FormatRelationMultiColumn) {
+  ElephantFixture f;
+  std::string s = FormatRelation(*f.colors);
+  EXPECT_NE(s.find("| animal"), std::string::npos);
+  EXPECT_NE(s.find("| color"), std::string::npos);
+  EXPECT_NE(s.find("ALL royal_elephant"), std::string::npos);
+  EXPECT_NE(s.find("dappled"), std::string::npos);
+}
+
+TEST(TextDumpTest, FormatFlatRelation) {
+  FlyingFixture f;
+  FlatRelation flat = FlatRelation::FromRows("ext", f.flies->schema(),
+                                             Extension(*f.flies).value())
+                          .value();
+  std::string s = FormatFlatRelation(flat);
+  EXPECT_NE(s.find("ext (4 rows)"), std::string::npos);
+  EXPECT_NE(s.find("tweety"), std::string::npos);
+  EXPECT_EQ(s.find("ALL"), std::string::npos);
+}
+
+TEST(TextDumpTest, FormatExtension) {
+  FlyingFixture f;
+  std::string s = FormatExtension(f.flies->schema(),
+                                  Extension(*f.flies).value(), "the flyers");
+  EXPECT_NE(s.find("the flyers"), std::string::npos);
+  EXPECT_NE(s.find("patricia"), std::string::npos);
+  EXPECT_EQ(s.find("paul"), std::string::npos);
+}
+
+TEST(TextDumpTest, EmptyRelationStillRendersHeader) {
+  FlyingFixture f;
+  f.flies->Clear();
+  std::string s = FormatRelation(*f.flies);
+  EXPECT_NE(s.find("flies (0 tuples)"), std::string::npos);
+  EXPECT_NE(s.find("| who"), std::string::npos);
+}
+
+
+TEST(TextDumpTest, FormatHierarchyDot) {
+  FlyingFixture f;
+  ASSERT_TRUE(f.animal->AddPreferenceEdge(f.galapagos, f.afp).ok());
+  std::string dot = FormatHierarchyDot(*f.animal);
+  EXPECT_NE(dot.find("digraph \"animal\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // classes
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // instances
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // preference
+  // One edge line per subsumption edge plus the preference edge.
+  size_t arrows = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, f.animal->dag().num_edges() + 1);
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,145 @@
+#include "extensions/three_valued.h"
+
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::ElephantFixture;
+using testing::FlyingFixture;
+using testing::RespectsFixture;
+
+TEST(Truth3Test, KleeneConnectives) {
+  using enum Truth3;
+  EXPECT_EQ(And3(kTrue, kTrue), kTrue);
+  EXPECT_EQ(And3(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(And3(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(Or3(kFalse, kFalse), kFalse);
+  EXPECT_EQ(Or3(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(Or3(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(Not3(kTrue), kFalse);
+  EXPECT_EQ(Not3(kFalse), kTrue);
+  EXPECT_EQ(Not3(kUnknown), kUnknown);
+  EXPECT_STREQ(Truth3ToString(kUnknown), "unknown");
+}
+
+TEST(ThreeValuedTest, KnownVerdictsMatchClosedWorld) {
+  FlyingFixture f;
+  EXPECT_EQ(InferOpenWorld(*f.flies, {f.tweety}).value(), Truth3::kTrue);
+  EXPECT_EQ(InferOpenWorld(*f.flies, {f.paul}).value(), Truth3::kFalse);
+  EXPECT_EQ(InferOpenWorld(*f.flies, {f.peter}).value(), Truth3::kTrue);
+}
+
+TEST(ThreeValuedTest, UncoveredItemsAreUnknownNotFalse) {
+  FlyingFixture f;
+  NodeId rex = f.animal->AddInstance(Value::String("rex")).value();
+  // The closed world calls rex a non-flyer; the open world admits
+  // ignorance.
+  EXPECT_EQ(InferTruth(*f.flies, {rex}).value(), Truth::kNegative);
+  EXPECT_EQ(InferOpenWorld(*f.flies, {rex}).value(), Truth3::kUnknown);
+}
+
+TEST(ThreeValuedTest, ConflictStillAnError) {
+  RespectsFixture f(/*with_resolver=*/false);
+  EXPECT_TRUE(InferOpenWorld(*f.respects, {f.obsequious, f.incoherent})
+                  .status()
+                  .IsConflict());
+}
+
+TEST(ThreeValuedTest, ArityChecked) {
+  FlyingFixture f;
+  EXPECT_TRUE(InferOpenWorld(*f.flies, {f.bird, f.bird}).status()
+                  .IsInvalidArgument());
+}
+
+TEST(ThreeValuedTest, ForAllOverClasses) {
+  FlyingFixture f;
+  // All canaries fly (tweety is the only one, and inherits bird+).
+  EXPECT_EQ(ForAllHolds(*f.flies, {f.canary}).value(), Truth3::kTrue);
+  // Not all penguins fly (paul doesn't).
+  EXPECT_EQ(ForAllHolds(*f.flies, {f.penguin}).value(), Truth3::kFalse);
+  // All amazing flying penguins fly.
+  EXPECT_EQ(ForAllHolds(*f.flies, {f.afp}).value(), Truth3::kTrue);
+}
+
+TEST(ThreeValuedTest, ForAllWithUnknownMember) {
+  FlyingFixture f;
+  // A new bird subclass outside the asserted tuples... every bird is
+  // covered by bird+, so grow an unknown sibling of bird instead.
+  NodeId reptile = f.animal->AddClass("reptile").value();
+  NodeId iggy = f.animal->AddInstance(Value::String("iggy"), reptile).value();
+  (void)iggy;
+  EXPECT_EQ(ForAllHolds(*f.flies, {reptile}).value(), Truth3::kUnknown);
+  // The whole domain: penguins make it false outright.
+  EXPECT_EQ(ForAllHolds(*f.flies, {f.animal->root()}).value(),
+            Truth3::kFalse);
+}
+
+TEST(ThreeValuedTest, ForAllOverEmptyClassIsVacuouslyTrue) {
+  FlyingFixture f;
+  NodeId empty = f.animal->AddClass("empty").value();
+  EXPECT_EQ(ForAllHolds(*f.flies, {empty}).value(), Truth3::kTrue);
+  EXPECT_EQ(ExistsHolds(*f.flies, {empty}).value(), Truth3::kFalse);
+}
+
+TEST(ThreeValuedTest, ExistsOverClasses) {
+  FlyingFixture f;
+  // Some penguin flies (pamela).
+  EXPECT_EQ(ExistsHolds(*f.flies, {f.penguin}).value(), Truth3::kTrue);
+  // No galapagos penguin is known to fly... patricia is one, and flies!
+  EXPECT_EQ(ExistsHolds(*f.flies, {f.galapagos}).value(), Truth3::kTrue);
+}
+
+TEST(ThreeValuedTest, ExistsUnknownWhenOnlyIgnoranceRemains) {
+  FlyingFixture f;
+  NodeId reptile = f.animal->AddClass("reptile").value();
+  f.animal->AddInstance(Value::String("iggy"), reptile).value();
+  EXPECT_EQ(ExistsHolds(*f.flies, {reptile}).value(), Truth3::kUnknown);
+  // Denying the whole reptile class settles it.
+  ASSERT_TRUE(f.flies->Insert({reptile}, Truth::kNegative).ok());
+  EXPECT_EQ(ExistsHolds(*f.flies, {reptile}).value(), Truth3::kFalse);
+}
+
+TEST(ThreeValuedTest, MultiAttributeQuantifiers) {
+  ElephantFixture f;
+  // Does every royal elephant have some colour assertion? ForAll over
+  // (royal, color-root): clyde x grey is false, so the universal fails.
+  EXPECT_EQ(
+      ForAllHolds(*f.colors, {f.royal, f.color->root()}).value(),
+      Truth3::kFalse);
+  // Some royal elephant is white (appu).
+  EXPECT_EQ(ExistsHolds(*f.colors, {f.royal, f.white}).value(),
+            Truth3::kTrue);
+  // Is some indian elephant dappled? Appu is the only indian, and nothing
+  // asserted speaks to (appu, dappled) either way: open-world unknown.
+  EXPECT_EQ(ExistsHolds(*f.colors, {f.indian, f.dappled}).value(),
+            Truth3::kUnknown);
+  // Is some indian elephant grey? Appu's royal side cancels grey: false.
+  EXPECT_EQ(ExistsHolds(*f.colors, {f.indian, f.grey}).value(),
+            Truth3::kFalse);
+}
+
+TEST(ThreeValuedTest, OpenWorldAgreesWithClosedWhereCovered) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    testing::RandomDatabase rdb(seed, {});
+    for (NodeId atom : rdb.hierarchy(0)->Instances()) {
+      Result<Truth3> open = InferOpenWorld(*rdb.relation(), {atom});
+      ASSERT_TRUE(open.ok());
+      if (*open == Truth3::kUnknown) {
+        // Closed world maps unknown to false.
+        EXPECT_EQ(InferTruth(*rdb.relation(), {atom}).value(),
+                  Truth::kNegative);
+      } else {
+        EXPECT_EQ(InferTruth(*rdb.relation(), {atom}).value(),
+                  *open == Truth3::kTrue ? Truth::kPositive
+                                         : Truth::kNegative);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hirel

@@ -1,0 +1,100 @@
+#include "core/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using testing::RespectsFixture;
+
+TEST(TransactionTest, CommitAppliesStagedOps) {
+  RespectsFixture f(/*with_resolver=*/true);
+  Transaction txn(f.respects);
+  NodeId lazy = f.student->AddClass("lazy_student").value();
+  txn.Deny({lazy, f.teacher->root()});
+  EXPECT_EQ(txn.num_staged(), 1u);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.num_staged(), 0u);
+  EXPECT_EQ(f.respects->TruthAt({lazy, f.teacher->root()}),
+            Truth::kNegative);
+}
+
+TEST(TransactionTest, ConflictingBatchIsRolledBackAtomically) {
+  RespectsFixture f(/*with_resolver=*/true);
+  size_t size_before = f.respects->size();
+  Transaction txn(f.respects);
+  NodeId strict = f.teacher->AddClass("strict_teacher").value();
+  txn.Assert({f.student->root(), strict});  // harmless
+  // Removing the resolver re-creates the Fig. 3 conflict.
+  txn.Erase({f.obsequious, f.incoherent});
+  Status s = txn.Commit();
+  ASSERT_TRUE(s.IsConflict());
+  // The transaction aborted: staged ops are discarded...
+  EXPECT_EQ(txn.num_staged(), 0u);
+  // ...and both applied ops rolled back, including the harmless one.
+  EXPECT_EQ(f.respects->size(), size_before);
+  EXPECT_FALSE(f.respects->FindItem({f.student->root(), strict}).has_value());
+  EXPECT_TRUE(f.respects->FindItem({f.obsequious, f.incoherent}).has_value());
+}
+
+TEST(TransactionTest, ConflictCreatedAndResolvedWithinOneTransaction) {
+  // Section 3.1: "If an update creates a conflict, within the same
+  // transaction ... other updates must be made that resolve the conflict."
+  RespectsFixture f(/*with_resolver=*/false);
+  ASSERT_TRUE(
+      f.respects->EraseItem({f.student->root(), f.incoherent}).ok());
+  Transaction txn(f.respects);
+  txn.Deny({f.student->root(), f.incoherent});    // would conflict alone
+  txn.Assert({f.obsequious, f.incoherent});       // resolves it
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(CheckAmbiguity(*f.respects).ok());
+  EXPECT_EQ(f.respects->size(), 3u);
+}
+
+TEST(TransactionTest, MidTransactionFailureRollsBackPrefix) {
+  RespectsFixture f(/*with_resolver=*/true);
+  size_t size_before = f.respects->size();
+  Transaction txn(f.respects);
+  NodeId strict = f.teacher->AddClass("strict_teacher").value();
+  txn.Assert({f.student->root(), strict});
+  txn.Erase({f.mary, f.wendy});  // no such tuple: the op itself fails
+  Status s = txn.Commit();
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(f.respects->size(), size_before);
+}
+
+TEST(TransactionTest, EraseRestoredWithOriginalTruth) {
+  RespectsFixture f(/*with_resolver=*/true);
+  Transaction txn(f.respects);
+  txn.Erase({f.student->root(), f.incoherent});  // negative tuple
+  txn.Erase({f.mary, f.wendy});                  // fails -> rollback
+  ASSERT_FALSE(txn.Commit().ok());
+  EXPECT_EQ(f.respects->TruthAt({f.student->root(), f.incoherent}),
+            Truth::kNegative);
+}
+
+TEST(TransactionTest, RollbackDiscardsStagedOps) {
+  RespectsFixture f(/*with_resolver=*/true);
+  Transaction txn(f.respects);
+  txn.Assert({f.john, f.wendy});
+  txn.Rollback();
+  EXPECT_EQ(txn.num_staged(), 0u);
+  ASSERT_TRUE(txn.Commit().ok());  // empty commit is a no-op
+  EXPECT_FALSE(f.respects->FindItem({f.john, f.wendy}).has_value());
+}
+
+TEST(TransactionTest, ReusableAfterCommit) {
+  RespectsFixture f(/*with_resolver=*/true);
+  Transaction txn(f.respects);
+  txn.Assert({f.john, f.wendy});
+  ASSERT_TRUE(txn.Commit().ok());
+  txn.Erase({f.john, f.wendy});
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_FALSE(f.respects->FindItem({f.john, f.wendy}).has_value());
+}
+
+}  // namespace
+}  // namespace hirel
