@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compress.dir/bench_compress.cc.o"
+  "CMakeFiles/bench_compress.dir/bench_compress.cc.o.d"
+  "bench_compress"
+  "bench_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consolidate.dir/bench_consolidate.cc.o"
+  "CMakeFiles/bench_consolidate.dir/bench_consolidate.cc.o.d"
+  "bench_consolidate"
+  "bench_consolidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

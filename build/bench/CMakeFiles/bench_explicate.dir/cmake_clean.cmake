@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explicate.dir/bench_explicate.cc.o"
+  "CMakeFiles/bench_explicate.dir/bench_explicate.cc.o.d"
+  "bench_explicate"
+  "bench_explicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

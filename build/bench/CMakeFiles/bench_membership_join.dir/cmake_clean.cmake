@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_membership_join.dir/bench_membership_join.cc.o"
+  "CMakeFiles/bench_membership_join.dir/bench_membership_join.cc.o.d"
+  "bench_membership_join"
+  "bench_membership_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_membership_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_appendix_preemption.dir/repro_appendix_preemption.cc.o"
+  "CMakeFiles/repro_appendix_preemption.dir/repro_appendix_preemption.cc.o.d"
+  "repro_appendix_preemption"
+  "repro_appendix_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_appendix_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig01_flying.dir/repro_fig01_flying.cc.o"
+  "CMakeFiles/repro_fig01_flying.dir/repro_fig01_flying.cc.o.d"
+  "repro_fig01_flying"
+  "repro_fig01_flying.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig01_flying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

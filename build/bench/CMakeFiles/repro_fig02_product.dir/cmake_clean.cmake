@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig02_product.dir/repro_fig02_product.cc.o"
+  "CMakeFiles/repro_fig02_product.dir/repro_fig02_product.cc.o.d"
+  "repro_fig02_product"
+  "repro_fig02_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig02_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig03_respects.dir/repro_fig03_respects.cc.o"
+  "CMakeFiles/repro_fig03_respects.dir/repro_fig03_respects.cc.o.d"
+  "repro_fig03_respects"
+  "repro_fig03_respects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig03_respects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig04_elephants.dir/repro_fig04_elephants.cc.o"
+  "CMakeFiles/repro_fig04_elephants.dir/repro_fig04_elephants.cc.o.d"
+  "repro_fig04_elephants"
+  "repro_fig04_elephants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig04_elephants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig05_union_cover.dir/repro_fig05_union_cover.cc.o"
+  "CMakeFiles/repro_fig05_union_cover.dir/repro_fig05_union_cover.cc.o.d"
+  "repro_fig05_union_cover"
+  "repro_fig05_union_cover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig05_union_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig06_consolidate.dir/repro_fig06_consolidate.cc.o"
+  "CMakeFiles/repro_fig06_consolidate.dir/repro_fig06_consolidate.cc.o.d"
+  "repro_fig06_consolidate"
+  "repro_fig06_consolidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig06_consolidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig07_select.dir/repro_fig07_select.cc.o"
+  "CMakeFiles/repro_fig07_select.dir/repro_fig07_select.cc.o.d"
+  "repro_fig07_select"
+  "repro_fig07_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig07_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig08_select_atom.dir/repro_fig08_select_atom.cc.o"
+  "CMakeFiles/repro_fig08_select_atom.dir/repro_fig08_select_atom.cc.o.d"
+  "repro_fig08_select_atom"
+  "repro_fig08_select_atom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig08_select_atom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig08_select_atom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig09_justify.dir/repro_fig09_justify.cc.o"
+  "CMakeFiles/repro_fig09_justify.dir/repro_fig09_justify.cc.o.d"
+  "repro_fig09_justify"
+  "repro_fig09_justify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig09_justify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_fig09_justify.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig10_setops.dir/repro_fig10_setops.cc.o"
+  "CMakeFiles/repro_fig10_setops.dir/repro_fig10_setops.cc.o.d"
+  "repro_fig10_setops"
+  "repro_fig10_setops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig10_setops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fig11_join.dir/repro_fig11_join.cc.o"
+  "CMakeFiles/repro_fig11_join.dir/repro_fig11_join.cc.o.d"
+  "repro_fig11_join"
+  "repro_fig11_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fig11_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elephants.dir/elephants.cpp.o"
+  "CMakeFiles/elephants.dir/elephants.cpp.o.d"
+  "elephants"
+  "elephants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elephants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hql_repl.dir/hql_repl.cpp.o"
+  "CMakeFiles/hql_repl.dir/hql_repl.cpp.o.d"
+  "hql_repl"
+  "hql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

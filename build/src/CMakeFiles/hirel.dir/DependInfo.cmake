@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/aggregate.cc" "src/CMakeFiles/hirel.dir/algebra/aggregate.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/aggregate.cc.o.d"
+  "/root/repo/src/algebra/derivation.cc" "src/CMakeFiles/hirel.dir/algebra/derivation.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/derivation.cc.o.d"
+  "/root/repo/src/algebra/join.cc" "src/CMakeFiles/hirel.dir/algebra/join.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/join.cc.o.d"
+  "/root/repo/src/algebra/justify.cc" "src/CMakeFiles/hirel.dir/algebra/justify.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/justify.cc.o.d"
+  "/root/repo/src/algebra/project.cc" "src/CMakeFiles/hirel.dir/algebra/project.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/project.cc.o.d"
+  "/root/repo/src/algebra/rename.cc" "src/CMakeFiles/hirel.dir/algebra/rename.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/rename.cc.o.d"
+  "/root/repo/src/algebra/select.cc" "src/CMakeFiles/hirel.dir/algebra/select.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/select.cc.o.d"
+  "/root/repo/src/algebra/setops.cc" "src/CMakeFiles/hirel.dir/algebra/setops.cc.o" "gcc" "src/CMakeFiles/hirel.dir/algebra/setops.cc.o.d"
+  "/root/repo/src/catalog/database.cc" "src/CMakeFiles/hirel.dir/catalog/database.cc.o" "gcc" "src/CMakeFiles/hirel.dir/catalog/database.cc.o.d"
+  "/root/repo/src/common/bitset.cc" "src/CMakeFiles/hirel.dir/common/bitset.cc.o" "gcc" "src/CMakeFiles/hirel.dir/common/bitset.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/hirel.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hirel.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hirel.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hirel.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/hirel.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/hirel.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/binding.cc" "src/CMakeFiles/hirel.dir/core/binding.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/binding.cc.o.d"
+  "/root/repo/src/core/conflict.cc" "src/CMakeFiles/hirel.dir/core/conflict.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/conflict.cc.o.d"
+  "/root/repo/src/core/consolidate.cc" "src/CMakeFiles/hirel.dir/core/consolidate.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/consolidate.cc.o.d"
+  "/root/repo/src/core/explicate.cc" "src/CMakeFiles/hirel.dir/core/explicate.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/explicate.cc.o.d"
+  "/root/repo/src/core/hierarchical_relation.cc" "src/CMakeFiles/hirel.dir/core/hierarchical_relation.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/hierarchical_relation.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/CMakeFiles/hirel.dir/core/inference.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/inference.cc.o.d"
+  "/root/repo/src/core/integrity.cc" "src/CMakeFiles/hirel.dir/core/integrity.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/integrity.cc.o.d"
+  "/root/repo/src/core/subsumption.cc" "src/CMakeFiles/hirel.dir/core/subsumption.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/subsumption.cc.o.d"
+  "/root/repo/src/core/transaction.cc" "src/CMakeFiles/hirel.dir/core/transaction.cc.o" "gcc" "src/CMakeFiles/hirel.dir/core/transaction.cc.o.d"
+  "/root/repo/src/extensions/compress.cc" "src/CMakeFiles/hirel.dir/extensions/compress.cc.o" "gcc" "src/CMakeFiles/hirel.dir/extensions/compress.cc.o.d"
+  "/root/repo/src/extensions/three_valued.cc" "src/CMakeFiles/hirel.dir/extensions/three_valued.cc.o" "gcc" "src/CMakeFiles/hirel.dir/extensions/three_valued.cc.o.d"
+  "/root/repo/src/flat/flat_ops.cc" "src/CMakeFiles/hirel.dir/flat/flat_ops.cc.o" "gcc" "src/CMakeFiles/hirel.dir/flat/flat_ops.cc.o.d"
+  "/root/repo/src/flat/flat_relation.cc" "src/CMakeFiles/hirel.dir/flat/flat_relation.cc.o" "gcc" "src/CMakeFiles/hirel.dir/flat/flat_relation.cc.o.d"
+  "/root/repo/src/flat/membership_baseline.cc" "src/CMakeFiles/hirel.dir/flat/membership_baseline.cc.o" "gcc" "src/CMakeFiles/hirel.dir/flat/membership_baseline.cc.o.d"
+  "/root/repo/src/graph/dag.cc" "src/CMakeFiles/hirel.dir/graph/dag.cc.o" "gcc" "src/CMakeFiles/hirel.dir/graph/dag.cc.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cc" "src/CMakeFiles/hirel.dir/hierarchy/hierarchy.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hierarchy/hierarchy.cc.o.d"
+  "/root/repo/src/hql/executor.cc" "src/CMakeFiles/hirel.dir/hql/executor.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hql/executor.cc.o.d"
+  "/root/repo/src/hql/lexer.cc" "src/CMakeFiles/hirel.dir/hql/lexer.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hql/lexer.cc.o.d"
+  "/root/repo/src/hql/parser.cc" "src/CMakeFiles/hirel.dir/hql/parser.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hql/parser.cc.o.d"
+  "/root/repo/src/hql/printer.cc" "src/CMakeFiles/hirel.dir/hql/printer.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hql/printer.cc.o.d"
+  "/root/repo/src/hql/token.cc" "src/CMakeFiles/hirel.dir/hql/token.cc.o" "gcc" "src/CMakeFiles/hirel.dir/hql/token.cc.o.d"
+  "/root/repo/src/io/coding.cc" "src/CMakeFiles/hirel.dir/io/coding.cc.o" "gcc" "src/CMakeFiles/hirel.dir/io/coding.cc.o.d"
+  "/root/repo/src/io/snapshot.cc" "src/CMakeFiles/hirel.dir/io/snapshot.cc.o" "gcc" "src/CMakeFiles/hirel.dir/io/snapshot.cc.o.d"
+  "/root/repo/src/io/text_dump.cc" "src/CMakeFiles/hirel.dir/io/text_dump.cc.o" "gcc" "src/CMakeFiles/hirel.dir/io/text_dump.cc.o.d"
+  "/root/repo/src/io/wal.cc" "src/CMakeFiles/hirel.dir/io/wal.cc.o" "gcc" "src/CMakeFiles/hirel.dir/io/wal.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/hirel.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/hirel.dir/rules/rule.cc.o.d"
+  "/root/repo/src/testing/fixtures.cc" "src/CMakeFiles/hirel.dir/testing/fixtures.cc.o" "gcc" "src/CMakeFiles/hirel.dir/testing/fixtures.cc.o.d"
+  "/root/repo/src/types/item.cc" "src/CMakeFiles/hirel.dir/types/item.cc.o" "gcc" "src/CMakeFiles/hirel.dir/types/item.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/hirel.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/hirel.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/hirel.dir/types/value.cc.o" "gcc" "src/CMakeFiles/hirel.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

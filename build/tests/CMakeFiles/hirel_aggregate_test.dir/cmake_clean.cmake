@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_aggregate_test.dir/aggregate_test.cc.o"
+  "CMakeFiles/hirel_aggregate_test.dir/aggregate_test.cc.o.d"
+  "hirel_aggregate_test"
+  "hirel_aggregate_test.pdb"
+  "hirel_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_binding_test.dir/binding_test.cc.o"
+  "CMakeFiles/hirel_binding_test.dir/binding_test.cc.o.d"
+  "hirel_binding_test"
+  "hirel_binding_test.pdb"
+  "hirel_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

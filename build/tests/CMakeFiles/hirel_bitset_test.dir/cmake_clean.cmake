@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_bitset_test.dir/bitset_test.cc.o"
+  "CMakeFiles/hirel_bitset_test.dir/bitset_test.cc.o.d"
+  "hirel_bitset_test"
+  "hirel_bitset_test.pdb"
+  "hirel_bitset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

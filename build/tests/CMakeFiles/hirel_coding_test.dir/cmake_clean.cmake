@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_coding_test.dir/coding_test.cc.o"
+  "CMakeFiles/hirel_coding_test.dir/coding_test.cc.o.d"
+  "hirel_coding_test"
+  "hirel_coding_test.pdb"
+  "hirel_coding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_coding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

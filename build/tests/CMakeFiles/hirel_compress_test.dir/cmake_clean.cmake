@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_compress_test.dir/compress_test.cc.o"
+  "CMakeFiles/hirel_compress_test.dir/compress_test.cc.o.d"
+  "hirel_compress_test"
+  "hirel_compress_test.pdb"
+  "hirel_compress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_compress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

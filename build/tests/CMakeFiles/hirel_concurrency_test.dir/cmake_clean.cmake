@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_concurrency_test.dir/concurrency_test.cc.o"
+  "CMakeFiles/hirel_concurrency_test.dir/concurrency_test.cc.o.d"
+  "hirel_concurrency_test"
+  "hirel_concurrency_test.pdb"
+  "hirel_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

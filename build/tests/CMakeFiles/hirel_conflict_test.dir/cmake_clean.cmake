@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_conflict_test.dir/conflict_test.cc.o"
+  "CMakeFiles/hirel_conflict_test.dir/conflict_test.cc.o.d"
+  "hirel_conflict_test"
+  "hirel_conflict_test.pdb"
+  "hirel_conflict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_conflict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_consolidate_test.dir/consolidate_test.cc.o"
+  "CMakeFiles/hirel_consolidate_test.dir/consolidate_test.cc.o.d"
+  "hirel_consolidate_test"
+  "hirel_consolidate_test.pdb"
+  "hirel_consolidate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_consolidate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

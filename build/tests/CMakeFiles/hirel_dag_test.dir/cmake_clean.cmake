@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_dag_test.dir/dag_test.cc.o"
+  "CMakeFiles/hirel_dag_test.dir/dag_test.cc.o.d"
+  "hirel_dag_test"
+  "hirel_dag_test.pdb"
+  "hirel_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_database_test.dir/database_test.cc.o"
+  "CMakeFiles/hirel_database_test.dir/database_test.cc.o.d"
+  "hirel_database_test"
+  "hirel_database_test.pdb"
+  "hirel_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_executor_test.dir/executor_test.cc.o"
+  "CMakeFiles/hirel_executor_test.dir/executor_test.cc.o.d"
+  "hirel_executor_test"
+  "hirel_executor_test.pdb"
+  "hirel_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_explicate_test.dir/explicate_test.cc.o"
+  "CMakeFiles/hirel_explicate_test.dir/explicate_test.cc.o.d"
+  "hirel_explicate_test"
+  "hirel_explicate_test.pdb"
+  "hirel_explicate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_explicate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_failure_injection_test.dir/failure_injection_test.cc.o"
+  "CMakeFiles/hirel_failure_injection_test.dir/failure_injection_test.cc.o.d"
+  "hirel_failure_injection_test"
+  "hirel_failure_injection_test.pdb"
+  "hirel_failure_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_flat_test.dir/flat_test.cc.o"
+  "CMakeFiles/hirel_flat_test.dir/flat_test.cc.o.d"
+  "hirel_flat_test"
+  "hirel_flat_test.pdb"
+  "hirel_flat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_flat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_hierarchy_test.dir/hierarchy_test.cc.o"
+  "CMakeFiles/hirel_hierarchy_test.dir/hierarchy_test.cc.o.d"
+  "hirel_hierarchy_test"
+  "hirel_hierarchy_test.pdb"
+  "hirel_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_hql_extensions_test.dir/hql_extensions_test.cc.o"
+  "CMakeFiles/hirel_hql_extensions_test.dir/hql_extensions_test.cc.o.d"
+  "hirel_hql_extensions_test"
+  "hirel_hql_extensions_test.pdb"
+  "hirel_hql_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_hql_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

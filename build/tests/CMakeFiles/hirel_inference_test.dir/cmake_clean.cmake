@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_inference_test.dir/inference_test.cc.o"
+  "CMakeFiles/hirel_inference_test.dir/inference_test.cc.o.d"
+  "hirel_inference_test"
+  "hirel_inference_test.pdb"
+  "hirel_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_integrity_test.dir/integrity_test.cc.o"
+  "CMakeFiles/hirel_integrity_test.dir/integrity_test.cc.o.d"
+  "hirel_integrity_test"
+  "hirel_integrity_test.pdb"
+  "hirel_integrity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_integrity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_item_test.dir/item_test.cc.o"
+  "CMakeFiles/hirel_item_test.dir/item_test.cc.o.d"
+  "hirel_item_test"
+  "hirel_item_test.pdb"
+  "hirel_item_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_item_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

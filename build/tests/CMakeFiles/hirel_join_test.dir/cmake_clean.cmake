@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_join_test.dir/join_test.cc.o"
+  "CMakeFiles/hirel_join_test.dir/join_test.cc.o.d"
+  "hirel_join_test"
+  "hirel_join_test.pdb"
+  "hirel_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

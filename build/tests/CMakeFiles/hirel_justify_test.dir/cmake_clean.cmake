@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_justify_test.dir/justify_test.cc.o"
+  "CMakeFiles/hirel_justify_test.dir/justify_test.cc.o.d"
+  "hirel_justify_test"
+  "hirel_justify_test.pdb"
+  "hirel_justify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_justify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

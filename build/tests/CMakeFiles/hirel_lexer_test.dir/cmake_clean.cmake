@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_lexer_test.dir/lexer_test.cc.o"
+  "CMakeFiles/hirel_lexer_test.dir/lexer_test.cc.o.d"
+  "hirel_lexer_test"
+  "hirel_lexer_test.pdb"
+  "hirel_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_membership_test.dir/membership_test.cc.o"
+  "CMakeFiles/hirel_membership_test.dir/membership_test.cc.o.d"
+  "hirel_membership_test"
+  "hirel_membership_test.pdb"
+  "hirel_membership_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_membership_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_parser_test.dir/parser_test.cc.o"
+  "CMakeFiles/hirel_parser_test.dir/parser_test.cc.o.d"
+  "hirel_parser_test"
+  "hirel_parser_test.pdb"
+  "hirel_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

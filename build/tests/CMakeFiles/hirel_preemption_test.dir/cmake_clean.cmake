@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_preemption_test.dir/preemption_test.cc.o"
+  "CMakeFiles/hirel_preemption_test.dir/preemption_test.cc.o.d"
+  "hirel_preemption_test"
+  "hirel_preemption_test.pdb"
+  "hirel_preemption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_preemption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_project_test.dir/project_test.cc.o"
+  "CMakeFiles/hirel_project_test.dir/project_test.cc.o.d"
+  "hirel_project_test"
+  "hirel_project_test.pdb"
+  "hirel_project_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_project_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

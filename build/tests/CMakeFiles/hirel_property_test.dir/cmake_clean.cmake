@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_property_test.dir/property_test.cc.o"
+  "CMakeFiles/hirel_property_test.dir/property_test.cc.o.d"
+  "hirel_property_test"
+  "hirel_property_test.pdb"
+  "hirel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

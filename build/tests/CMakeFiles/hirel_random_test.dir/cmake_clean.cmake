@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_random_test.dir/random_test.cc.o"
+  "CMakeFiles/hirel_random_test.dir/random_test.cc.o.d"
+  "hirel_random_test"
+  "hirel_random_test.pdb"
+  "hirel_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

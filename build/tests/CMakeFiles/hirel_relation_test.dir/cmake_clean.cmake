@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_relation_test.dir/relation_test.cc.o"
+  "CMakeFiles/hirel_relation_test.dir/relation_test.cc.o.d"
+  "hirel_relation_test"
+  "hirel_relation_test.pdb"
+  "hirel_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

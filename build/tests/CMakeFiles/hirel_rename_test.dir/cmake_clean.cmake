@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_rename_test.dir/rename_test.cc.o"
+  "CMakeFiles/hirel_rename_test.dir/rename_test.cc.o.d"
+  "hirel_rename_test"
+  "hirel_rename_test.pdb"
+  "hirel_rename_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_rename_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_rules_test.dir/rules_test.cc.o"
+  "CMakeFiles/hirel_rules_test.dir/rules_test.cc.o.d"
+  "hirel_rules_test"
+  "hirel_rules_test.pdb"
+  "hirel_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_schema_test.dir/schema_test.cc.o"
+  "CMakeFiles/hirel_schema_test.dir/schema_test.cc.o.d"
+  "hirel_schema_test"
+  "hirel_schema_test.pdb"
+  "hirel_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_scripts_test.dir/scripts_test.cc.o"
+  "CMakeFiles/hirel_scripts_test.dir/scripts_test.cc.o.d"
+  "hirel_scripts_test"
+  "hirel_scripts_test.pdb"
+  "hirel_scripts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_scripts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_select_test.dir/select_test.cc.o"
+  "CMakeFiles/hirel_select_test.dir/select_test.cc.o.d"
+  "hirel_select_test"
+  "hirel_select_test.pdb"
+  "hirel_select_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_setops_test.dir/setops_test.cc.o"
+  "CMakeFiles/hirel_setops_test.dir/setops_test.cc.o.d"
+  "hirel_setops_test"
+  "hirel_setops_test.pdb"
+  "hirel_setops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_setops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_snapshot_test.dir/snapshot_test.cc.o"
+  "CMakeFiles/hirel_snapshot_test.dir/snapshot_test.cc.o.d"
+  "hirel_snapshot_test"
+  "hirel_snapshot_test.pdb"
+  "hirel_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

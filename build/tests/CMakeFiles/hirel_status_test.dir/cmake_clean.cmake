@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_status_test.dir/status_test.cc.o"
+  "CMakeFiles/hirel_status_test.dir/status_test.cc.o.d"
+  "hirel_status_test"
+  "hirel_status_test.pdb"
+  "hirel_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_str_util_test.dir/str_util_test.cc.o"
+  "CMakeFiles/hirel_str_util_test.dir/str_util_test.cc.o.d"
+  "hirel_str_util_test"
+  "hirel_str_util_test.pdb"
+  "hirel_str_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_str_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_subsumption_test.dir/subsumption_test.cc.o"
+  "CMakeFiles/hirel_subsumption_test.dir/subsumption_test.cc.o.d"
+  "hirel_subsumption_test"
+  "hirel_subsumption_test.pdb"
+  "hirel_subsumption_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_subsumption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_text_dump_test.dir/text_dump_test.cc.o"
+  "CMakeFiles/hirel_text_dump_test.dir/text_dump_test.cc.o.d"
+  "hirel_text_dump_test"
+  "hirel_text_dump_test.pdb"
+  "hirel_text_dump_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_text_dump_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

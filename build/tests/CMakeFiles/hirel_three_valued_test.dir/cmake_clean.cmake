@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_three_valued_test.dir/three_valued_test.cc.o"
+  "CMakeFiles/hirel_three_valued_test.dir/three_valued_test.cc.o.d"
+  "hirel_three_valued_test"
+  "hirel_three_valued_test.pdb"
+  "hirel_three_valued_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_three_valued_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_transaction_test.dir/transaction_test.cc.o"
+  "CMakeFiles/hirel_transaction_test.dir/transaction_test.cc.o.d"
+  "hirel_transaction_test"
+  "hirel_transaction_test.pdb"
+  "hirel_transaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_transaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

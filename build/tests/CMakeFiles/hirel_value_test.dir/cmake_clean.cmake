@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_value_test.dir/value_test.cc.o"
+  "CMakeFiles/hirel_value_test.dir/value_test.cc.o.d"
+  "hirel_value_test"
+  "hirel_value_test.pdb"
+  "hirel_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

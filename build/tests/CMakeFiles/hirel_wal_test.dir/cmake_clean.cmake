@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_wal_test.dir/wal_test.cc.o"
+  "CMakeFiles/hirel_wal_test.dir/wal_test.cc.o.d"
+  "hirel_wal_test"
+  "hirel_wal_test.pdb"
+  "hirel_wal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirel_check.dir/hirel_check.cpp.o"
+  "CMakeFiles/hirel_check.dir/hirel_check.cpp.o.d"
+  "hirel_check"
+  "hirel_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirel_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
