@@ -1,0 +1,148 @@
+// Plan-layer benchmarks: (1) the rewriter's selection pushdown on a
+// select-over-join query — the unplanned shape filters after joining, the
+// planned shape clamps both inputs first; (2) the per-Database subsumption
+// cache — repeated queries against an unmodified relation skip the graph
+// rebuild entirely. Baseline numbers live in BENCH_plan.json.
+
+#include <benchmark/benchmark.h>
+
+#include "catalog/database.h"
+#include "plan/execute.h"
+#include "plan/plan_node.h"
+#include "plan/rewrite.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+using plan::ExecOptions;
+using plan::ExecStats;
+using plan::MakeAggregate;
+using plan::MakeConsolidate;
+using plan::MakeNaturalJoin;
+using plan::MakeScan;
+using plan::MakeSelect;
+using plan::PlanPtr;
+
+struct PlanSetup {
+  explicit PlanSetup(size_t instances_per_leaf) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", /*depth=*/3,
+                                            /*fanout=*/3,
+                                            instances_per_leaf);
+    left = db.CreateRelation("l", {{"v", "d"}}).value();
+    right = db.CreateRelation("r", {{"v", "d"}}).value();
+    std::vector<NodeId> top = hierarchy->Children(hierarchy->root());
+    (void)left->Insert({hierarchy->root()}, Truth::kPositive);
+    (void)left->Insert({top[0]}, Truth::kNegative);
+    (void)right->Insert({top[0]}, Truth::kPositive);
+    (void)right->Insert({top[1]}, Truth::kPositive);
+    // Clamp to one grandchild class: a small slice of a large domain, the
+    // case where pushing the selection below the join pays off.
+    probe = hierarchy->Children(top[1])[0];
+  }
+
+  /// SELECT * FROM l JOIN r WHERE v = <probe>, as compiled (pre-rewrite).
+  PlanPtr Query() const {
+    PlanPtr join = MakeNaturalJoin(MakeScan("l"), MakeScan("r"));
+    return MakeConsolidate(MakeSelect(std::move(join), 0, probe, "v",
+                                      hierarchy->NodeName(probe)));
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* left;
+  HierarchicalRelation* right;
+  NodeId probe;
+};
+
+void BM_SelectOverJoinUnplanned(benchmark::State& state) {
+  PlanSetup setup(static_cast<size_t>(state.range(0)));
+  PlanPtr query = setup.Query();
+  if (!AnnotatePlan(*query, setup.db).ok()) {
+    state.SkipWithError("annotate failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan::ExecutePlan(*query, setup.db).value().relation->size());
+  }
+}
+
+void BM_SelectOverJoinPlanned(benchmark::State& state) {
+  PlanSetup setup(static_cast<size_t>(state.range(0)));
+  PlanPtr query =
+      plan::RewritePlan(setup.Query(), setup.db).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        plan::ExecutePlan(*query, setup.db).value().relation->size());
+  }
+}
+
+/// A relation with a stored tuple on every class of a wide taxonomy:
+/// rebuilding its subsumption graph (quadratic in stored tuples) dwarfs
+/// the per-atom counting work, so the cache's effect is visible.
+struct CountSetup {
+  explicit CountSetup(size_t fanout) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", /*depth=*/4, fanout,
+                                            /*instances_per_leaf=*/1);
+    rel = db.CreateRelation("big", {{"v", "d"}}).value();
+    for (NodeId c : hierarchy->Classes()) {
+      (void)rel->Insert({c}, Truth::kPositive);
+    }
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* rel;
+};
+
+/// COUNT big — every run needs big's subsumption graph.
+void BM_RepeatedCountUncached(benchmark::State& state) {
+  CountSetup setup(static_cast<size_t>(state.range(0)));
+  PlanPtr query = MakeAggregate(MakeScan("big"), plan::AggregateOp::kCount);
+  if (!AnnotatePlan(*query, setup.db).ok()) {
+    state.SkipWithError("annotate failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        *plan::ExecutePlan(*query, setup.db).value().count);
+  }
+}
+
+void BM_RepeatedCountCached(benchmark::State& state) {
+  CountSetup setup(static_cast<size_t>(state.range(0)));
+  PlanPtr query = MakeAggregate(MakeScan("big"), plan::AggregateOp::kCount);
+  if (!AnnotatePlan(*query, setup.db).ok()) {
+    state.SkipWithError("annotate failed");
+    return;
+  }
+  ExecOptions options;
+  options.cache = &setup.db.subsumption_cache();
+  ExecStats totals;
+  for (auto _ : state) {
+    ExecStats stats;
+    benchmark::DoNotOptimize(
+        *plan::ExecutePlan(*query, setup.db, options, &stats).value().count);
+    totals.graph_cache_hits += stats.graph_cache_hits;
+    totals.graph_cache_misses += stats.graph_cache_misses;
+  }
+  double lookups =
+      static_cast<double>(totals.graph_cache_hits + totals.graph_cache_misses);
+  state.counters["hit_rate"] =
+      lookups > 0 ? static_cast<double>(totals.graph_cache_hits) / lookups : 0;
+}
+
+BENCHMARK(BM_SelectOverJoinUnplanned)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SelectOverJoinPlanned)->Arg(8)->Arg(32)->Arg(128)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RepeatedCountUncached)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RepeatedCountCached)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hirel
+
+BENCHMARK_MAIN();

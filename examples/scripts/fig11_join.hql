@@ -1,0 +1,39 @@
+-- Figure 11 through the planner: the Animal-Color / Enclosure-Size join,
+-- queried with a selection. EXPLAIN PLAN shows the rewriter pushing the
+-- selection below the join — both inputs are filtered before joining.
+--   build/examples/hql_repl examples/scripts/fig11_join.hql < /dev/null
+CREATE HIERARCHY animal;
+CREATE CLASS elephant IN animal;
+CREATE CLASS african_elephant IN animal UNDER elephant;
+CREATE CLASS indian_elephant IN animal UNDER elephant;
+CREATE CLASS royal_elephant IN animal UNDER elephant;
+CREATE INSTANCE clyde IN animal UNDER royal_elephant;
+CREATE INSTANCE appu IN animal UNDER royal_elephant, indian_elephant;
+
+CREATE HIERARCHY color;
+CREATE HIERARCHY sqft;
+CREATE RELATION color_of (animal: animal, color: color);
+ASSERT color_of(ALL elephant, 'grey');
+ASSERT color_of(ALL royal_elephant, 'white');
+DENY color_of(ALL royal_elephant, 'grey');
+ASSERT color_of(clyde, 'dappled');
+DENY color_of(clyde, 'white');
+
+CREATE RELATION enclosure (animal: animal, sqft: sqft);
+ASSERT enclosure(ALL elephant, 3000);
+ASSERT enclosure(ALL indian_elephant, 2000);
+DENY enclosure(ALL indian_elephant, 3000);
+
+-- Fig. 11b's join, restricted to clyde. The selection on the join
+-- attribute lands on BOTH scans: joined rows agree on 'animal', so
+-- filtering either side early preserves the result.
+EXPLAIN PLAN SELECT * FROM color_of JOIN enclosure WHERE animal = clyde;
+SELECT * FROM color_of JOIN enclosure WHERE animal = clyde;
+
+-- The full join of Fig. 11b for comparison, and the plan for the
+-- projection back (Fig. 11c) as a derived relation.
+EXPLAIN PLAN CREATE RELATION housed AS color_of JOIN enclosure;
+CREATE RELATION housed AS color_of JOIN enclosure;
+EXPLAIN PLAN CREATE RELATION back AS PROJECT housed ON (animal, color);
+CREATE RELATION back AS PROJECT housed ON (animal, color);
+EXTENSION back;

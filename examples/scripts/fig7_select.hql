@@ -1,0 +1,30 @@
+-- Figure 7 through the planner: "Who do obsequious students respect?" —
+-- first the optimized plan (EXPLAIN PLAN compiles and rewrites but does
+-- not execute), then the answer itself.
+--   build/examples/hql_repl examples/scripts/fig7_select.hql < /dev/null
+CREATE HIERARCHY student;
+CREATE CLASS obsequious_student IN student;
+CREATE INSTANCE john IN student UNDER obsequious_student;
+CREATE INSTANCE mary IN student;
+CREATE HIERARCHY teacher;
+CREATE CLASS incoherent_teacher IN teacher;
+CREATE INSTANCE jim IN teacher UNDER incoherent_teacher;
+CREATE INSTANCE wendy IN teacher;
+CREATE RELATION respects (who: student, whom: teacher);
+
+BEGIN respects;
+ASSERT respects(ALL obsequious_student, ALL teacher);
+DENY respects(ALL student, ALL incoherent_teacher);
+ASSERT respects(ALL obsequious_student, ALL incoherent_teacher);
+COMMIT;
+
+-- A plain selection: nothing to push, the plan is Consolidate ∘ Select.
+EXPLAIN PLAN SELECT * FROM respects WHERE who = obsequious_student;
+SELECT * FROM respects WHERE who = obsequious_student;   -- Fig. 7
+
+-- Selecting over a union: the rewriter pushes the selection into both
+-- branches so each side filters before the set operation.
+CREATE RELATION respects2 (who: student, whom: teacher);
+ASSERT respects2(john, wendy);
+EXPLAIN PLAN SELECT * FROM respects UNION respects2 WHERE who = john;
+SELECT * FROM respects UNION respects2 WHERE who = john;

@@ -14,6 +14,7 @@ Result<std::vector<Item>> Rows(const HierarchicalRelation& relation,
   ExplicateOptions explicate_options;
   explicate_options.inference = options.inference;
   explicate_options.max_result_tuples = options.max_rows;
+  explicate_options.graph = options.graph;
   return Extension(relation, explicate_options);
 }
 

@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "core/binding.h"
 #include "core/hierarchical_relation.h"
+#include "core/subsumption.h"
 
 namespace hirel {
 
@@ -22,6 +23,10 @@ namespace hirel {
 struct AggregateOptions {
   InferenceOptions inference;
   size_t max_rows = 10'000'000;
+
+  /// Pre-built subsumption graph of the aggregated relation (see
+  /// ExplicateOptions::graph); null builds it on the fly.
+  const SubsumptionGraph* graph = nullptr;
 };
 
 /// Number of rows in the relation's extension (the COUNT(*) the paper

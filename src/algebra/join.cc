@@ -50,6 +50,15 @@ Result<HierarchicalRelation> JoinOn(
   }
 
   // Candidate items: align every tuple pair on the join attributes.
+  auto overflow = [&]() {
+    return Status::ResourceExhausted(
+        StrCat("join of '", left.name(), "' (", left.size(),
+               " tuples) with '", right.name(), "' (", right.size(),
+               " tuples) exceeds the candidate-item limit of ",
+               options.max_items,
+               "; consolidate the arguments, select a sub-hierarchy first, "
+               "or raise JoinOptions::max_items"));
+  };
   std::vector<Item> candidates;
   for (TupleId lid : left.TupleIds()) {
     const HTuple& lt = left.tuple(lid);
@@ -82,6 +91,7 @@ Result<HierarchicalRelation> JoinOn(
         for (size_t k = 0; k < on.size(); ++k) {
           item[on[k].first] = choices[k][idx[k]];
         }
+        if (candidates.size() >= options.max_items) return overflow();
         candidates.push_back(std::move(item));
         size_t k = on.size();
         bool done = on.empty();
@@ -97,7 +107,7 @@ Result<HierarchicalRelation> JoinOn(
   }
 
   InferenceOptions inference = options.inference;
-  return DeriveRelation(
+  Result<HierarchicalRelation> derived = DeriveRelation(
       StrCat(left.name(), "_join_", right.name()), schema,
       std::move(candidates),
       [&, inference](const Item& item) -> Result<Truth> {
@@ -116,6 +126,12 @@ Result<HierarchicalRelation> JoinOn(
                    : Truth::kNegative;
       },
       options.max_items);
+  // The MCD closure inside DeriveRelation enforces the same cap with a
+  // generic message; re-label it so HQL users see which join overflowed.
+  if (!derived.ok() && derived.status().IsResourceExhausted()) {
+    return overflow();
+  }
+  return derived;
 }
 
 Result<HierarchicalRelation> NaturalJoin(const HierarchicalRelation& left,

@@ -120,6 +120,7 @@ Result<HierarchicalRelation*> Database::AdoptRelation(
     }
   }
   std::string name = relation.name();
+  subsumption_cache_.Invalidate(name);
   auto owned =
       std::make_unique<HierarchicalRelation>(std::move(relation));
   HierarchicalRelation* raw = owned.get();
@@ -149,6 +150,7 @@ Status Database::DropRelation(std::string_view name) {
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation '", name, "'"));
   }
+  subsumption_cache_.Invalidate(it->first);
   relations_.erase(it);
   return Status::OK();
 }

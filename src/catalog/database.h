@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "core/hierarchical_relation.h"
+#include "core/subsumption_cache.h"
 #include "hierarchy/hierarchy.h"
 
 namespace hirel {
@@ -69,12 +70,22 @@ class Database {
   /// Names of all relations, sorted.
   std::vector<std::string> RelationNames() const;
 
+  // ----- Caches -------------------------------------------------------------
+
+  /// The database's subsumption-graph cache. Entries are validated against
+  /// relation/hierarchy version stamps on every lookup, so a cached graph
+  /// can never be stale; dropping or replacing a relation evicts its entry
+  /// eagerly to bound memory. Dropping the whole Database (e.g. on LOAD)
+  /// drops the cache with it.
+  SubsumptionCache& subsumption_cache() { return subsumption_cache_; }
+
  private:
   bool OwnsHierarchy(const Hierarchy* hierarchy) const;
 
   std::map<std::string, std::unique_ptr<Hierarchy>, std::less<>> hierarchies_;
   std::map<std::string, std::unique_ptr<HierarchicalRelation>, std::less<>>
       relations_;
+  SubsumptionCache subsumption_cache_;
 };
 
 }  // namespace hirel

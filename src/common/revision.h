@@ -1,0 +1,27 @@
+// A process-wide monotonic revision counter.
+//
+// Versioned structures (HierarchicalRelation, Hierarchy) stamp themselves
+// with a fresh revision on construction and after every mutation. Because
+// revisions are drawn from one global counter, two distinct states never
+// share a stamp — except copies, whose content is identical, so treating an
+// equal stamp as "unchanged" is always sound. The subsumption-graph cache
+// keys its entries on these stamps.
+
+#ifndef HIREL_COMMON_REVISION_H_
+#define HIREL_COMMON_REVISION_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hirel {
+
+/// Returns the next revision number. Never returns 0, so 0 can serve as a
+/// "never stamped" sentinel.
+inline uint64_t NextRevision() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace hirel
+
+#endif  // HIREL_COMMON_REVISION_H_

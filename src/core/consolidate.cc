@@ -44,10 +44,13 @@ Result<bool> IsRedundant(const HierarchicalRelation& relation, TupleId id,
 }
 
 Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
-                                  const InferenceOptions& options) {
+                                  const InferenceOptions& options,
+                                  const SubsumptionGraph* cached) {
   // Examine tuples most-general-first; the subsumption graph's node list is
   // already a topological order.
-  SubsumptionGraph graph = BuildSubsumptionGraph(relation);
+  SubsumptionGraph local;
+  if (cached == nullptr) local = BuildSubsumptionGraph(relation);
+  const SubsumptionGraph& graph = cached != nullptr ? *cached : local;
 
   size_t capacity = 0;
   for (TupleId id : graph.nodes) {

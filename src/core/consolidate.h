@@ -14,13 +14,20 @@
 #include "common/result.h"
 #include "core/binding.h"
 #include "core/hierarchical_relation.h"
+#include "core/subsumption.h"
 
 namespace hirel {
 
 /// Removes redundant tuples from `relation` in place. Returns the number of
 /// tuples removed. The relation's extension is unchanged.
+///
+/// `graph`, when non-null, must be the subsumption graph of `relation` as
+/// passed (same tuple ids) — e.g. a SubsumptionCache entry of the relation
+/// this one was just copied from; it is only read for the topological
+/// examination order, never mutated.
 Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
-                                  const InferenceOptions& options = {});
+                                  const InferenceOptions& options = {},
+                                  const SubsumptionGraph* graph = nullptr);
 
 /// Functional form: returns the consolidated copy, leaving the argument
 /// untouched (consolidate "takes as its argument a relation, and produces

@@ -34,7 +34,10 @@ Result<HierarchicalRelation> Explicate(const HierarchicalRelation& relation,
 
   // Reverse topological order: most specific tuples first, so the first
   // tuple to claim an item wins, which is exactly the override semantics.
-  SubsumptionGraph graph = BuildSubsumptionGraph(relation);
+  SubsumptionGraph local;
+  if (options.graph == nullptr) local = BuildSubsumptionGraph(relation);
+  const SubsumptionGraph& graph =
+      options.graph != nullptr ? *options.graph : local;
   for (auto it = graph.nodes.rbegin(); it != graph.nodes.rend(); ++it) {
     const HTuple& t = relation.tuple(*it);
 

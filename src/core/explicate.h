@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "core/binding.h"
 #include "core/hierarchical_relation.h"
+#include "core/subsumption.h"
 
 namespace hirel {
 
@@ -30,6 +31,11 @@ namespace hirel {
 struct ExplicateOptions {
   /// Inference options (preemption mode) used when resolving overrides.
   InferenceOptions inference;
+
+  /// Pre-built subsumption graph of the *argument* relation, e.g. from a
+  /// SubsumptionCache. Must describe the relation exactly as passed (same
+  /// tuple ids); when null the graph is built on the fly.
+  const SubsumptionGraph* graph = nullptr;
 
   /// Upper bound on the number of result tuples; exceeding it fails with
   /// kResourceExhausted ("a potentially infinite relation can be stored in

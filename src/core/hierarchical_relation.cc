@@ -58,6 +58,7 @@ Result<TupleId> HierarchicalRelation::Insert(Item item, Truth truth) {
   for (size_t i = 0; i < schema_.size(); ++i) {
     component_index_[i][tuples_.back().item[i]].push_back(id);
   }
+  version_ = NextRevision();
   return id;
 }
 
@@ -66,6 +67,7 @@ Result<TupleId> HierarchicalRelation::Upsert(Item item, Truth truth) {
   auto it = item_index_.find(item);
   if (it != item_index_.end()) {
     tuples_[it->second].truth = truth;
+    version_ = NextRevision();
     return it->second;
   }
   return Insert(std::move(item), truth);
@@ -87,6 +89,7 @@ Status HierarchicalRelation::Erase(TupleId id) {
   }
   alive_[id] = false;
   --num_alive_;
+  version_ = NextRevision();
   return Status::OK();
 }
 
@@ -105,6 +108,7 @@ void HierarchicalRelation::Clear() {
   item_index_.clear();
   component_index_.clear();
   num_alive_ = 0;
+  version_ = NextRevision();
 }
 
 std::optional<TupleId> HierarchicalRelation::FindItem(const Item& item) const {

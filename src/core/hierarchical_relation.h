@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/revision.h"
 #include "common/status.h"
 #include "types/item.h"
 #include "types/schema.h"
@@ -75,6 +76,13 @@ class HierarchicalRelation {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const Schema& schema() const { return schema_; }
+
+  /// Monotonic version stamp, drawn from the process-wide revision counter.
+  /// Refreshed on every tuple mutation (insert, upsert, erase, clear), so
+  /// two observations with an equal version are guaranteed to have seen the
+  /// same tuple set. Consumers (the subsumption-graph cache) combine this
+  /// with the schema hierarchies' versions to detect staleness.
+  uint64_t version() const { return version_; }
 
   /// Number of live tuples.
   size_t size() const { return num_alive_; }
@@ -152,6 +160,7 @@ class HierarchicalRelation {
 
   std::string name_;
   Schema schema_;
+  uint64_t version_ = NextRevision();
 
   std::vector<HTuple> tuples_;
   std::vector<bool> alive_;

@@ -1,0 +1,51 @@
+#include "core/subsumption_cache.h"
+
+namespace hirel {
+
+std::vector<uint64_t> SubsumptionCache::HierarchyVersions(
+    const HierarchicalRelation& relation) {
+  const Schema& schema = relation.schema();
+  std::vector<uint64_t> versions;
+  versions.reserve(schema.size());
+  for (size_t i = 0; i < schema.size(); ++i) {
+    versions.push_back(schema.hierarchy(i)->version());
+  }
+  return versions;
+}
+
+bool SubsumptionCache::Matches(const Entry& entry,
+                               const HierarchicalRelation& relation) const {
+  return entry.relation_version == relation.version() &&
+         entry.hierarchy_versions == HierarchyVersions(relation);
+}
+
+const SubsumptionGraph& SubsumptionCache::Get(
+    const HierarchicalRelation& relation) {
+  auto it = entries_.find(relation.name());
+  if (it != entries_.end() && Matches(it->second, relation)) {
+    ++stats_.hits;
+    return it->second.graph;
+  }
+  ++stats_.misses;
+  Entry& entry = entries_[relation.name()];
+  entry.relation_version = relation.version();
+  entry.hierarchy_versions = HierarchyVersions(relation);
+  entry.graph = BuildSubsumptionGraph(relation);
+  return entry.graph;
+}
+
+bool SubsumptionCache::Fresh(const HierarchicalRelation& relation) const {
+  auto it = entries_.find(relation.name());
+  return it != entries_.end() && Matches(it->second, relation);
+}
+
+void SubsumptionCache::Invalidate(const std::string& name) {
+  if (entries_.erase(name) > 0) ++stats_.invalidations;
+}
+
+void SubsumptionCache::Clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+}  // namespace hirel

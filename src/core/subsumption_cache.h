@@ -1,0 +1,75 @@
+// SubsumptionCache: versioned per-relation cache of SubsumptionGraphs.
+//
+// BuildSubsumptionGraph is quadratic-to-cubic in the tuple count, and
+// consolidate, explicate (hence extension, aggregation, and every DERIVE
+// fixpoint round) rebuild it from scratch per call. Relations mutate far
+// less often than they are queried, so the graph is cached and keyed on
+// the relation's version stamp plus the version stamps of every hierarchy
+// in its schema (a CONNECT or PREFER can change subsumption between items
+// that are already asserted). Stamps come from the process-wide revision
+// counter (common/revision.h): equal stamps imply identical state, so a
+// hit can never be stale.
+//
+// A Database owns one cache; the plan executor consults it for graphs of
+// base (catalog) relations and bypasses it for operator intermediates.
+
+#ifndef HIREL_CORE_SUBSUMPTION_CACHE_H_
+#define HIREL_CORE_SUBSUMPTION_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/subsumption.h"
+
+namespace hirel {
+
+/// Cache of subsumption graphs keyed by relation name and validated by
+/// version stamps. Entries are rebuilt in place when stale.
+class SubsumptionCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;  // includes stale rebuilds
+    size_t invalidations = 0;
+  };
+
+  /// Returns the subsumption graph of `relation`, building it only if no
+  /// entry exists for `relation.name()` at the current version stamps. The
+  /// reference stays valid until the next Get/Invalidate/Clear for that
+  /// name.
+  const SubsumptionGraph& Get(const HierarchicalRelation& relation);
+
+  /// True iff a Get for `relation` right now would hit.
+  bool Fresh(const HierarchicalRelation& relation) const;
+
+  /// Drops the entry for `name` (no-op if absent). Call when a relation is
+  /// dropped or replaced under the same name.
+  void Invalidate(const std::string& name);
+
+  /// Drops every entry.
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  struct Entry {
+    uint64_t relation_version = 0;
+    std::vector<uint64_t> hierarchy_versions;
+    SubsumptionGraph graph;
+  };
+
+  static std::vector<uint64_t> HierarchyVersions(
+      const HierarchicalRelation& relation);
+  bool Matches(const Entry& entry, const HierarchicalRelation& relation) const;
+
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_CORE_SUBSUMPTION_CACHE_H_

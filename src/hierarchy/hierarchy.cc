@@ -46,6 +46,7 @@ Result<NodeId> Hierarchy::AddNode(NodeKind kind, std::string class_name,
   } else {
     ++num_instances_;
   }
+  version_ = NextRevision();
   return id;
 }
 
@@ -108,9 +109,12 @@ Status Hierarchy::AddEdge(NodeId parent, NodeId child) {
     Status s = dag_.AddEdge(parent, child);
     // Duplicate edges remain a no-op even in on-path mode.
     if (s.IsAlreadyExists()) return Status::OK();
+    if (s.ok()) version_ = NextRevision();
     return s;
   }
-  return dag_.AddEdgeReduced(parent, child);
+  Status s = dag_.AddEdgeReduced(parent, child);
+  if (s.ok()) version_ = NextRevision();
+  return s;
 }
 
 Status Hierarchy::AddPreferenceEdge(NodeId weaker, NodeId stronger) {
@@ -135,6 +139,7 @@ Status Hierarchy::AddPreferenceEdge(NodeId weaker, NodeId stronger) {
   out.push_back(stronger);
   pref_in_[stronger].push_back(weaker);
   ++num_pref_edges_;
+  version_ = NextRevision();
   return Status::OK();
 }
 
@@ -166,6 +171,7 @@ Status Hierarchy::EliminateNode(NodeId n) {
   }
   pref_out_[n].clear();
   pref_in_[n].clear();
+  version_ = NextRevision();
   return dag_.EliminateNode(n, options_.keep_redundant_edges);
 }
 

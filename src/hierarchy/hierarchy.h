@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/revision.h"
 #include "common/status.h"
 #include "graph/dag.h"
 #include "types/value.h"
@@ -69,6 +70,12 @@ class Hierarchy {
   const std::string& name() const { return name_; }
   NodeId root() const { return root_; }
   const HierarchyOptions& options() const { return options_; }
+
+  /// Monotonic version stamp, refreshed on every structural mutation (node
+  /// or edge added, preference edge added, node eliminated). Subsumption
+  /// between existing nodes can change with the graph, so caches of
+  /// subsumption-derived structures must include this in their keys.
+  uint64_t version() const { return version_; }
 
   /// Number of live nodes (classes + instances), including the root.
   size_t num_nodes() const { return dag_.num_nodes(); }
@@ -197,6 +204,7 @@ class Hierarchy {
 
   std::string name_;
   HierarchyOptions options_;
+  uint64_t version_ = NextRevision();
   Dag dag_;
   NodeId root_ = kInvalidNode;
 

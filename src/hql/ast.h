@@ -3,6 +3,7 @@
 #ifndef HIREL_HQL_AST_H_
 #define HIREL_HQL_AST_H_
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -86,9 +87,12 @@ struct FactStmt {
   std::vector<Term> terms;
 };
 
-/// SELECT * FROM rel [WHERE attr = term].
+/// SELECT * FROM rel [JOIN|UNION|INTERSECT|EXCEPT rel2] [WHERE attr = term].
 struct SelectStmt {
+  enum class SourceOp { kNone, kJoin, kUnion, kIntersect, kExcept };
   std::string relation;
+  SourceOp source_op = SourceOp::kNone;
+  std::string right;  // second source relation when source_op != kNone
   bool has_where = false;
   std::string attribute;
   Term term;
@@ -194,6 +198,15 @@ struct CountStmt {
   std::string attribute;
 };
 
+/// EXPLAIN PLAN <query statement>: show the optimized logical plan the
+/// query would execute, without executing it. Distinct from EXPLAIN
+/// rel(terms), which justifies a tuple's truth value. The inner statement
+/// is heap-allocated to break the recursion through Statement.
+struct ExplainPlanStmt {
+  std::shared_ptr<struct StatementBox> query;
+  std::string text;  // source text of the inner statement, for display
+};
+
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
                  CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
@@ -202,7 +215,12 @@ using Statement =
                  DropStmt, SaveStmt, LoadStmt, HelpStmt, CompressStmt,
                  BeginStmt, CommitStmt, AbortStmt, SetPreemptionStmt,
                  RuleStmt, DeriveStmt, CountStmt, ShowBindingStmt,
-                 EliminateStmt>;
+                 EliminateStmt, ExplainPlanStmt>;
+
+/// Holder making the Statement variant usable inside ExplainPlanStmt.
+struct StatementBox {
+  Statement statement;
+};
 
 }  // namespace hql
 }  // namespace hirel

@@ -1,5 +1,7 @@
 #include "hql/executor.h"
 
+#include <algorithm>
+
 #include "algebra/join.h"
 #include "algebra/aggregate.h"
 #include "algebra/justify.h"
@@ -12,63 +14,19 @@
 #include "core/integrity.h"
 #include "core/subsumption.h"
 #include "extensions/compress.h"
+#include "plan/execute.h"
+#include "plan/explain.h"
+#include "plan/planner.h"
+#include "plan/rewrite.h"
 #include "rules/rule.h"
 #include "hql/parser.h"
 #include "hql/printer.h"
+#include "hql/resolve.h"
 #include "io/snapshot.h"
 #include "io/text_dump.h"
 
 namespace hirel {
 namespace hql {
-
-namespace {
-
-/// Resolves a term against a hierarchy. With `allow_intern`, unknown
-/// literal values are interned as fresh instances under the root (how
-/// scalar attributes acquire their values on first use).
-Result<NodeId> ResolveTerm(Hierarchy* hierarchy, const Term& term,
-                           bool allow_intern) {
-  switch (term.kind) {
-    case Term::Kind::kAll:
-      return hierarchy->FindClass(term.name);
-    case Term::Kind::kName: {
-      Result<NodeId> as_instance =
-          hierarchy->FindInstance(Value::String(term.name));
-      if (as_instance.ok()) return as_instance;
-      Result<NodeId> as_class = hierarchy->FindClass(term.name);
-      if (as_class.ok()) return as_class;
-      return Status::NotFound(
-          StrCat("no instance or class named '", term.name,
-                 "' in hierarchy '", hierarchy->name(),
-                 "' (CREATE INSTANCE / CREATE CLASS first, or quote a "
-                 "literal)"));
-    }
-    case Term::Kind::kLiteral: {
-      Result<NodeId> found = hierarchy->FindInstance(term.literal);
-      if (found.ok()) return found;
-      if (allow_intern) return hierarchy->Intern(term.literal);
-      return found;
-    }
-  }
-  return Status::Internal("unhandled term kind");
-}
-
-Result<Item> ResolveItem(const Schema& schema, const std::vector<Term>& terms,
-                         bool allow_intern) {
-  if (terms.size() != schema.size()) {
-    return Status::InvalidArgument(
-        StrCat("tuple arity ", terms.size(), " does not match relation arity ",
-               schema.size()));
-  }
-  Item item(terms.size());
-  for (size_t i = 0; i < terms.size(); ++i) {
-    HIREL_ASSIGN_OR_RETURN(
-        item[i], ResolveTerm(schema.hierarchy(i), terms[i], allow_intern));
-  }
-  return item;
-}
-
-}  // namespace
 
 Result<std::string> Executor::Execute(std::string_view source) {
   HIREL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
@@ -85,6 +43,17 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
   struct Visitor {
     Executor& self;
     Database& db;
+
+    /// Optimizes and executes a compiled query plan: rewrite to a
+    /// fixpoint, re-annotate, run with the database's subsumption cache.
+    Result<plan::PlanOutput> RunPlan(plan::PlanPtr compiled) {
+      HIREL_ASSIGN_OR_RETURN(compiled,
+                             plan::RewritePlan(std::move(compiled), db));
+      plan::ExecOptions exec;
+      exec.inference = self.options_;
+      exec.cache = &db.subsumption_cache();
+      return plan::ExecutePlan(*compiled, db, exec);
+    }
 
     Result<std::string> operator()(const CreateHierarchyStmt& stmt) {
       HierarchyOptions options;
@@ -140,43 +109,24 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const CreateAsStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * left,
-                             db.GetRelation(stmt.left));
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * right,
-                             db.GetRelation(stmt.right));
-      Result<HierarchicalRelation> result = [&]() {
-        SetOpOptions setop_options;
-        setop_options.inference = self.options_;
-        JoinOptions join_options;
-        join_options.inference = self.options_;
-        switch (stmt.op) {
-          case CreateAsStmt::Op::kUnion:
-            return Union(*left, *right, setop_options);
-          case CreateAsStmt::Op::kIntersect:
-            return Intersect(*left, *right, setop_options);
-          case CreateAsStmt::Op::kExcept:
-            return Difference(*left, *right, setop_options);
-          case CreateAsStmt::Op::kJoin:
-            return NaturalJoin(*left, *right, join_options);
-        }
-        return Result<HierarchicalRelation>(
-            Status::Internal("unhandled set operation"));
-      }();
-      HIREL_RETURN_IF_ERROR(result.status());
-      result->set_name(stmt.name);
-      HIREL_RETURN_IF_ERROR(db.AdoptRelation(std::move(*result)).status());
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileCreateAs(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
+      out.relation->set_name(stmt.name);
+      HIREL_RETURN_IF_ERROR(
+          db.AdoptRelation(std::move(*out.relation)).status());
       return StrCat("created relation '", stmt.name, "'\n");
     }
 
     Result<std::string> operator()(const CreateProjectStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * source,
-                             db.GetRelation(stmt.source));
-      ProjectOptions options;
-      options.inference = self.options_;
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation result,
-                             Project(*source, stmt.attributes, options));
-      result.set_name(stmt.name);
-      HIREL_RETURN_IF_ERROR(db.AdoptRelation(std::move(result)).status());
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileCreateProject(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
+      out.relation->set_name(stmt.name);
+      HIREL_RETURN_IF_ERROR(
+          db.AdoptRelation(std::move(*out.relation)).status());
       return StrCat("created relation '", stmt.name, "'\n");
     }
 
@@ -241,24 +191,22 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const SelectStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
-                             db.GetRelation(stmt.relation));
-      if (!stmt.has_where) {
-        return FormatRelation(*relation);
-      }
-      HIREL_ASSIGN_OR_RETURN(size_t attr,
-                             relation->schema().IndexOf(stmt.attribute));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileSelect(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
+      return FormatRelation(*out.relation);
+    }
+
+    Result<std::string> operator()(const ExplainPlanStmt& stmt) {
       HIREL_ASSIGN_OR_RETURN(
-          NodeId node,
-          ResolveTerm(relation->schema().hierarchy(attr), stmt.term,
-                      /*allow_intern=*/false));
+          plan::PlanPtr compiled,
+          plan::CompileStatement(db, stmt.query->statement));
+      plan::RewriteStats stats;
       HIREL_ASSIGN_OR_RETURN(
-          HierarchicalRelation result,
-          SelectEquals(*relation, attr, node, self.options_));
-      HIREL_ASSIGN_OR_RETURN(size_t dropped,
-                             ConsolidateInPlace(result, self.options_));
-      (void)dropped;
-      return FormatRelation(result);
+          compiled, plan::RewritePlan(std::move(compiled), db, {}, &stats));
+      return StrCat("plan for ", stmt.text, ":\n",
+                    plan::ExplainPlanTree(*compiled, &stats));
     }
 
     Result<std::string> operator()(const ExplainStmt& stmt) {
@@ -282,31 +230,25 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const ExplicateStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
-                             db.GetRelation(stmt.relation));
-      std::vector<size_t> positions;
-      for (const std::string& name : stmt.attributes) {
-        HIREL_ASSIGN_OR_RETURN(size_t p, relation->schema().IndexOf(name));
-        positions.push_back(p);
-      }
-      ExplicateOptions options;
-      options.inference = self.options_;
-      // Show the raw explication, negated tuples included; the paper's
-      // consolidate-that-follows is a separate statement.
-      options.consolidate_after = false;
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation result,
-                             Explicate(*relation, positions, options));
-      return FormatRelation(result);
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileExplicate(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
+      return FormatRelation(*out.relation);
     }
 
     Result<std::string> operator()(const ExtensionStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
-                             db.GetRelation(stmt.relation));
-      ExplicateOptions options;
-      options.inference = self.options_;
-      HIREL_ASSIGN_OR_RETURN(std::vector<Item> extension,
-                             Extension(*relation, options));
-      return FormatExtension(relation->schema(), extension,
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileExtension(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
+      std::vector<Item> extension;
+      extension.reserve(out.relation->size());
+      for (TupleId id : out.relation->TupleIds()) {
+        extension.push_back(out.relation->tuple(id).item);
+      }
+      std::sort(extension.begin(), extension.end());
+      return FormatExtension(out.relation->schema(), extension,
                              StrCat("extension of '", stmt.relation, "' (",
                                     extension.size(), " rows)"));
     }
@@ -340,7 +282,8 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
         case ShowStmt::What::kSubsumption: {
           HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
                                  std::as_const(db).GetRelation(stmt.name));
-          SubsumptionGraph graph = BuildSubsumptionGraph(*relation);
+          const SubsumptionGraph& graph =
+              db.subsumption_cache().Get(*relation);
           return SubsumptionGraphToString(*relation, graph);
         }
         case ShowStmt::What::kRules: {
@@ -438,21 +381,19 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const CountStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
-                             db.GetRelation(stmt.relation));
-      AggregateOptions options;
-      options.inference = self.options_;
+      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
+                             plan::CompileCount(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             RunPlan(std::move(compiled)));
       if (!stmt.by_attribute) {
-        HIREL_ASSIGN_OR_RETURN(size_t count,
-                               CountExtension(*relation, options));
-        return StrCat("count(", stmt.relation, ") = ", count, "\n");
+        return StrCat("count(", stmt.relation, ") = ", *out.count, "\n");
       }
+      HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                             std::as_const(db).GetRelation(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(size_t attr,
                              relation->schema().IndexOf(stmt.attribute));
-      HIREL_ASSIGN_OR_RETURN(std::vector<RollUpRow> rows,
-                             RollUpTopLevel(*relation, attr, options));
       return StrCat("count(", stmt.relation, ") by ", stmt.attribute,
-                    ":\n", RollUpToString(*relation, attr, rows));
+                    ":\n", RollUpToString(*relation, attr, *out.rollup));
     }
 
     Result<std::string> operator()(const RuleStmt& stmt) {
@@ -470,6 +411,7 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
       }
       RuleOptions options;
       options.inference = self.options_;
+      options.subsumption_cache = &db.subsumption_cache();
       HIREL_ASSIGN_OR_RETURN(size_t derived, engine.Evaluate(options));
       return StrCat("derived ", derived, " fact(s) from ",
                     self.rule_texts_.size(), " rule(s)\n");

@@ -71,6 +71,47 @@ class Parser {
     return Advance().text;
   }
 
+  /// Approximate source text of the token range [begin, end): good enough
+  /// for echoing a statement back in EXPLAIN PLAN output.
+  std::string SourceText(size_t begin, size_t end) const {
+    std::string out;
+    for (size_t i = begin; i < end && i < tokens_.size(); ++i) {
+      const Token& t = tokens_[i];
+      std::string piece;
+      switch (t.type) {
+        case TokenType::kString:
+          piece = StrCat("'", t.text, "'");
+          break;
+        case TokenType::kLeftParen:
+          piece = "(";
+          break;
+        case TokenType::kRightParen:
+          piece = ")";
+          break;
+        case TokenType::kComma:
+          piece = ",";
+          break;
+        case TokenType::kColon:
+          piece = ":";
+          break;
+        case TokenType::kEquals:
+          piece = "=";
+          break;
+        case TokenType::kStar:
+          piece = "*";
+          break;
+        default:
+          piece = t.text;
+          break;
+      }
+      bool no_space_before = piece == ")" || piece == "," || piece == ":";
+      bool prev_open = !out.empty() && out.back() == '(';
+      if (!out.empty() && !no_space_before && !prev_open) out += " ";
+      out += piece;
+    }
+    return out;
+  }
+
   Result<std::vector<std::string>> ParseIdentifierList() {
     std::vector<std::string> names;
     HIREL_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier());
@@ -257,6 +298,18 @@ class Parser {
       HIREL_RETURN_IF_ERROR(Expect(TokenType::kStar).status());
       HIREL_RETURN_IF_ERROR(ExpectKeyword("FROM").status());
       HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
+      if (AcceptKeyword("JOIN")) {
+        stmt.source_op = SelectStmt::SourceOp::kJoin;
+      } else if (AcceptKeyword("UNION")) {
+        stmt.source_op = SelectStmt::SourceOp::kUnion;
+      } else if (AcceptKeyword("INTERSECT")) {
+        stmt.source_op = SelectStmt::SourceOp::kIntersect;
+      } else if (AcceptKeyword("EXCEPT")) {
+        stmt.source_op = SelectStmt::SourceOp::kExcept;
+      }
+      if (stmt.source_op != SelectStmt::SourceOp::kNone) {
+        HIREL_ASSIGN_OR_RETURN(stmt.right, ExpectIdentifier());
+      }
       if (AcceptKeyword("WHERE")) {
         stmt.has_where = true;
         HIREL_ASSIGN_OR_RETURN(stmt.attribute, ExpectIdentifier());
@@ -266,6 +319,15 @@ class Parser {
       return Statement(std::move(stmt));
     }
     if (AcceptKeyword("EXPLAIN")) {
+      if (AcceptKeyword("PLAN")) {
+        ExplainPlanStmt stmt;
+        size_t begin = pos_;
+        HIREL_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+        stmt.query = std::make_shared<StatementBox>();
+        stmt.query->statement = std::move(inner);
+        stmt.text = SourceText(begin, pos_);
+        return Statement(std::move(stmt));
+      }
       ExplainStmt stmt;
       HIREL_ASSIGN_OR_RETURN(stmt.relation, ExpectIdentifier());
       HIREL_ASSIGN_OR_RETURN(stmt.terms, ParseTermTuple());

@@ -24,6 +24,8 @@ std::string HelpText() {
 
   queries
     SELECT * FROM r [WHERE attr = term];
+    SELECT * FROM r JOIN s [WHERE attr = term];  -- also UNION / INTERSECT / EXCEPT
+    EXPLAIN PLAN query;                          -- optimized plan, no execution
     EXPLAIN r(term, ...);                        -- justification (Fig. 9)
     EXTENSION r;                                 -- equivalent flat relation
     EXPLICATE r [ON (attr, ...)];

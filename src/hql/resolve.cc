@@ -1,0 +1,51 @@
+#include "hql/resolve.h"
+
+#include "common/str_util.h"
+
+namespace hirel {
+namespace hql {
+
+Result<NodeId> ResolveTerm(Hierarchy* hierarchy, const Term& term,
+                           bool allow_intern) {
+  switch (term.kind) {
+    case Term::Kind::kAll:
+      return hierarchy->FindClass(term.name);
+    case Term::Kind::kName: {
+      Result<NodeId> as_instance =
+          hierarchy->FindInstance(Value::String(term.name));
+      if (as_instance.ok()) return as_instance;
+      Result<NodeId> as_class = hierarchy->FindClass(term.name);
+      if (as_class.ok()) return as_class;
+      return Status::NotFound(
+          StrCat("no instance or class named '", term.name,
+                 "' in hierarchy '", hierarchy->name(),
+                 "' (CREATE INSTANCE / CREATE CLASS first, or quote a "
+                 "literal)"));
+    }
+    case Term::Kind::kLiteral: {
+      Result<NodeId> found = hierarchy->FindInstance(term.literal);
+      if (found.ok()) return found;
+      if (allow_intern) return hierarchy->Intern(term.literal);
+      return found;
+    }
+  }
+  return Status::Internal("unhandled term kind");
+}
+
+Result<Item> ResolveItem(const Schema& schema, const std::vector<Term>& terms,
+                         bool allow_intern) {
+  if (terms.size() != schema.size()) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", terms.size(), " does not match relation arity ",
+               schema.size()));
+  }
+  Item item(terms.size());
+  for (size_t i = 0; i < terms.size(); ++i) {
+    HIREL_ASSIGN_OR_RETURN(
+        item[i], ResolveTerm(schema.hierarchy(i), terms[i], allow_intern));
+  }
+  return item;
+}
+
+}  // namespace hql
+}  // namespace hirel

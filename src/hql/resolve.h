@@ -1,0 +1,31 @@
+// Resolution of HQL terms against hierarchies — shared between the
+// executor (facts, explanations) and the query planner.
+
+#ifndef HIREL_HQL_RESOLVE_H_
+#define HIREL_HQL_RESOLVE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hierarchy/hierarchy.h"
+#include "hql/ast.h"
+#include "types/item.h"
+#include "types/schema.h"
+
+namespace hirel {
+namespace hql {
+
+/// Resolves a term against a hierarchy. With `allow_intern`, unknown
+/// literal values are interned as fresh instances under the root (how
+/// scalar attributes acquire their values on first use).
+Result<NodeId> ResolveTerm(Hierarchy* hierarchy, const Term& term,
+                           bool allow_intern);
+
+/// Resolves a full tuple pattern against a schema.
+Result<Item> ResolveItem(const Schema& schema, const std::vector<Term>& terms,
+                         bool allow_intern);
+
+}  // namespace hql
+}  // namespace hirel
+
+#endif  // HIREL_HQL_RESOLVE_H_

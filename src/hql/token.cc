@@ -18,7 +18,7 @@ constexpr std::array kReservedWords = {
     "PROJECT",     "AS",        "SAVE",      "LOAD",      "EXTENSION",
     "HELP",        "COMPRESS",  "BEGIN",     "COMMIT",    "ABORT",
     "SET",         "PREEMPTION", "RULE",      "DERIVE",    "RULES",
-    "COUNT",       "BY",        "SUBSUMPTION", "BINDING",
+    "COUNT",       "BY",        "SUBSUMPTION", "BINDING",   "PLAN",
 };
 
 }  // namespace

@@ -1,0 +1,190 @@
+#include "plan/execute.h"
+
+#include <memory>
+#include <utility>
+
+#include "algebra/join.h"
+#include "algebra/project.h"
+#include "algebra/rename.h"
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "common/str_util.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+
+namespace hirel {
+namespace plan {
+namespace {
+
+/// An operand produced by the walk: either a borrowed base relation (graph
+/// cacheable) or an owned intermediate.
+struct Slot {
+  const HierarchicalRelation* rel = nullptr;
+  std::unique_ptr<HierarchicalRelation> owned;
+
+  bool is_base() const { return owned == nullptr; }
+};
+
+class Walker {
+ public:
+  Walker(Database& db, const ExecOptions& options, ExecStats* stats)
+      : db_(db), options_(options), stats_(stats) {}
+
+  Result<PlanOutput> Run(const PlanNode& root) {
+    PlanOutput out;
+    if (root.op == PlanOp::kAggregate) {
+      HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*root.children[0]));
+      if (stats_ != nullptr) ++stats_->nodes_executed;
+      AggregateOptions agg;
+      agg.inference = options_.inference;
+      agg.graph = GraphFor(input);
+      if (root.aggregate == AggregateOp::kCount) {
+        HIREL_ASSIGN_OR_RETURN(size_t count,
+                               CountExtension(*input.rel, agg));
+        out.count = count;
+      } else {
+        HIREL_ASSIGN_OR_RETURN(std::vector<RollUpRow> rows,
+                               RollUpTopLevel(*input.rel, root.attr, agg));
+        out.rollup = std::move(rows);
+      }
+      return out;
+    }
+    HIREL_ASSIGN_OR_RETURN(Slot result, Exec(root));
+    if (result.is_base()) {
+      out.relation = *result.rel;  // copy; the catalog keeps the original
+    } else {
+      out.relation = std::move(*result.owned);
+    }
+    return out;
+  }
+
+ private:
+  /// Cached subsumption graph for a base-relation slot; null for
+  /// intermediates (their graphs are one-shot, caching buys nothing).
+  const SubsumptionGraph* GraphFor(const Slot& slot) {
+    if (!slot.is_base() || options_.cache == nullptr) return nullptr;
+    if (stats_ != nullptr) {
+      if (options_.cache->Fresh(*slot.rel)) {
+        ++stats_->graph_cache_hits;
+      } else {
+        ++stats_->graph_cache_misses;
+      }
+    }
+    return &options_.cache->Get(*slot.rel);
+  }
+
+  Result<Slot> Exec(const PlanNode& node) {
+    if (stats_ != nullptr) ++stats_->nodes_executed;
+    switch (node.op) {
+      case PlanOp::kScan: {
+        HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* rel,
+                               std::as_const(db_).GetRelation(node.relation));
+        Slot slot;
+        slot.rel = rel;
+        return slot;
+      }
+      case PlanOp::kSelect: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        return Own(SelectEquals(*input.rel, node.attr, node.node,
+                                options_.inference));
+      }
+      case PlanOp::kSelectWhere: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        return Own(SelectWhere(*input.rel, node.attr, node.predicate,
+                               options_.inference));
+      }
+      case PlanOp::kProject: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        ProjectOptions project;
+        project.inference = options_.inference;
+        project.max_items = options_.max_items;
+        return Own(Project(*input.rel, node.positions, project));
+      }
+      case PlanOp::kRename: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        return Own(Rename(*input.rel, node.renames));
+      }
+      case PlanOp::kJoin:
+      case PlanOp::kProduct: {
+        HIREL_ASSIGN_OR_RETURN(Slot left, Exec(*node.children[0]));
+        HIREL_ASSIGN_OR_RETURN(Slot right, Exec(*node.children[1]));
+        JoinOptions join;
+        join.inference = options_.inference;
+        join.max_items = options_.max_items;
+        if (node.op == PlanOp::kProduct) {
+          return Own(CartesianProduct(*left.rel, *right.rel, join));
+        }
+        if (!node.join_resolved) {
+          return Own(NaturalJoin(*left.rel, *right.rel, join));
+        }
+        return Own(JoinOn(*left.rel, *right.rel, node.join_on, join));
+      }
+      case PlanOp::kSetOp: {
+        HIREL_ASSIGN_OR_RETURN(Slot left, Exec(*node.children[0]));
+        HIREL_ASSIGN_OR_RETURN(Slot right, Exec(*node.children[1]));
+        SetOpOptions setop;
+        setop.inference = options_.inference;
+        setop.max_items = options_.max_items;
+        switch (node.setop) {
+          case SetOpKind::kUnion:
+            return Own(Union(*left.rel, *right.rel, setop));
+          case SetOpKind::kIntersect:
+            return Own(Intersect(*left.rel, *right.rel, setop));
+          case SetOpKind::kExcept:
+            return Own(Difference(*left.rel, *right.rel, setop));
+        }
+        return Status::Internal("unhandled set operation");
+      }
+      case PlanOp::kConsolidate: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        const SubsumptionGraph* graph = GraphFor(input);
+        Slot slot;
+        // Copies of a base relation share its tuple ids and version stamp,
+        // so the cached graph stays valid for the copy being consolidated.
+        slot.owned = input.is_base()
+                         ? std::make_unique<HierarchicalRelation>(*input.rel)
+                         : std::move(input.owned);
+        slot.rel = slot.owned.get();
+        HIREL_RETURN_IF_ERROR(
+            ConsolidateInPlace(*slot.owned, options_.inference, graph)
+                .status());
+        return slot;
+      }
+      case PlanOp::kExplicate: {
+        HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
+        ExplicateOptions explicate;
+        explicate.inference = options_.inference;
+        explicate.graph = GraphFor(input);
+        explicate.consolidate_after = node.consolidate_after;
+        return Own(Explicate(*input.rel, node.positions, explicate));
+      }
+      case PlanOp::kAggregate:
+        return Status::Internal(
+            "plan: aggregate below the root is not executable");
+    }
+    return Status::Internal("unhandled plan operator");
+  }
+
+  static Result<Slot> Own(Result<HierarchicalRelation> result) {
+    HIREL_RETURN_IF_ERROR(result.status());
+    Slot slot;
+    slot.owned =
+        std::make_unique<HierarchicalRelation>(std::move(*result));
+    slot.rel = slot.owned.get();
+    return slot;
+  }
+
+  Database& db_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+};
+
+}  // namespace
+
+Result<PlanOutput> ExecutePlan(const PlanNode& root, Database& db,
+                               const ExecOptions& options, ExecStats* stats) {
+  return Walker(db, options, stats).Run(root);
+}
+
+}  // namespace plan
+}  // namespace hirel

@@ -1,0 +1,62 @@
+// Physical execution of logical plans.
+//
+// Each plan node maps onto one existing kernel (src/algebra, src/core);
+// base-relation inputs are borrowed from the catalog, intermediates are
+// owned by the walk. Nodes that need a subsumption graph (consolidate,
+// explicate, aggregate) consult the Database's SubsumptionCache when their
+// input is a base relation — the version-stamp validation makes a hit
+// always sound.
+
+#ifndef HIREL_PLAN_EXECUTE_H_
+#define HIREL_PLAN_EXECUTE_H_
+
+#include <optional>
+#include <vector>
+
+#include "algebra/aggregate.h"
+#include "catalog/database.h"
+#include "common/result.h"
+#include "core/binding.h"
+#include "core/hierarchical_relation.h"
+#include "core/subsumption_cache.h"
+#include "plan/plan_node.h"
+
+namespace hirel {
+namespace plan {
+
+struct ExecOptions {
+  /// Preemption mode etc., forwarded to every kernel.
+  InferenceOptions inference;
+
+  /// Subsumption-graph cache consulted for base-relation inputs; null
+  /// disables caching (each kernel builds its own graph).
+  SubsumptionCache* cache = nullptr;
+
+  /// Candidate cap forwarded to join / product / set-operation kernels.
+  size_t max_items = 100'000;
+};
+
+struct ExecStats {
+  size_t nodes_executed = 0;
+  size_t graph_cache_hits = 0;
+  size_t graph_cache_misses = 0;
+};
+
+/// Result of executing a plan: a relation for relational roots, a scalar
+/// count or a roll-up for aggregate roots.
+struct PlanOutput {
+  std::optional<HierarchicalRelation> relation;
+  std::optional<size_t> count;
+  std::optional<std::vector<RollUpRow>> rollup;
+};
+
+/// Executes an annotated plan against `db`. The tree must have been
+/// annotated (AnnotatePlan / RewritePlan) since its last structural change.
+Result<PlanOutput> ExecutePlan(const PlanNode& root, Database& db,
+                               const ExecOptions& options = {},
+                               ExecStats* stats = nullptr);
+
+}  // namespace plan
+}  // namespace hirel
+
+#endif  // HIREL_PLAN_EXECUTE_H_

@@ -1,0 +1,28 @@
+// Rendering of logical plans for EXPLAIN PLAN.
+
+#ifndef HIREL_PLAN_EXPLAIN_H_
+#define HIREL_PLAN_EXPLAIN_H_
+
+#include <string>
+
+#include "plan/plan_node.h"
+#include "plan/rewrite.h"
+
+namespace hirel {
+namespace plan {
+
+/// One-line description of a node's operator and parameters, e.g.
+/// "Select animal within elephant" or "Join on (animal = animal)".
+std::string DescribeNode(const PlanNode& node);
+
+/// Multi-line tree rendering of an annotated plan: one node per line with
+/// its operator, parameters, output schema and estimated cardinality,
+/// children indented beneath. When `stats` is non-null a summary line of
+/// the rewrites that shaped the plan is prepended.
+std::string ExplainPlanTree(const PlanNode& root,
+                            const RewriteStats* stats = nullptr);
+
+}  // namespace plan
+}  // namespace hirel
+
+#endif  // HIREL_PLAN_EXPLAIN_H_

@@ -1,0 +1,139 @@
+// Logical query plans: the tree between HQL and the algebra kernels.
+//
+// HQL query statements used to dispatch straight into the eager algebra
+// free functions (src/algebra/*), leaving nowhere to apply the rewrites
+// the paper's hierarchical semantics make possible — e.g. selection by a
+// class is sub-hierarchy clamping (§3.4) and commutes, component-wise,
+// with join, union, and rename. A PlanNode tree is that missing layer:
+// the planner (plan/planner.h) compiles statements into it, the rewriter
+// (plan/rewrite.h) restructures it, AnnotatePlan propagates schemas and
+// cardinality estimates through it, and the executor (plan/execute.h)
+// finally runs each node as a call into the existing kernels.
+
+#ifndef HIREL_PLAN_PLAN_NODE_H_
+#define HIREL_PLAN_PLAN_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "core/hierarchical_relation.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace hirel {
+namespace plan {
+
+/// The logical operators. Every operator has a physical kernel in
+/// src/algebra or src/core; execution is a post-order walk mapping each
+/// node onto its kernel.
+enum class PlanOp {
+  kScan,         // read a catalog relation by name
+  kSelect,       // clamp to the sub-hierarchy at `node` on attribute `attr`
+  kSelectWhere,  // explicate `attr`, keep rows whose value satisfies a predicate
+  kProject,      // keep attribute positions `positions`, in order
+  kRename,       // rename attributes (old name, new name)
+  kJoin,         // equi-join on resolved position pairs `join_on`
+  kProduct,      // cartesian product
+  kSetOp,        // union / intersect / except on extensions
+  kConsolidate,  // drop redundant tuples (§3.3.1)
+  kExplicate,    // flatten `positions` (all when empty) to atoms (§3.3.2)
+  kAggregate,    // count the extension, optionally rolled up by an attribute
+};
+
+const char* PlanOpToString(PlanOp op);
+
+enum class SetOpKind { kUnion, kIntersect, kExcept };
+enum class AggregateOp { kCount, kCountBy };
+
+/// Kernel-facing spelling: "union", "intersect", "difference".
+const char* SetOpKindToString(SetOpKind kind);
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// One node of a logical plan. Operator parameters live in a flat struct
+/// (only the fields relevant to `op` are meaningful); annotations are
+/// filled in by AnnotatePlan and refreshed after rewriting.
+struct PlanNode {
+  PlanOp op = PlanOp::kScan;
+  std::vector<PlanPtr> children;
+
+  // --- kScan ---------------------------------------------------------------
+  std::string relation;  // catalog name
+
+  // --- kSelect / kSelectWhere / kAggregate(kCountBy) -----------------------
+  size_t attr = 0;              // attribute position in the child's schema
+  NodeId node = kInvalidNode;   // kSelect: selection class/instance
+  std::string attr_name;        // display only
+  std::string node_name;        // display only
+  std::function<bool(const Value&)> predicate;  // kSelectWhere
+  std::string predicate_desc;                   // display only
+
+  // --- kProject / kExplicate -----------------------------------------------
+  std::vector<size_t> positions;  // kExplicate: empty means all attributes
+
+  // --- kRename -------------------------------------------------------------
+  std::vector<std::pair<std::string, std::string>> renames;
+
+  // --- kJoin ---------------------------------------------------------------
+  bool natural = false;  // resolve join_on from shared names at annotate time
+  bool join_resolved = false;
+  std::vector<std::pair<size_t, size_t>> join_on;
+
+  // --- kSetOp --------------------------------------------------------------
+  SetOpKind setop = SetOpKind::kUnion;
+
+  // --- kConsolidate / kExplicate -------------------------------------------
+  bool consolidate_after = false;  // kExplicate: fused trailing consolidate
+
+  // --- kAggregate ----------------------------------------------------------
+  AggregateOp aggregate = AggregateOp::kCount;
+
+  // --- Annotations (AnnotatePlan) ------------------------------------------
+  bool annotated = false;
+  Schema schema;          // output schema (empty for kAggregate)
+  std::string out_name;   // name the physical kernel will give the output
+  double est_rows = 0;    // estimated stored tuples in the output
+  double est_cost = 0;    // cumulative cost units (tuples touched)
+};
+
+// ----- Construction helpers -------------------------------------------------
+
+PlanPtr MakeScan(std::string relation);
+PlanPtr MakeSelect(PlanPtr child, size_t attr, NodeId node,
+                   std::string attr_name, std::string node_name);
+PlanPtr MakeSelectWhere(PlanPtr child, size_t attr,
+                        std::function<bool(const Value&)> predicate,
+                        std::string description);
+PlanPtr MakeProject(PlanPtr child, std::vector<size_t> positions);
+PlanPtr MakeRename(PlanPtr child,
+                   std::vector<std::pair<std::string, std::string>> renames);
+PlanPtr MakeNaturalJoin(PlanPtr left, PlanPtr right);
+PlanPtr MakeJoinOn(PlanPtr left, PlanPtr right,
+                   std::vector<std::pair<size_t, size_t>> on);
+PlanPtr MakeProduct(PlanPtr left, PlanPtr right);
+PlanPtr MakeSetOp(SetOpKind kind, PlanPtr left, PlanPtr right);
+PlanPtr MakeConsolidate(PlanPtr child);
+PlanPtr MakeExplicate(PlanPtr child, std::vector<size_t> positions,
+                      bool consolidate_after);
+PlanPtr MakeAggregate(PlanPtr child, AggregateOp op, size_t attr = 0,
+                      std::string attr_name = "");
+
+/// Deep copy (predicates are shared, everything else is cloned).
+PlanPtr ClonePlan(const PlanNode& node);
+
+/// Validates the tree bottom-up against the catalog and fills in each
+/// node's schema, estimated cardinality, and cumulative cost. Resolves
+/// natural joins into explicit position pairs on first annotation. Safe to
+/// call repeatedly (rewrites call it again after restructuring).
+Status AnnotatePlan(PlanNode& root, const Database& db);
+
+}  // namespace plan
+}  // namespace hirel
+
+#endif  // HIREL_PLAN_PLAN_NODE_H_

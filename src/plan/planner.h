@@ -1,0 +1,42 @@
+// Planner: compiles HQL query statements into logical plans.
+//
+// Every statement that *reads* relations — SELECT, CREATE ... AS,
+// CREATE ... AS PROJECT ON, EXPLICATE, EXTENSION, COUNT — compiles to a
+// PlanNode tree; the HQL executor then rewrites and executes it. Fact
+// statements, DDL, and justification queries stay outside the plan layer.
+
+#ifndef HIREL_PLAN_PLANNER_H_
+#define HIREL_PLAN_PLANNER_H_
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "hql/ast.h"
+#include "plan/plan_node.h"
+
+namespace hirel {
+namespace plan {
+
+/// True iff `statement` is a query the planner can compile (the statement
+/// forms EXPLAIN PLAN accepts).
+bool IsPlannable(const hql::Statement& statement);
+
+/// Compiles a plannable statement into an unannotated logical plan;
+/// kInvalidArgument for non-query statements.
+Result<PlanPtr> CompileStatement(const Database& db,
+                                 const hql::Statement& statement);
+
+Result<PlanPtr> CompileSelect(const Database& db, const hql::SelectStmt& stmt);
+Result<PlanPtr> CompileCreateAs(const Database& db,
+                                const hql::CreateAsStmt& stmt);
+Result<PlanPtr> CompileCreateProject(const Database& db,
+                                     const hql::CreateProjectStmt& stmt);
+Result<PlanPtr> CompileExplicate(const Database& db,
+                                 const hql::ExplicateStmt& stmt);
+Result<PlanPtr> CompileExtension(const Database& db,
+                                 const hql::ExtensionStmt& stmt);
+Result<PlanPtr> CompileCount(const Database& db, const hql::CountStmt& stmt);
+
+}  // namespace plan
+}  // namespace hirel
+
+#endif  // HIREL_PLAN_PLANNER_H_

@@ -1,0 +1,185 @@
+#include "plan/rewrite.h"
+
+#include <utility>
+#include <vector>
+
+namespace hirel {
+namespace plan {
+namespace {
+
+/// Clones the selection at `like` onto `input`, selecting at position
+/// `attr` of `input`'s schema.
+PlanPtr CloneSelectionOnto(const PlanNode& like, PlanPtr input, size_t attr) {
+  if (like.op == PlanOp::kSelect) {
+    return MakeSelect(std::move(input), attr, like.node, like.attr_name,
+                      like.node_name);
+  }
+  return MakeSelectWhere(std::move(input), attr, like.predicate,
+                         like.predicate_desc);
+}
+
+/// Applies at most one selection pushdown somewhere in the tree; the
+/// caller re-annotates and calls again (annotations below `slot` go stale
+/// the moment the tree moves).
+bool PushSelections(PlanPtr& slot, RewriteStats* stats) {
+  for (PlanPtr& child : slot->children) {
+    if (PushSelections(child, stats)) return true;
+  }
+  PlanNode& n = *slot;
+  if (n.op != PlanOp::kSelect && n.op != PlanOp::kSelectWhere) return false;
+  PlanNode& child = *n.children[0];
+  switch (child.op) {
+    case PlanOp::kSetOp: {
+      // σ(L op R) = σ(L) op σ(R) for union, intersect and difference: the
+      // predicate applies row-wise on the extension either way.
+      PlanPtr setop = std::move(n.children[0]);
+      setop->children[0] =
+          CloneSelectionOnto(n, std::move(setop->children[0]), n.attr);
+      setop->children[1] =
+          CloneSelectionOnto(n, std::move(setop->children[1]), n.attr);
+      stats->selections_pushed += 2;
+      slot = std::move(setop);
+      return true;
+    }
+    case PlanOp::kRename: {
+      // Rename preserves attribute positions, so the selection slides
+      // through unchanged.
+      PlanPtr rename = std::move(n.children[0]);
+      rename->children[0] =
+          CloneSelectionOnto(n, std::move(rename->children[0]), n.attr);
+      stats->selections_pushed += 1;
+      slot = std::move(rename);
+      return true;
+    }
+    case PlanOp::kJoin:
+    case PlanOp::kProduct: {
+      // Join output positions: left attributes first, then the right
+      // attributes that are not join positions, in right-schema order.
+      const Schema& ls = child.children[0]->schema;
+      const Schema& rs = child.children[1]->schema;
+      if (child.op == PlanOp::kJoin && !child.join_resolved) return false;
+      std::vector<bool> is_join(rs.size(), false);
+      for (const auto& [li, ri] : child.join_on) is_join[ri] = true;
+      PlanPtr join = std::move(n.children[0]);
+      if (n.attr < ls.size()) {
+        join->children[0] =
+            CloneSelectionOnto(n, std::move(join->children[0]), n.attr);
+        stats->selections_pushed += 1;
+        if (n.op == PlanOp::kSelect) {
+          // A clamp on a join attribute constrains both inputs equally
+          // (their components are equal in every joined row).
+          for (const auto& [li, ri] : join->join_on) {
+            if (li != n.attr) continue;
+            join->children[1] =
+                CloneSelectionOnto(n, std::move(join->children[1]), ri);
+            stats->selections_pushed += 1;
+            break;
+          }
+        }
+      } else {
+        size_t tail = n.attr - ls.size();
+        size_t rpos = SIZE_MAX;
+        size_t seen = 0;
+        for (size_t j = 0; j < rs.size(); ++j) {
+          if (is_join[j]) continue;
+          if (seen == tail) {
+            rpos = j;
+            break;
+          }
+          ++seen;
+        }
+        if (rpos == SIZE_MAX) return false;
+        join->children[1] =
+            CloneSelectionOnto(n, std::move(join->children[1]), rpos);
+        stats->selections_pushed += 1;
+      }
+      slot = std::move(join);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool FuseConsolidates(PlanPtr& slot, RewriteStats* stats) {
+  for (PlanPtr& child : slot->children) {
+    if (FuseConsolidates(child, stats)) return true;
+  }
+  PlanNode& n = *slot;
+  if (n.op == PlanOp::kConsolidate) {
+    PlanNode& child = *n.children[0];
+    if (child.op == PlanOp::kConsolidate) {
+      // Consolidation is idempotent.
+      slot = std::move(n.children[0]);
+      stats->consolidates_eliminated += 1;
+      return true;
+    }
+    if (child.op == PlanOp::kExplicate && child.positions.empty()) {
+      // After a full explication every negated tuple is redundant; the
+      // explicate kernel drops them itself when consolidate_after is set.
+      n.children[0]->consolidate_after = true;
+      slot = std::move(n.children[0]);
+      stats->explicate_fusions += 1;
+      return true;
+    }
+  }
+  if (n.op == PlanOp::kExplicate && n.positions.empty() &&
+      n.consolidate_after && n.children[0]->op == PlanOp::kConsolidate) {
+    // A full consolidating explication depends only on its input's
+    // extension, which consolidation preserves.
+    n.children[0] = std::move(n.children[0]->children[0]);
+    stats->consolidates_eliminated += 1;
+    return true;
+  }
+  return false;
+}
+
+bool PruneProjections(PlanPtr& slot, RewriteStats* stats) {
+  for (PlanPtr& child : slot->children) {
+    if (PruneProjections(child, stats)) return true;
+  }
+  PlanNode& n = *slot;
+  if (n.op != PlanOp::kProject || n.children[0]->op != PlanOp::kProject) {
+    return false;
+  }
+  PlanPtr inner = std::move(n.children[0]);
+  std::vector<size_t> composed;
+  composed.reserve(n.positions.size());
+  for (size_t p : n.positions) {
+    if (p >= inner->positions.size()) {
+      n.children[0] = std::move(inner);  // malformed; leave for Annotate
+      return false;
+    }
+    composed.push_back(inner->positions[p]);
+  }
+  n.positions = std::move(composed);
+  n.children[0] = std::move(inner->children[0]);
+  stats->projections_pruned += 1;
+  return true;
+}
+
+}  // namespace
+
+Result<PlanPtr> RewritePlan(PlanPtr root, const Database& db,
+                            const RewriteOptions& options,
+                            RewriteStats* stats) {
+  RewriteStats local;
+  if (stats == nullptr) stats = &local;
+  HIREL_RETURN_IF_ERROR(AnnotatePlan(*root, db));
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+    if (options.push_selections) changed = PushSelections(root, stats);
+    if (!changed && options.fuse_consolidates) {
+      changed = FuseConsolidates(root, stats);
+    }
+    if (!changed && options.prune_projections) {
+      changed = PruneProjections(root, stats);
+    }
+    if (!changed) break;
+    HIREL_RETURN_IF_ERROR(AnnotatePlan(*root, db));
+  }
+  return root;
+}
+
+}  // namespace plan
+}  // namespace hirel

@@ -1,0 +1,64 @@
+// Logical rewrites over query plans.
+//
+// Every rewrite preserves the *extension* of the plan's result — the flat
+// relation it denotes (Section 3) — which is the correctness contract of
+// the hierarchical algebra. The stored tuple representation may differ;
+// consolidation-insensitive consumers (extension, counts, set operations)
+// cannot observe the difference.
+//
+// Passes, applied to a fixpoint:
+//  * selection pushdown — a clamping Select (and a predicate SelectWhere)
+//    commutes component-wise with union/intersect/difference, rename, join
+//    and product; pushing it below shrinks the inputs of the expensive
+//    MCD-closure operators. A selection on a join attribute is pushed into
+//    *both* join inputs.
+//  * consolidate fusion — consolidate(consolidate(x)) = consolidate(x);
+//    consolidate(explicate_full(x)) fuses into the explicate's
+//    consolidate_after flag; a consolidate under a full extension-producing
+//    explicate is redundant and dropped.
+//  * projection pruning — adjacent projections compose into one.
+
+#ifndef HIREL_PLAN_REWRITE_H_
+#define HIREL_PLAN_REWRITE_H_
+
+#include "catalog/database.h"
+#include "common/result.h"
+#include "plan/plan_node.h"
+
+namespace hirel {
+namespace plan {
+
+struct RewriteOptions {
+  bool push_selections = true;
+  bool fuse_consolidates = true;
+  bool prune_projections = true;
+
+  /// Each pass applies one rewrite then re-annotates; this caps the total
+  /// number of rewrites (plans are small, cascades are short).
+  size_t max_passes = 128;
+};
+
+/// What the rewriter did — surfaced by EXPLAIN PLAN and asserted on by
+/// tests.
+struct RewriteStats {
+  size_t selections_pushed = 0;
+  size_t consolidates_eliminated = 0;
+  size_t explicate_fusions = 0;
+  size_t projections_pruned = 0;
+
+  size_t total() const {
+    return selections_pushed + consolidates_eliminated + explicate_fusions +
+           projections_pruned;
+  }
+};
+
+/// Rewrites `root` to a fixpoint (or `max_passes`). The plan must annotate
+/// cleanly against `db`; the returned plan is freshly annotated.
+Result<PlanPtr> RewritePlan(PlanPtr root, const Database& db,
+                            const RewriteOptions& options = {},
+                            RewriteStats* stats = nullptr);
+
+}  // namespace plan
+}  // namespace hirel
+
+#endif  // HIREL_PLAN_REWRITE_H_

@@ -5,8 +5,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "core/explicate.h"
+#include "plan/execute.h"
+#include "plan/plan_node.h"
 
 namespace hirel {
 
@@ -332,7 +336,8 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
   // these deltas instead of the whole extension.
   std::unordered_map<std::string, std::vector<Item>> delta;
   auto extension_of =
-      [&](const HierarchicalRelation& relation) -> Result<std::vector<Item>> {
+      [&](const std::string& name,
+          const HierarchicalRelation& relation) -> Result<std::vector<Item>> {
     // Fast path: a relation holding only positive atomic tuples (the shape
     // derived relations converge to) IS its own extension; skip the
     // subsumption-graph construction Explicate would perform.
@@ -349,13 +354,35 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
       rows.push_back(t.item);
     }
     if (all_atomic_positive) return rows;
+    if (options.subsumption_cache != nullptr) {
+      // Slow path, cached: run the extension plan through the plan
+      // executor, which reuses the relation's subsumption graph across
+      // fixpoint rounds that left it untouched.
+      plan::PlanPtr p =
+          plan::MakeExplicate(plan::MakeScan(name), {},
+                              /*consolidate_after=*/true);
+      HIREL_RETURN_IF_ERROR(plan::AnnotatePlan(*p, *db_));
+      plan::ExecOptions exec;
+      exec.inference = options.inference;
+      exec.cache = options.subsumption_cache;
+      HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
+                             plan::ExecutePlan(*p, *db_, exec));
+      std::vector<Item> items;
+      items.reserve(out.relation->size());
+      for (TupleId id : out.relation->TupleIds()) {
+        items.push_back(out.relation->tuple(id).item);
+      }
+      std::sort(items.begin(), items.end());
+      return items;
+    }
     return Extension(relation, explicate_options);
   };
   auto refresh = [&](const std::string& name,
                      bool track_delta) -> Status {
     HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
                            db_->GetRelation(name));
-    HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows, extension_of(*relation));
+    HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows,
+                           extension_of(name, *relation));
     RelationFacts& slot = facts[name];
     if (track_delta) {
       std::vector<Item>& fresh = delta[name];

@@ -28,6 +28,7 @@
 #include "catalog/database.h"
 #include "common/result.h"
 #include "core/binding.h"
+#include "core/subsumption_cache.h"
 
 namespace hirel {
 
@@ -69,6 +70,11 @@ struct RuleOptions {
   size_t max_derived_facts = 1'000'000;
   /// Cap on fixpoint rounds per stratum.
   size_t max_rounds = 10'000;
+  /// Subsumption-graph cache (normally the Database's). Every fixpoint
+  /// round re-explicates each referenced relation; with the cache, rounds
+  /// that did not change a relation skip rebuilding its graph. Null
+  /// disables caching.
+  SubsumptionCache* subsumption_cache = nullptr;
 };
 
 /// A set of rules bound to a database, evaluated bottom-up to fixpoint.

@@ -151,6 +151,33 @@ TEST(JoinTest, DisjointJoinValuesProduceEmptyResult) {
   EXPECT_TRUE(Extension(joined).value().empty());
 }
 
+TEST(JoinTest, OverflowReportsBothRelationsAndLimit) {
+  Database db;
+  Hierarchy* h = db.CreateHierarchy("d").value();
+  NodeId c = h->AddClass("c").value();
+  std::vector<NodeId> atoms;
+  for (int i = 0; i < 8; ++i) {
+    atoms.push_back(h->AddInstance(Value::Int(i), c).value());
+  }
+  HierarchicalRelation* r = db.CreateRelation("r", {{"v", "d"}}).value();
+  HierarchicalRelation* s = db.CreateRelation("s", {{"v", "d"}}).value();
+  for (NodeId a : atoms) {
+    ASSERT_TRUE(r->Insert({a}, Truth::kPositive).ok());
+    ASSERT_TRUE(s->Insert({a}, Truth::kPositive).ok());
+  }
+  JoinOptions options;
+  options.max_items = 4;  // 8 aligned pairs exceed this
+  Status status = JoinOn(*r, *s, {{0, 0}}, options).status();
+  ASSERT_TRUE(status.IsResourceExhausted()) << status;
+  // The message must identify both inputs and the limit so an HQL user can
+  // tell which join overflowed.
+  EXPECT_NE(status.message().find("'r' (8 tuples)"), std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("'s' (8 tuples)"), std::string::npos)
+      << status;
+  EXPECT_NE(status.message().find("limit of 4"), std::string::npos) << status;
+}
+
 TEST(JoinTest, MatchesFlatOnRandomDatabases) {
   for (uint64_t seed = 500; seed < 515; ++seed) {
     testing::RandomFixtureOptions options;

@@ -62,6 +62,40 @@ TEST(ScriptsTest, Fig4ElephantsScript) {
   EXPECT_EQ(back->schema().size(), 2u);
 }
 
+TEST(ScriptsTest, Fig7SelectScript) {
+  Executor exec;
+  Result<std::string> out = exec.Execute(ReadScript("fig7_select.hql"));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // The plain selection compiles without rewrites...
+  EXPECT_NE(out->find("Select who within obsequious_student"),
+            std::string::npos);
+  // ...and the union query gets its selection pushed into both branches.
+  EXPECT_NE(out->find("selections pushed=2"), std::string::npos);
+  size_t union_pos = out->find("Union");
+  size_t select_pos = out->find("Select who within john");
+  ASSERT_NE(union_pos, std::string::npos);
+  ASSERT_NE(select_pos, std::string::npos);
+  EXPECT_LT(union_pos, select_pos) << "selection should sit below the union";
+}
+
+TEST(ScriptsTest, Fig11JoinScript) {
+  Executor exec;
+  Result<std::string> out = exec.Execute(ReadScript("fig11_join.hql"));
+  ASSERT_TRUE(out.ok()) << out.status();
+  // The selection on the join attribute is pushed below the join, onto
+  // both scans.
+  EXPECT_NE(out->find("selections pushed=2"), std::string::npos);
+  size_t join_pos = out->find("Join on (animal = animal)");
+  size_t select_pos = out->find("Select animal within clyde");
+  ASSERT_NE(join_pos, std::string::npos);
+  ASSERT_NE(select_pos, std::string::npos);
+  EXPECT_LT(join_pos, select_pos) << "selection should sit below the join";
+  // The executed query agrees with Fig. 11b restricted to clyde.
+  EXPECT_NE(out->find("| + | clyde  | dappled | 3000 |"), std::string::npos);
+  // Fig. 11c: no loss of information in the projection back.
+  EXPECT_NE(out->find("extension of 'back' (2 rows)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hql
 }  // namespace hirel

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: configure, build, and test the release and asan-ubsan presets.
+#
+#   tools/ci.sh            # both presets
+#   tools/ci.sh release    # just one
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan-ubsan)
+fi
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+
+for preset in "${presets[@]}"; do
+  echo "==== ${preset}: configure ===="
+  cmake --preset "${preset}"
+  echo "==== ${preset}: build ===="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "==== ${preset}: test ===="
+  ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "CI passed: ${presets[*]}"
