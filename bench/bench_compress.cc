@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "common/random.h"
 #include "extensions/compress.h"
 #include "testing/fixtures.h"
@@ -72,4 +74,4 @@ BENCHMARK(BM_CompressExtension)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

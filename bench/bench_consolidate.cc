@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "common/random.h"
 #include "core/consolidate.h"
 #include "core/inference.h"
@@ -95,4 +97,4 @@ BENCHMARK(BM_IsRedundantProbe)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

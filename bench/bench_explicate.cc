@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "core/explicate.h"
 #include "testing/fixtures.h"
 
@@ -78,4 +80,4 @@ BENCHMARK(BM_ExplicatePartialVsFull)->Arg(4)->Arg(16)->Arg(64)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "core/inference.h"
 #include "testing/fixtures.h"
 
@@ -115,4 +117,4 @@ BENCHMARK(BM_InferManyExceptions)->Arg(1)->Arg(3)->Arg(6)->Arg(12);
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

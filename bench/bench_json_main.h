@@ -1,0 +1,96 @@
+// Shared main() for the bench_* binaries. Runs google-benchmark with the
+// usual console table, then emits one machine-readable JSON line per
+// benchmark run on stdout:
+//
+//   {"bench":"bench_plan","name":"BM_ExecuteSelect/1024","iterations":N,
+//    "ns_per_op":123.4,"cpu_ns_per_op":120.1}
+//
+// tools/bench.sh collects these lines (grep '^{"bench"') into a summary
+// file, so every benchmark binary reports in the same shape without any
+// per-binary parsing.
+
+#ifndef HIREL_BENCH_BENCH_JSON_MAIN_H_
+#define HIREL_BENCH_BENCH_JSON_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hirel_bench {
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// ConsoleReporter that appends a JSON line per (non-aggregate, non-error)
+/// run. Aggregates and errored runs are skipped so downstream tooling only
+/// sees real measurements.
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLineReporter(std::string bench) : bench_(std::move(bench)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type == Run::RT_Aggregate) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      const double ns_per_op = run.real_accumulated_time * 1e9 / iters;
+      const double cpu_ns_per_op = run.cpu_accumulated_time * 1e9 / iters;
+      std::fprintf(stdout,
+                   "{\"bench\":\"%s\",\"name\":\"%s\",\"iterations\":%lld,"
+                   "\"ns_per_op\":%.1f,\"cpu_ns_per_op\":%.1f",
+                   JsonEscape(bench_).c_str(),
+                   JsonEscape(run.benchmark_name()).c_str(),
+                   static_cast<long long>(run.iterations), ns_per_op,
+                   cpu_ns_per_op);
+      // User counters (rows, hit_rate, ...) ride along under their own
+      // names so per-bench semantics survive into the summary.
+      for (const auto& [name, counter] : run.counters) {
+        std::fprintf(stdout, ",\"%s\":%g", JsonEscape(name).c_str(),
+                     static_cast<double>(counter.value));
+      }
+      std::fprintf(stdout, "}\n");
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  std::string bench_;
+};
+
+inline int RunJsonMain(int argc, char** argv) {
+  std::string bench = argc > 0 ? argv[0] : "bench";
+  const size_t slash = bench.find_last_of('/');
+  if (slash != std::string::npos) bench = bench.substr(slash + 1);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter(bench);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hirel_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() used by every bench_*.cc.
+#define HIREL_BENCH_JSON_MAIN()                 \
+  int main(int argc, char** argv) {             \
+    return hirel_bench::RunJsonMain(argc, argv); \
+  }
+
+#endif  // HIREL_BENCH_BENCH_JSON_MAIN_H_

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "core/explicate.h"
 #include "core/inference.h"
 #include "flat/membership_baseline.h"
@@ -87,4 +89,4 @@ BENCHMARK(BM_MembershipTableListExtension)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "algebra/join.h"
 #include "algebra/project.h"
 #include "algebra/select.h"
@@ -128,4 +130,4 @@ BENCHMARK(BM_ExplicateThenFlatJoin)->Arg(8)->Arg(32)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

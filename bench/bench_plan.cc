@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "catalog/database.h"
 #include "plan/execute.h"
 #include "plan/plan_node.h"
@@ -145,4 +147,4 @@ BENCHMARK(BM_RepeatedCountCached)->Arg(3)->Arg(4)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "core/inference.h"
 #include "testing/fixtures.h"
 
@@ -104,4 +106,4 @@ BENCHMARK(BM_PreferenceEdgeInference);
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "rules/rule.h"
 #include "testing/fixtures.h"
 
@@ -68,4 +70,4 @@ BENCHMARK(BM_TravelsFarOverTaxonomy)->Arg(64)->Arg(256)->Arg(1024)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include "core/explicate.h"
 #include "flat/flat_relation.h"
 #include "testing/fixtures.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_FlatStorage)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_main.h"
+
 #include <filesystem>
 
 #include "core/integrity.h"
@@ -138,4 +140,4 @@ BENCHMARK(BM_RecoveryAfterCheckpoint)->Arg(100)->Arg(1000)->Arg(5000)
 }  // namespace
 }  // namespace hirel
 
-BENCHMARK_MAIN();
+HIREL_BENCH_JSON_MAIN();

@@ -30,6 +30,10 @@ DENY enclosure(ALL indian_elephant, 3000);
 EXPLAIN PLAN SELECT * FROM color_of JOIN enclosure WHERE animal = clyde;
 SELECT * FROM color_of JOIN enclosure WHERE animal = clyde;
 
+-- The executed version of the same plan: per-node actual rows, wall
+-- time, and subsumption probes, plus engine totals.
+EXPLAIN ANALYZE SELECT * FROM color_of JOIN enclosure WHERE animal = clyde;
+
 -- The full join of Fig. 11b for comparison, and the plan for the
 -- projection back (Fig. 11c) as a derived relation.
 EXPLAIN PLAN CREATE RELATION housed AS color_of JOIN enclosure;

@@ -13,6 +13,7 @@
 #include "core/hierarchical_relation.h"
 #include "core/subsumption_cache.h"
 #include "hierarchy/hierarchy.h"
+#include "obs/metrics.h"
 
 namespace hirel {
 
@@ -79,6 +80,14 @@ class Database {
   /// drops the cache with it.
   SubsumptionCache& subsumption_cache() { return subsumption_cache_; }
 
+  // ----- Observability ------------------------------------------------------
+
+  /// The engine-wide metrics registry. Owned by the Database so that
+  /// SHOW METRICS scopes to the catalog being queried and LOAD (which
+  /// replaces the Database) starts a fresh epoch. Const access is allowed
+  /// because recording a metric never changes observable catalog state.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   bool OwnsHierarchy(const Hierarchy* hierarchy) const;
 
@@ -86,6 +95,7 @@ class Database {
   std::map<std::string, std::unique_ptr<HierarchicalRelation>, std::less<>>
       relations_;
   SubsumptionCache subsumption_cache_;
+  mutable obs::MetricsRegistry metrics_;
 };
 
 }  // namespace hirel

@@ -119,6 +119,7 @@ Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
                                         const Item& item,
                                         const std::vector<bool>& exclude,
                                         const InferenceOptions& options) {
+  if (options.probe_counter != nullptr) ++*options.probe_counter;
   Applicable applicable = CollectApplicable(relation, item, &exclude);
   Binding binding;
   if (applicable.self != kInvalidTuple) {

@@ -28,6 +28,12 @@ struct InferenceOptions {
 
   /// Safety cap on the product-interval search used by on-path preemption.
   size_t on_path_search_limit = 100000;
+
+  /// When non-null, incremented once per strongest-binding computation (the
+  /// unit of subsumption work). The plan executor points this at per-node
+  /// counters so EXPLAIN ANALYZE can report probe counts; the pointer is
+  /// copied along with the options into every kernel.
+  uint64_t* probe_counter = nullptr;
 };
 
 /// The strongest-binding tuples of one item.

@@ -13,10 +13,12 @@ void Transaction::Erase(Item item) {
 }
 
 Status Transaction::Commit() {
+  size_t staged = ops_.size();
   std::vector<Undo> undo_log;
   undo_log.reserve(ops_.size());
 
   auto rollback = [&]() {
+    if (metrics_ != nullptr) metrics_->counter("txn.commit_failures").Add();
     // Reverse in LIFO order, then abort: staged operations are discarded,
     // like any aborted transaction's.
     for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
@@ -63,6 +65,10 @@ Status Transaction::Commit() {
     return check;
   }
   ops_.clear();
+  if (metrics_ != nullptr) {
+    metrics_->counter("txn.commits").Add();
+    metrics_->counter("txn.ops_committed").Add(staged);
+  }
   return Status::OK();
 }
 

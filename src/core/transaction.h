@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "core/binding.h"
 #include "core/hierarchical_relation.h"
+#include "obs/metrics.h"
 
 namespace hirel {
 
@@ -23,9 +24,12 @@ namespace hirel {
 /// transaction has no effect.
 class Transaction {
  public:
+  /// `metrics`, when non-null, receives txn.commits / txn.commit_failures /
+  /// txn.ops_committed counters.
   explicit Transaction(HierarchicalRelation* relation,
-                       InferenceOptions options = {})
-      : relation_(relation), options_(options) {}
+                       InferenceOptions options = {},
+                       obs::MetricsRegistry* metrics = nullptr)
+      : relation_(relation), options_(options), metrics_(metrics) {}
 
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
@@ -71,6 +75,7 @@ class Transaction {
 
   HierarchicalRelation* relation_;
   InferenceOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<Op> ops_;
 };
 

@@ -127,9 +127,12 @@ struct ShowStmt {
     kRelations,
     kRules,
     kSubsumption,  // SHOW SUBSUMPTION rel: the Fig. 6a construction
+    kMetrics,      // SHOW METRICS [JSON]: the engine's metrics registry
+    kTrace,        // SHOW TRACE [JSON]: the last query's span tree
   };
   What what = What::kRelations;
   std::string name;
+  bool json = false;  // JSON rendering, for kMetrics / kTrace
 };
 
 struct DropStmt {
@@ -205,7 +208,13 @@ struct CountStmt {
 struct ExplainPlanStmt {
   std::shared_ptr<struct StatementBox> query;
   std::string text;  // source text of the inner statement, for display
+  /// EXPLAIN ANALYZE: execute the plan and annotate each node with its
+  /// actual rows / wall time / subsumption probes next to the estimates.
+  bool analyze = false;
 };
+
+/// RESET METRICS: zero every metric (and the subsumption cache's stats).
+struct ResetMetricsStmt {};
 
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
@@ -215,7 +224,7 @@ using Statement =
                  DropStmt, SaveStmt, LoadStmt, HelpStmt, CompressStmt,
                  BeginStmt, CommitStmt, AbortStmt, SetPreemptionStmt,
                  RuleStmt, DeriveStmt, CountStmt, ShowBindingStmt,
-                 EliminateStmt, ExplainPlanStmt>;
+                 EliminateStmt, ExplainPlanStmt, ResetMetricsStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

@@ -1,6 +1,7 @@
 #include "hql/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "algebra/join.h"
 #include "algebra/aggregate.h"
@@ -19,6 +20,7 @@
 #include "plan/planner.h"
 #include "plan/rewrite.h"
 #include "rules/rule.h"
+#include "hql/lexer.h"
 #include "hql/parser.h"
 #include "hql/printer.h"
 #include "hql/resolve.h"
@@ -28,31 +30,192 @@
 namespace hirel {
 namespace hql {
 
-Result<std::string> Executor::Execute(std::string_view source) {
-  HIREL_ASSIGN_OR_RETURN(std::vector<Statement> statements,
-                         ParseScript(source));
-  std::string output;
-  for (const Statement& statement : statements) {
-    HIREL_ASSIGN_OR_RETURN(std::string part, ExecuteStatement(statement));
-    output += part;
+namespace {
+
+/// Span name of one statement in the query trace.
+struct TraceName {
+  const char* operator()(const CreateHierarchyStmt&) const {
+    return "create hierarchy";
   }
+  const char* operator()(const CreateClassStmt&) const {
+    return "create class";
+  }
+  const char* operator()(const CreateInstanceStmt&) const {
+    return "create instance";
+  }
+  const char* operator()(const CreateRelationStmt&) const {
+    return "create relation";
+  }
+  const char* operator()(const CreateAsStmt&) const { return "create as"; }
+  const char* operator()(const CreateProjectStmt&) const {
+    return "create project";
+  }
+  const char* operator()(const ConnectStmt&) const { return "connect"; }
+  const char* operator()(const PreferStmt&) const { return "prefer"; }
+  const char* operator()(const FactStmt& stmt) const {
+    switch (stmt.kind) {
+      case FactStmt::Kind::kAssert:
+        return "assert";
+      case FactStmt::Kind::kDeny:
+        return "deny";
+      case FactStmt::Kind::kRetract:
+        return "retract";
+    }
+    return "fact";
+  }
+  const char* operator()(const SelectStmt&) const { return "select"; }
+  const char* operator()(const ExplainStmt&) const { return "explain"; }
+  const char* operator()(const ConsolidateStmt&) const {
+    return "consolidate";
+  }
+  const char* operator()(const ExplicateStmt&) const { return "explicate"; }
+  const char* operator()(const ExtensionStmt&) const { return "extension"; }
+  const char* operator()(const ShowStmt&) const { return "show"; }
+  const char* operator()(const DropStmt&) const { return "drop"; }
+  const char* operator()(const SaveStmt&) const { return "save"; }
+  const char* operator()(const LoadStmt&) const { return "load"; }
+  const char* operator()(const HelpStmt&) const { return "help"; }
+  const char* operator()(const CompressStmt&) const { return "compress"; }
+  const char* operator()(const BeginStmt&) const { return "begin"; }
+  const char* operator()(const CommitStmt&) const { return "commit"; }
+  const char* operator()(const AbortStmt&) const { return "abort"; }
+  const char* operator()(const SetPreemptionStmt&) const {
+    return "set preemption";
+  }
+  const char* operator()(const RuleStmt&) const { return "rule"; }
+  const char* operator()(const DeriveStmt&) const { return "derive"; }
+  const char* operator()(const CountStmt&) const { return "count"; }
+  const char* operator()(const ShowBindingStmt&) const {
+    return "show binding";
+  }
+  const char* operator()(const EliminateStmt&) const { return "eliminate"; }
+  const char* operator()(const ExplainPlanStmt& stmt) const {
+    return stmt.analyze ? "explain analyze" : "explain plan";
+  }
+  const char* operator()(const ResetMetricsStmt&) const {
+    return "reset metrics";
+  }
+};
+
+/// Statements whose traces are worth keeping. SHOW TRACE / SHOW METRICS /
+/// RESET METRICS are excluded so that inspecting the last query does not
+/// overwrite its trace.
+bool TraceWorthy(const Statement& statement) {
+  if (std::holds_alternative<ResetMetricsStmt>(statement)) return false;
+  if (const auto* show = std::get_if<ShowStmt>(&statement)) {
+    return show->what != ShowStmt::What::kMetrics &&
+           show->what != ShowStmt::What::kTrace;
+  }
+  return true;
+}
+
+/// Times a plan compilation under a "plan" span.
+template <typename Compile>
+Result<plan::PlanPtr> CompileWithSpan(obs::Trace* trace, Compile&& compile) {
+  obs::Trace::Scope span(trace, "plan");
+  return compile();
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+Result<std::string> Executor::Execute(std::string_view source) {
+  obs::Trace trace;
+  Result<std::vector<Statement>> parsed = [&]() {
+    std::vector<Token> tokens;
+    {
+      obs::Trace::Scope span(&trace, "lex");
+      Result<std::vector<Token>> lexed = Tokenize(source);
+      if (!lexed.ok()) return Result<std::vector<Statement>>(lexed.status());
+      tokens = std::move(*lexed);
+    }
+    obs::Trace::Scope span(&trace, "parse");
+    return ParseTokens(std::move(tokens));
+  }();
+  HIREL_RETURN_IF_ERROR(parsed.status());
+
+  active_trace_ = &trace;
+  bool keep_trace = false;
+  std::string output;
+  for (const Statement& statement : *parsed) {
+    db_->metrics().counter("query.statements").Add();
+    keep_trace = keep_trace || TraceWorthy(statement);
+    Result<std::string> part = [&]() {
+      obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
+      return ExecuteStatementImpl(statement);
+    }();
+    if (!part.ok()) {
+      db_->metrics().counter("query.errors").Add();
+      active_trace_ = nullptr;
+      if (keep_trace) trace_ = std::move(trace);
+      return part.status();
+    }
+    output += *part;
+  }
+  active_trace_ = nullptr;
+  if (keep_trace) trace_ = std::move(trace);
   return output;
 }
 
 Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
+  if (active_trace_ != nullptr) return ExecuteStatementImpl(statement);
+  obs::Trace trace;
+  active_trace_ = &trace;
+  db_->metrics().counter("query.statements").Add();
+  Result<std::string> result = [&]() {
+    obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
+    return ExecuteStatementImpl(statement);
+  }();
+  active_trace_ = nullptr;
+  if (!result.ok()) db_->metrics().counter("query.errors").Add();
+  if (TraceWorthy(statement)) trace_ = std::move(trace);
+  return result;
+}
+
+Result<std::string> Executor::ExecuteStatementImpl(
+    const Statement& statement) {
   struct Visitor {
     Executor& self;
     Database& db;
 
+    /// Folds one plan execution's stats into the engine metrics.
+    void RecordPlanMetrics(const plan::ExecStats& stats, uint64_t ns) {
+      obs::MetricsRegistry& m = db.metrics();
+      m.counter("query.plans_executed").Add();
+      m.counter("plan.nodes_executed").Add(stats.nodes_executed);
+      m.counter("plan.graph_cache_hits").Add(stats.graph_cache_hits);
+      m.counter("plan.graph_cache_misses").Add(stats.graph_cache_misses);
+      m.counter("plan.subsumption_probes").Add(stats.subsumption_probes);
+      m.histogram("query.execute_ns").Record(ns);
+    }
+
     /// Optimizes and executes a compiled query plan: rewrite to a
     /// fixpoint, re-annotate, run with the database's subsumption cache.
     Result<plan::PlanOutput> RunPlan(plan::PlanPtr compiled) {
-      HIREL_ASSIGN_OR_RETURN(compiled,
-                             plan::RewritePlan(std::move(compiled), db));
+      {
+        obs::Trace::Scope span(self.active_trace_, "rewrite");
+        HIREL_ASSIGN_OR_RETURN(compiled,
+                               plan::RewritePlan(std::move(compiled), db));
+      }
       plan::ExecOptions exec;
       exec.inference = self.options_;
       exec.cache = &db.subsumption_cache();
-      return plan::ExecutePlan(*compiled, db, exec);
+      plan::ExecStats stats;
+      obs::Trace::Scope span(self.active_trace_, "execute");
+      auto start = std::chrono::steady_clock::now();
+      Result<plan::PlanOutput> out =
+          plan::ExecutePlan(*compiled, db, exec, &stats);
+      uint64_t ns = ElapsedNs(start);
+      span.Note("nodes", stats.nodes_executed);
+      span.Note("probes", stats.subsumption_probes);
+      RecordPlanMetrics(stats, ns);
+      return out;
     }
 
     Result<std::string> operator()(const CreateHierarchyStmt& stmt) {
@@ -109,8 +272,9 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const CreateAsStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileCreateAs(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileCreateAs(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       out.relation->set_name(stmt.name);
@@ -120,8 +284,9 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const CreateProjectStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileCreateProject(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileCreateProject(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       out.relation->set_name(stmt.name);
@@ -152,8 +317,12 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       bool interning = stmt.kind != FactStmt::Kind::kRetract;
-      HIREL_ASSIGN_OR_RETURN(
-          Item item, ResolveItem(relation->schema(), stmt.terms, interning));
+      Result<Item> resolved = [&]() {
+        obs::Trace::Scope span(self.active_trace_, "resolve");
+        return ResolveItem(relation->schema(), stmt.terms, interning);
+      }();
+      HIREL_RETURN_IF_ERROR(resolved.status());
+      Item item = std::move(*resolved);
       if (self.txn_ != nullptr && stmt.relation == self.txn_relation_) {
         switch (stmt.kind) {
           case FactStmt::Kind::kAssert:
@@ -166,6 +335,7 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
             self.txn_->Erase(std::move(item));
             break;
         }
+        db.metrics().counter("txn.ops_staged").Add();
         return StrCat("staged (", self.txn_->num_staged(),
                       " operation(s) pending on '", self.txn_relation_,
                       "')\n");
@@ -176,23 +346,27 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
               GuardedInsert(*relation, std::move(item), Truth::kPositive,
                             self.options_)
                   .status());
+          db.metrics().counter("facts.asserted").Add();
           return StrCat("asserted into '", stmt.relation, "'\n");
         case FactStmt::Kind::kDeny:
           HIREL_RETURN_IF_ERROR(
               GuardedInsert(*relation, std::move(item), Truth::kNegative,
                             self.options_)
                   .status());
+          db.metrics().counter("facts.denied").Add();
           return StrCat("denied in '", stmt.relation, "'\n");
         case FactStmt::Kind::kRetract:
           HIREL_RETURN_IF_ERROR(GuardedErase(*relation, item, self.options_));
+          db.metrics().counter("facts.retracted").Add();
           return StrCat("retracted from '", stmt.relation, "'\n");
       }
       return Status::Internal("unhandled fact kind");
     }
 
     Result<std::string> operator()(const SelectStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileSelect(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileSelect(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       return FormatRelation(*out.relation);
@@ -200,13 +374,39 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
 
     Result<std::string> operator()(const ExplainPlanStmt& stmt) {
       HIREL_ASSIGN_OR_RETURN(
-          plan::PlanPtr compiled,
-          plan::CompileStatement(db, stmt.query->statement));
+          plan::PlanPtr compiled, CompileWithSpan(self.active_trace_, [&] {
+            return plan::CompileStatement(db, stmt.query->statement);
+          }));
       plan::RewriteStats stats;
-      HIREL_ASSIGN_OR_RETURN(
-          compiled, plan::RewritePlan(std::move(compiled), db, {}, &stats));
-      return StrCat("plan for ", stmt.text, ":\n",
-                    plan::ExplainPlanTree(*compiled, &stats));
+      {
+        obs::Trace::Scope span(self.active_trace_, "rewrite");
+        HIREL_ASSIGN_OR_RETURN(
+            compiled, plan::RewritePlan(std::move(compiled), db, {}, &stats));
+      }
+      if (!stmt.analyze) {
+        return StrCat("plan for ", stmt.text, ":\n",
+                      plan::ExplainPlanTree(*compiled, &stats));
+      }
+      // EXPLAIN ANALYZE really executes the plan (the output is discarded;
+      // for CREATE ... AS the result relation is not adopted) and reports
+      // each node's actual rows, wall time, and subsumption probes.
+      plan::ExecOptions exec;
+      exec.inference = self.options_;
+      exec.cache = &db.subsumption_cache();
+      exec.collect_node_stats = true;
+      plan::ExecStats exec_stats;
+      {
+        obs::Trace::Scope span(self.active_trace_, "execute");
+        auto start = std::chrono::steady_clock::now();
+        HIREL_RETURN_IF_ERROR(
+            plan::ExecutePlan(*compiled, db, exec, &exec_stats).status());
+        uint64_t ns = ElapsedNs(start);
+        span.Note("nodes", exec_stats.nodes_executed);
+        span.Note("probes", exec_stats.subsumption_probes);
+        RecordPlanMetrics(exec_stats, ns);
+      }
+      return StrCat("analyzed plan for ", stmt.text, ":\n",
+                    plan::ExplainAnalyzeTree(*compiled, exec_stats, &stats));
     }
 
     Result<std::string> operator()(const ExplainStmt& stmt) {
@@ -230,16 +430,18 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const ExplicateStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileExplicate(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileExplicate(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       return FormatRelation(*out.relation);
     }
 
     Result<std::string> operator()(const ExtensionStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileExtension(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileExtension(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       std::vector<Item> extension;
@@ -293,6 +495,26 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
           }
           return out;
         }
+        case ShowStmt::What::kMetrics: {
+          // Sync the subsumption cache's own stats into gauges so one
+          // rendering covers the whole engine.
+          obs::MetricsRegistry& m = db.metrics();
+          const SubsumptionCache& cache = db.subsumption_cache();
+          m.gauge("subsumption_cache.hits")
+              .Set(static_cast<int64_t>(cache.stats().hits));
+          m.gauge("subsumption_cache.misses")
+              .Set(static_cast<int64_t>(cache.stats().misses));
+          m.gauge("subsumption_cache.invalidations")
+              .Set(static_cast<int64_t>(cache.stats().invalidations));
+          m.gauge("subsumption_cache.entries")
+              .Set(static_cast<int64_t>(cache.size()));
+          if (stmt.json) return StrCat(m.RenderJson(), "\n");
+          return m.Render();
+        }
+        case ShowStmt::What::kTrace: {
+          if (stmt.json) return StrCat(self.trace_.RenderJson(), "\n");
+          return self.trace_.Render();
+        }
       }
       return Status::Internal("unhandled show kind");
     }
@@ -328,7 +550,8 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
       }
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
-      self.txn_ = std::make_unique<Transaction>(relation, self.options_);
+      self.txn_ = std::make_unique<Transaction>(relation, self.options_,
+                                                &db.metrics());
       self.txn_relation_ = stmt.relation;
       return StrCat("transaction open on '", stmt.relation, "'\n");
     }
@@ -381,8 +604,9 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const CountStmt& stmt) {
-      HIREL_ASSIGN_OR_RETURN(plan::PlanPtr compiled,
-                             plan::CompileCount(db, stmt));
+      HIREL_ASSIGN_OR_RETURN(
+          plan::PlanPtr compiled,
+          CompileWithSpan(self.active_trace_, [&] { return plan::CompileCount(db, stmt); }));
       HIREL_ASSIGN_OR_RETURN(plan::PlanOutput out,
                              RunPlan(std::move(compiled)));
       if (!stmt.by_attribute) {
@@ -412,8 +636,16 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
       RuleOptions options;
       options.inference = self.options_;
       options.subsumption_cache = &db.subsumption_cache();
-      HIREL_ASSIGN_OR_RETURN(size_t derived, engine.Evaluate(options));
-      return StrCat("derived ", derived, " fact(s) from ",
+      options.trace = self.active_trace_;
+      Result<size_t> derived = [&]() {
+        obs::Trace::Scope span(self.active_trace_, "derive fixpoint");
+        return engine.Evaluate(options);
+      }();
+      HIREL_RETURN_IF_ERROR(derived.status());
+      obs::MetricsRegistry& m = db.metrics();
+      m.counter("derive.runs").Add();
+      m.counter("derive.facts_derived").Add(*derived);
+      return StrCat("derived ", *derived, " fact(s) from ",
                     self.rule_texts_.size(), " rule(s)\n");
     }
 
@@ -446,6 +678,12 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
     }
 
     Result<std::string> operator()(const HelpStmt&) { return HelpText(); }
+
+    Result<std::string> operator()(const ResetMetricsStmt&) {
+      db.metrics().Reset();
+      db.subsumption_cache().ResetStats();
+      return std::string("metrics reset\n");
+    }
   };
 
   return std::visit(Visitor{*this, *db_}, statement);

@@ -12,6 +12,7 @@
 #include "core/binding.h"
 #include "core/transaction.h"
 #include "hql/ast.h"
+#include "obs/trace.h"
 
 namespace hirel {
 namespace hql {
@@ -39,9 +40,21 @@ class Executor {
   /// Executes a single parsed statement.
   Result<std::string> ExecuteStatement(const Statement& statement);
 
+  /// The last completed query's span tree (what SHOW TRACE renders).
+  const obs::Trace& last_trace() const { return trace_; }
+
  private:
+  Result<std::string> ExecuteStatementImpl(const Statement& statement);
+
   std::unique_ptr<Database> db_;
   InferenceOptions options_;
+
+  // The trace being recorded for the current Execute call (null outside
+  // one) and the last completed, trace-worthy query's spans. SHOW TRACE /
+  // SHOW METRICS / RESET METRICS do not replace trace_, so SHOW TRACE
+  // reports the query before it rather than itself.
+  obs::Trace* active_trace_ = nullptr;
+  obs::Trace trace_;
 
   // Active BEGIN..COMMIT/ABORT transaction, if any. While active, ASSERT /
   // DENY / RETRACT on its relation are staged; COMMIT validates the batch

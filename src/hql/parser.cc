@@ -319,8 +319,10 @@ class Parser {
       return Statement(std::move(stmt));
     }
     if (AcceptKeyword("EXPLAIN")) {
-      if (AcceptKeyword("PLAN")) {
+      if (CheckKeyword("PLAN") || CheckKeyword("ANALYZE")) {
         ExplainPlanStmt stmt;
+        stmt.analyze = AcceptKeyword("ANALYZE");
+        if (!stmt.analyze) Advance();  // PLAN
         size_t begin = pos_;
         HIREL_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
         stmt.query = std::make_shared<StatementBox>();
@@ -370,6 +372,12 @@ class Parser {
       } else if (AcceptKeyword("SUBSUMPTION")) {
         stmt.what = ShowStmt::What::kSubsumption;
         HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      } else if (AcceptKeyword("METRICS")) {
+        stmt.what = ShowStmt::What::kMetrics;
+        stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptKeyword("TRACE")) {
+        stmt.what = ShowStmt::What::kTrace;
+        stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
         HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
@@ -377,8 +385,8 @@ class Parser {
         return Statement(std::move(binding));
       } else {
         return Error(
-            "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, or "
-            "RULES");
+            "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
+            "METRICS, or TRACE");
       }
       return Statement(std::move(stmt));
     }
@@ -454,6 +462,10 @@ class Parser {
       }
       return Statement(std::move(stmt));
     }
+    if (AcceptKeyword("RESET")) {
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("METRICS").status());
+      return Statement(ResetMetricsStmt{});
+    }
     if (AcceptKeyword("SET")) {
       HIREL_RETURN_IF_ERROR(ExpectKeyword("PREEMPTION").status());
       SetPreemptionStmt stmt;
@@ -471,6 +483,10 @@ class Parser {
 
 Result<std::vector<Statement>> ParseScript(std::string_view source) {
   HIREL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  return ParseTokens(std::move(tokens));
+}
+
+Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens) {
   Parser parser(std::move(tokens));
   return parser.Parse();
 }

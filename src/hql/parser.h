@@ -21,6 +21,8 @@
 //   SHOW HIERARCHY h; SHOW RELATION r; SHOW HIERARCHIES; SHOW RELATIONS;
 //   DROP HIERARCHY h; DROP RELATION r;
 //   SAVE 'path'; LOAD 'path';
+//   EXPLAIN PLAN <stmt>;  EXPLAIN ANALYZE <stmt>;
+//   SHOW METRICS [JSON];  SHOW TRACE [JSON];  RESET METRICS;
 //   HELP;
 
 #ifndef HIREL_HQL_PARSER_H_
@@ -31,6 +33,7 @@
 
 #include "common/result.h"
 #include "hql/ast.h"
+#include "hql/token.h"
 
 namespace hirel {
 namespace hql {
@@ -38,6 +41,10 @@ namespace hql {
 /// Parses a full script into statements. Fails with kParseError carrying
 /// line/column context.
 Result<std::vector<Statement>> ParseScript(std::string_view source);
+
+/// Parses an already-tokenized script. Splitting tokenization from parsing
+/// lets the executor's query trace time the two phases separately.
+Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens);
 
 }  // namespace hql
 }  // namespace hirel

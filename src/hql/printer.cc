@@ -26,6 +26,7 @@ std::string HelpText() {
     SELECT * FROM r [WHERE attr = term];
     SELECT * FROM r JOIN s [WHERE attr = term];  -- also UNION / INTERSECT / EXCEPT
     EXPLAIN PLAN query;                          -- optimized plan, no execution
+    EXPLAIN ANALYZE query;                       -- plan + actual rows/time/probes
     EXPLAIN r(term, ...);                        -- justification (Fig. 9)
     EXTENSION r;                                 -- equivalent flat relation
     EXPLICATE r [ON (attr, ...)];
@@ -52,6 +53,11 @@ std::string HelpText() {
     DROP HIERARCHY h; DROP RELATION r;
     SAVE 'path'; LOAD 'path';
     HELP;
+
+  observability
+    SHOW METRICS [JSON];                         -- engine counters/histograms
+    SHOW TRACE [JSON];                           -- last query's span tree
+    RESET METRICS;                               -- zero every metric
 )";
 }
 

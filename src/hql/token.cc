@@ -19,6 +19,7 @@ constexpr std::array kReservedWords = {
     "HELP",        "COMPRESS",  "BEGIN",     "COMMIT",    "ABORT",
     "SET",         "PREEMPTION", "RULE",      "DERIVE",    "RULES",
     "COUNT",       "BY",        "SUBSUMPTION", "BINDING",   "PLAN",
+    "ANALYZE",     "METRICS",   "TRACE",     "RESET",     "JSON",
 };
 
 }  // namespace

@@ -289,6 +289,8 @@ Status SaveDatabase(const Database& db, const std::string& path) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::IoError(StrCat("cannot rename '", tmp, "' to '", path, "'"));
   }
+  db.metrics().counter("snapshot.saves").Add();
+  db.metrics().counter("snapshot.bytes_written").Add(data.size());
   return Status::OK();
 }
 
@@ -309,7 +311,12 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path) {
   if (in.bad()) {
     return Status::IoError(StrCat("read error on '", path, "'"));
   }
-  return DeserializeDatabase(data);
+  HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                         DeserializeDatabase(data));
+  // The loaded database starts a fresh metrics epoch; record what it cost.
+  db->metrics().counter("snapshot.loads").Add();
+  db->metrics().counter("snapshot.bytes_read").Add(data.size());
+  return db;
 }
 
 }  // namespace hirel

@@ -261,6 +261,11 @@ Status WalWriter::Append(std::string_view payload) {
   if (std::fflush(file_) != 0) {
     return Status::IoError("wal: flush failed");
   }
+  if (metrics_ != nullptr) {
+    metrics_->counter("wal.records_appended").Add();
+    metrics_->counter("wal.bytes_appended").Add(frame.size());
+    metrics_->counter("wal.flushes").Add();
+  }
   return Status::OK();
 }
 
@@ -359,6 +364,8 @@ Result<std::unique_ptr<LoggedDatabase>> LoggedDatabase::Open(
   auto logged = std::unique_ptr<LoggedDatabase>(
       new LoggedDatabase(dir, std::move(db), std::move(writer)));
   logged->replayed_ = records.size();
+  logged->db_->metrics().counter("wal.records_replayed").Add(records.size());
+  logged->wal_->set_metrics(&logged->db_->metrics());
   return logged;
 }
 
@@ -539,6 +546,8 @@ Status LoggedDatabase::Checkpoint() {
     }
   }
   HIREL_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path()));
+  wal_->set_metrics(&db_->metrics());
+  db_->metrics().counter("wal.checkpoints").Add();
   return Status::OK();
 }
 

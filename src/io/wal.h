@@ -44,10 +44,15 @@ class WalWriter {
   /// Appends one record and flushes it to the OS.
   Status Append(std::string_view payload);
 
+  /// Directs wal.records_appended / wal.bytes_appended / wal.flushes
+  /// counters at `metrics`; null (the default) leaves appends uncounted.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   explicit WalWriter(std::FILE* file) : file_(file) {}
 
   std::FILE* file_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// Reads every intact record of a log. A torn final record is silently

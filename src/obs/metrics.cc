@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include "common/str_util.h"
+
+namespace hirel {
+namespace obs {
+
+namespace {
+
+/// JSON string escaping for metric names (which are identifiers in
+/// practice, but SHOW METRICS JSON must stay well-formed regardless).
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ns_ = 0;
+  max_ns_ = 0;
+  buckets_.fill(0);
+}
+
+std::string Histogram::Summary() const {
+  uint64_t mean = count_ > 0 ? sum_ns_ / count_ : 0;
+  return StrCat("count=", count_, " mean_ns=", mean, " max_ns=", max_ns_);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<Histogram>(
+                                             new Histogram(enabled_.get())))
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::Render() const {
+  std::string out = "metrics:\n";
+  for (const auto& [name, c] : counters_) {
+    out += StrCat("  counter   ", name, " = ", c->value(), "\n");
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrCat("  gauge     ", name, " = ", g->value(), "\n");
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrCat("  histogram ", name, ": ", h->Summary(), "\n");
+  }
+  if (size() == 0) out += "  (none)\n";
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":", g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("\"", JsonEscape(name), "\":{\"count\":", h->count(),
+                  ",\"sum_ns\":", h->sum_ns(), ",\"max_ns\":", h->max_ns(),
+                  ",\"buckets\":[");
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (i > 0) out += ",";
+      out += StrCat(h->buckets()[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hirel

@@ -1,0 +1,163 @@
+// Engine-wide metrics: named counters, gauges, and fixed-bucket latency
+// histograms.
+//
+// A MetricsRegistry is owned by the entity whose cost it observes (the
+// catalog Database owns the engine's); instrumented code asks the registry
+// for a metric by name once and then updates it through the returned
+// reference. Two properties keep the observed path honest:
+//
+//  * Stable handles. Metric objects never move once created, so hot loops
+//    can hoist the name lookup out of the loop.
+//  * A near-zero-cost disabled path. Every update is a single predictable
+//    branch on the registry's enabled flag; code that only *holds a
+//    pointer* to a registry (the common pattern in the plan executor and
+//    the WAL) pays one null check when observability is off entirely.
+//
+// The registry renders as aligned text for SHOW METRICS and as a single
+// JSON object for SHOW METRICS JSON, so tools/ scripts can scrape it.
+
+#ifndef HIREL_OBS_METRICS_H_
+#define HIREL_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace hirel {
+namespace obs {
+
+/// A monotonically increasing count (queries executed, bytes appended).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    if (*enabled_) value_ += n;
+  }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) : enabled_(enabled) {}
+
+  const bool* enabled_;
+  uint64_t value_ = 0;
+};
+
+/// A value that can move both ways (cache entry count, open transactions).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (*enabled_) value_ = v;
+  }
+  void Add(int64_t n) {
+    if (*enabled_) value_ += n;
+  }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) : enabled_(enabled) {}
+
+  const bool* enabled_;
+  int64_t value_ = 0;
+};
+
+/// A latency histogram with fixed exponential buckets. Bucket `i` counts
+/// samples below 1024 << i nanoseconds (1 µs, 2 µs, ... 32 ms); the last
+/// bucket is the overflow. Fixed buckets mean Record is branch + two
+/// increments — cheap enough to leave on in production.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 17;  // 16 bounded + overflow
+
+  void Record(uint64_t ns) {
+    if (!*enabled_) return;
+    ++count_;
+    sum_ns_ += ns;
+    if (ns > max_ns_) max_ns_ = ns;
+    ++buckets_[BucketFor(ns)];
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum_ns() const { return sum_ns_; }
+  uint64_t max_ns() const { return max_ns_; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  /// Upper bound (exclusive, in ns) of bucket `i`; 0 for the overflow.
+  static uint64_t BucketBound(size_t i) {
+    return i + 1 < kBuckets ? uint64_t{1024} << i : 0;
+  }
+
+  void Reset();
+
+  /// "count=3 mean_ns=120 max_ns=300".
+  std::string Summary() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const bool* enabled) : enabled_(enabled) {}
+
+  static size_t BucketFor(uint64_t ns) {
+    for (size_t i = 0; i + 1 < kBuckets; ++i) {
+      if (ns < (uint64_t{1024} << i)) return i;
+    }
+    return kBuckets - 1;
+  }
+
+  const bool* enabled_;
+  uint64_t count_ = 0;
+  uint64_t sum_ns_ = 0;
+  uint64_t max_ns_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/// Owner of named metrics. Lookups create on first use; returned
+/// references stay valid for the registry's lifetime (metrics are
+/// heap-allocated, and the enabled flag they point at survives registry
+/// moves).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() : enabled_(std::make_unique<bool>(true)) {}
+
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Disabling freezes every metric of this registry: updates become a
+  /// single false branch. Names registered while disabled still render.
+  void set_enabled(bool enabled) { *enabled_ = enabled; }
+  bool enabled() const { return *enabled_; }
+
+  /// Zeroes every metric (names stay registered).
+  void Reset();
+
+  size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Aligned "kind name = value" lines, sorted by name within kind.
+  std::string Render() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string RenderJson() const;
+
+ private:
+  std::unique_ptr<bool> enabled_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace hirel
+
+#endif  // HIREL_OBS_METRICS_H_

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace hirel {
+namespace obs {
+
+namespace {
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f ms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void RenderSpan(const TraceSpan& span, size_t depth, std::string& out) {
+  std::string line(2 * depth + 2, ' ');
+  line += span.name;
+  if (line.size() < 44) line.append(44 - line.size(), ' ');
+  out += StrCat(line, "  ", FormatMs(span.ns));
+  if (!span.notes.empty()) {
+    out += "  [";
+    for (size_t i = 0; i < span.notes.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrCat(span.notes[i].first, "=", span.notes[i].second);
+    }
+    out += "]";
+  }
+  out += "\n";
+  for (const auto& child : span.children) {
+    RenderSpan(*child, depth + 1, out);
+  }
+}
+
+void RenderSpanJson(const TraceSpan& span, std::string& out) {
+  out += StrCat("{\"name\":\"", span.name, "\",\"ns\":", span.ns,
+                ",\"notes\":{");
+  for (size_t i = 0; i < span.notes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrCat("\"", span.notes[i].first, "\":", span.notes[i].second);
+  }
+  out += "},\"children\":[";
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) out += ",";
+    RenderSpanJson(*span.children[i], out);
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+void Trace::Clear() {
+  root_.children.clear();
+  root_.notes.clear();
+  open_.clear();
+}
+
+std::string Trace::Render() const {
+  if (empty()) return "trace: (none)\n";
+  std::string out = "trace:\n";
+  for (const auto& span : root_.children) {
+    RenderSpan(*span, 0, out);
+  }
+  return out;
+}
+
+std::string Trace::RenderJson() const {
+  std::string out = "[";
+  for (size_t i = 0; i < root_.children.size(); ++i) {
+    if (i > 0) out += ",";
+    RenderSpanJson(*root_.children[i], out);
+  }
+  out += "]";
+  return out;
+}
+
+TraceSpan* Trace::Open(std::string name) {
+  TraceSpan* parent = open_.empty() ? &root_ : open_.back();
+  parent->children.push_back(std::make_unique<TraceSpan>());
+  TraceSpan* span = parent->children.back().get();
+  span->name = std::move(name);
+  open_.push_back(span);
+  return span;
+}
+
+void Trace::Close(TraceSpan* span, uint64_t ns) {
+  span->ns = ns;
+  // Scopes close in LIFO order; tolerate a missed close by unwinding to
+  // the span being closed.
+  auto it = std::find(open_.begin(), open_.end(), span);
+  if (it != open_.end()) open_.erase(it, open_.end());
+}
+
+Trace::Scope::Scope(Trace* trace, std::string name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  span_ = trace_->Open(std::move(name));
+  start_ = std::chrono::steady_clock::now();
+}
+
+Trace::Scope::~Scope() {
+  if (trace_ == nullptr) return;
+  uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  trace_->Close(span_, ns);
+}
+
+void Trace::Scope::Note(std::string_view key, uint64_t value) {
+  if (span_ == nullptr) return;
+  span_->notes.emplace_back(std::string(key), value);
+}
+
+}  // namespace obs
+}  // namespace hirel

@@ -1,5 +1,6 @@
 #include "plan/execute.h"
 
+#include <chrono>
 #include <memory>
 #include <utility>
 
@@ -33,20 +34,25 @@ class Walker {
   Result<PlanOutput> Run(const PlanNode& root) {
     PlanOutput out;
     if (root.op == PlanOp::kAggregate) {
+      PlanNodeStats* ns = NodeStats(root);
+      auto start = std::chrono::steady_clock::now();
       HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*root.children[0]));
       if (stats_ != nullptr) ++stats_->nodes_executed;
       AggregateOptions agg;
-      agg.inference = options_.inference;
-      agg.graph = GraphFor(input);
+      agg.inference = InferFor(ns);
+      agg.graph = GraphFor(input, ns);
       if (root.aggregate == AggregateOp::kCount) {
         HIREL_ASSIGN_OR_RETURN(size_t count,
                                CountExtension(*input.rel, agg));
         out.count = count;
+        if (ns != nullptr) ns->rows_out = 1;
       } else {
         HIREL_ASSIGN_OR_RETURN(std::vector<RollUpRow> rows,
                                RollUpTopLevel(*input.rel, root.attr, agg));
+        if (ns != nullptr) ns->rows_out = rows.size();
         out.rollup = std::move(rows);
       }
+      CloseNodeStats(ns, start);
       return out;
     }
     HIREL_ASSIGN_OR_RETURN(Slot result, Exec(root));
@@ -59,15 +65,46 @@ class Walker {
   }
 
  private:
+  /// Per-node stats slot for `node`, or null when collection is off.
+  PlanNodeStats* NodeStats(const PlanNode& node) {
+    if (stats_ == nullptr || !options_.collect_node_stats) return nullptr;
+    return &stats_->per_node[&node];
+  }
+
+  /// Stamps wall time and folds the node's probe count into the total.
+  void CloseNodeStats(PlanNodeStats* ns,
+                      std::chrono::steady_clock::time_point start) {
+    if (ns == nullptr) return;
+    ns->wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    stats_->subsumption_probes += ns->subsumption_probes;
+  }
+
+  /// Inference options for one node's kernel: the shared options with the
+  /// probe counter pointed at the node's (or the run's) tally.
+  InferenceOptions InferFor(PlanNodeStats* ns) {
+    InferenceOptions inference = options_.inference;
+    if (ns != nullptr) {
+      inference.probe_counter = &ns->subsumption_probes;
+    } else if (stats_ != nullptr) {
+      inference.probe_counter = &stats_->subsumption_probes;
+    }
+    return inference;
+  }
+
   /// Cached subsumption graph for a base-relation slot; null for
   /// intermediates (their graphs are one-shot, caching buys nothing).
-  const SubsumptionGraph* GraphFor(const Slot& slot) {
+  const SubsumptionGraph* GraphFor(const Slot& slot, PlanNodeStats* ns) {
     if (!slot.is_base() || options_.cache == nullptr) return nullptr;
     if (stats_ != nullptr) {
       if (options_.cache->Fresh(*slot.rel)) {
         ++stats_->graph_cache_hits;
+        if (ns != nullptr) ++ns->graph_cache_hits;
       } else {
         ++stats_->graph_cache_misses;
+        if (ns != nullptr) ++ns->graph_cache_misses;
       }
     }
     return &options_.cache->Get(*slot.rel);
@@ -75,6 +112,16 @@ class Walker {
 
   Result<Slot> Exec(const PlanNode& node) {
     if (stats_ != nullptr) ++stats_->nodes_executed;
+    PlanNodeStats* ns = NodeStats(node);
+    if (ns == nullptr) return ExecNode(node, nullptr);
+    auto start = std::chrono::steady_clock::now();
+    Result<Slot> result = ExecNode(node, ns);
+    if (result.ok()) ns->rows_out = result->rel->size();
+    CloseNodeStats(ns, start);
+    return result;
+  }
+
+  Result<Slot> ExecNode(const PlanNode& node, PlanNodeStats* ns) {
     switch (node.op) {
       case PlanOp::kScan: {
         HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* rel,
@@ -86,17 +133,17 @@ class Walker {
       case PlanOp::kSelect: {
         HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
         return Own(SelectEquals(*input.rel, node.attr, node.node,
-                                options_.inference));
+                                InferFor(ns)));
       }
       case PlanOp::kSelectWhere: {
         HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
         return Own(SelectWhere(*input.rel, node.attr, node.predicate,
-                               options_.inference));
+                               InferFor(ns)));
       }
       case PlanOp::kProject: {
         HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
         ProjectOptions project;
-        project.inference = options_.inference;
+        project.inference = InferFor(ns);
         project.max_items = options_.max_items;
         return Own(Project(*input.rel, node.positions, project));
       }
@@ -109,7 +156,7 @@ class Walker {
         HIREL_ASSIGN_OR_RETURN(Slot left, Exec(*node.children[0]));
         HIREL_ASSIGN_OR_RETURN(Slot right, Exec(*node.children[1]));
         JoinOptions join;
-        join.inference = options_.inference;
+        join.inference = InferFor(ns);
         join.max_items = options_.max_items;
         if (node.op == PlanOp::kProduct) {
           return Own(CartesianProduct(*left.rel, *right.rel, join));
@@ -123,7 +170,7 @@ class Walker {
         HIREL_ASSIGN_OR_RETURN(Slot left, Exec(*node.children[0]));
         HIREL_ASSIGN_OR_RETURN(Slot right, Exec(*node.children[1]));
         SetOpOptions setop;
-        setop.inference = options_.inference;
+        setop.inference = InferFor(ns);
         setop.max_items = options_.max_items;
         switch (node.setop) {
           case SetOpKind::kUnion:
@@ -137,7 +184,7 @@ class Walker {
       }
       case PlanOp::kConsolidate: {
         HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
-        const SubsumptionGraph* graph = GraphFor(input);
+        const SubsumptionGraph* graph = GraphFor(input, ns);
         Slot slot;
         // Copies of a base relation share its tuple ids and version stamp,
         // so the cached graph stays valid for the copy being consolidated.
@@ -146,15 +193,15 @@ class Walker {
                          : std::move(input.owned);
         slot.rel = slot.owned.get();
         HIREL_RETURN_IF_ERROR(
-            ConsolidateInPlace(*slot.owned, options_.inference, graph)
+            ConsolidateInPlace(*slot.owned, InferFor(ns), graph)
                 .status());
         return slot;
       }
       case PlanOp::kExplicate: {
         HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*node.children[0]));
         ExplicateOptions explicate;
-        explicate.inference = options_.inference;
-        explicate.graph = GraphFor(input);
+        explicate.inference = InferFor(ns);
+        explicate.graph = GraphFor(input, ns);
         explicate.consolidate_after = node.consolidate_after;
         return Own(Explicate(*input.rel, node.positions, explicate));
       }

@@ -10,7 +10,9 @@
 #ifndef HIREL_PLAN_EXECUTE_H_
 #define HIREL_PLAN_EXECUTE_H_
 
+#include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "algebra/aggregate.h"
@@ -34,12 +36,37 @@ struct ExecOptions {
 
   /// Candidate cap forwarded to join / product / set-operation kernels.
   size_t max_items = 100'000;
+
+  /// When true (and `stats` is non-null), ExecutePlan records per-node
+  /// runtime stats — rows out, wall time, subsumption probes — keyed by
+  /// plan-node address in ExecStats::per_node. EXPLAIN ANALYZE turns this
+  /// on; the normal query path leaves it off and pays nothing.
+  bool collect_node_stats = false;
+};
+
+/// Runtime stats of one plan node, collected under
+/// ExecOptions::collect_node_stats.
+struct PlanNodeStats {
+  /// Tuples produced by this node (the count passed to its parent).
+  size_t rows_out = 0;
+  /// Wall time, inclusive of children (Postgres-style actual time).
+  uint64_t wall_ns = 0;
+  /// Strongest-binding computations performed by this node's own kernel
+  /// (exclusive of children).
+  uint64_t subsumption_probes = 0;
+  size_t graph_cache_hits = 0;
+  size_t graph_cache_misses = 0;
 };
 
 struct ExecStats {
   size_t nodes_executed = 0;
   size_t graph_cache_hits = 0;
   size_t graph_cache_misses = 0;
+  /// Total strongest-binding computations across the plan.
+  uint64_t subsumption_probes = 0;
+  /// Per-node runtime stats; populated only when
+  /// ExecOptions::collect_node_stats is set.
+  std::unordered_map<const PlanNode*, PlanNodeStats> per_node;
 };
 
 /// Result of executing a plan: a relation for relational roots, a scalar

@@ -1,6 +1,7 @@
 #include "plan/explain.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "common/str_util.h"
 
@@ -35,7 +36,14 @@ std::string PositionNames(const Schema& schema,
   return out;
 }
 
-void Render(const PlanNode& node, size_t depth, std::string& out) {
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+void Render(const PlanNode& node, size_t depth, const ExecStats* exec,
+            std::string& out) {
   out.append(2 * depth, ' ');
   out += DescribeNode(node);
   if (node.annotated) {
@@ -49,9 +57,23 @@ void Render(const PlanNode& node, size_t depth, std::string& out) {
     out += StrCat(" cost=", static_cast<size_t>(std::llround(
                                 std::max(node.est_cost, 0.0))));
   }
+  if (exec != nullptr) {
+    auto it = exec->per_node.find(&node);
+    if (it != exec->per_node.end()) {
+      const PlanNodeStats& ns = it->second;
+      out += StrCat("  [actual rows=", ns.rows_out, " time=",
+                    FormatMs(ns.wall_ns), "ms probes=",
+                    ns.subsumption_probes);
+      if (ns.graph_cache_hits + ns.graph_cache_misses > 0) {
+        out += StrCat(" graph_cache=", ns.graph_cache_hits, "/",
+                      ns.graph_cache_hits + ns.graph_cache_misses, " hit");
+      }
+      out += "]";
+    }
+  }
   out += "\n";
   for (const PlanPtr& child : node.children) {
-    Render(*child, depth + 1, out);
+    Render(*child, depth + 1, exec, out);
   }
 }
 
@@ -126,7 +148,25 @@ std::string ExplainPlanTree(const PlanNode& root, const RewriteStats* stats) {
                   ", explicate fusions=", stats->explicate_fusions,
                   ", projections pruned=", stats->projections_pruned, "\n");
   }
-  Render(root, 0, out);
+  Render(root, 0, nullptr, out);
+  return out;
+}
+
+std::string ExplainAnalyzeTree(const PlanNode& root, const ExecStats& exec,
+                               const RewriteStats* stats) {
+  std::string out;
+  if (stats != nullptr) {
+    out += StrCat("rewrites: selections pushed=", stats->selections_pushed,
+                  ", consolidates eliminated=",
+                  stats->consolidates_eliminated,
+                  ", explicate fusions=", stats->explicate_fusions,
+                  ", projections pruned=", stats->projections_pruned, "\n");
+  }
+  Render(root, 0, &exec, out);
+  out += StrCat("totals: nodes=", exec.nodes_executed, " probes=",
+                exec.subsumption_probes, " graph_cache_hits=",
+                exec.graph_cache_hits, " graph_cache_misses=",
+                exec.graph_cache_misses, "\n");
   return out;
 }
 

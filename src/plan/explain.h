@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "plan/execute.h"
 #include "plan/plan_node.h"
 #include "plan/rewrite.h"
 
@@ -21,6 +22,14 @@ std::string DescribeNode(const PlanNode& node);
 /// the rewrites that shaped the plan is prepended.
 std::string ExplainPlanTree(const PlanNode& root,
                             const RewriteStats* stats = nullptr);
+
+/// EXPLAIN ANALYZE rendering: the ExplainPlanTree lines with each node's
+/// actual runtime — rows produced, inclusive wall time, subsumption probes,
+/// and (where a cached graph was consulted) graph-cache hits/misses — from
+/// an ExecutePlan run with ExecOptions::collect_node_stats, appended next
+/// to the estimates. A totals line follows the tree.
+std::string ExplainAnalyzeTree(const PlanNode& root, const ExecStats& exec,
+                               const RewriteStats* stats = nullptr);
 
 }  // namespace plan
 }  // namespace hirel

@@ -413,6 +413,8 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
             StrCat("rule evaluation exceeded ", options.max_rounds,
                    " rounds in stratum ", s));
       }
+      obs::Trace::Scope round_span(options.trace,
+                                   StrCat("derive round ", round));
       size_t derived_this_round = 0;
       std::unordered_set<std::string> pending_heads;
       for (const Rule& rule : rules_) {
@@ -533,6 +535,8 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
         HIREL_RETURN_IF_ERROR(refresh(name, /*track_delta=*/true));
       }
       pending_heads.clear();
+      round_span.Note("stratum", s);
+      round_span.Note("derived", derived_this_round);
       if (derived_this_round == 0) break;
     }
     delta.clear();

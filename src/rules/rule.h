@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "core/binding.h"
 #include "core/subsumption_cache.h"
+#include "obs/trace.h"
 
 namespace hirel {
 
@@ -75,6 +76,11 @@ struct RuleOptions {
   /// that did not change a relation skip rebuilding its graph. Null
   /// disables caching.
   SubsumptionCache* subsumption_cache = nullptr;
+
+  /// When non-null, Evaluate records one child span per fixpoint round
+  /// ("derive round N" with stratum/derived notes) under the innermost
+  /// open span. Null leaves evaluation untraced.
+  obs::Trace* trace = nullptr;
 };
 
 /// A set of rules bound to a database, evaluated bottom-up to fixpoint.

@@ -1,0 +1,282 @@
+// Observability: MetricsRegistry semantics, histogram bucketing, the
+// disabled fast path, trace span trees, and the executor-facing surface
+// (EXPLAIN ANALYZE, SHOW METRICS, SHOW TRACE, RESET METRICS).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "hql/executor.h"
+#include "io/wal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hirel {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStableHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("queries");
+  c.Add();
+  c.Add(4);
+  EXPECT_EQ(reg.counter("queries").value(), 5u);
+  EXPECT_EQ(&reg.counter("queries"), &c);
+
+  Gauge& g = reg.gauge("entries");
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(reg.gauge("entries").value(), 7);
+
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistryTest, HandlesSurviveRegistryMove) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("moved");
+  MetricsRegistry other = std::move(reg);
+  c.Add(3);  // heap-allocated metric + heap-allocated enabled flag
+  EXPECT_EQ(other.counter("moved").value(), 3u);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.Record(0);        // bucket 0: < 1024 ns
+  h.Record(1023);     // bucket 0
+  h.Record(1024);     // bucket 1: < 2048 ns
+  h.Record(1u << 20); // bucket 11: < 1024 << 11
+  h.Record(uint64_t{1} << 60);  // overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.max_ns(), uint64_t{1} << 60);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[11], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+
+  EXPECT_EQ(Histogram::BucketBound(0), 1024u);
+  EXPECT_EQ(Histogram::BucketBound(1), 2048u);
+  EXPECT_EQ(Histogram::BucketBound(Histogram::kBuckets - 1), 0u);
+}
+
+TEST(MetricsRegistryTest, DisabledUpdatesAreNoOps) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+
+  reg.set_enabled(false);
+  c.Add(5);
+  g.Set(5);
+  h.Record(5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+
+  reg.set_enabled(true);
+  c.Add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsNames) {
+  MetricsRegistry reg;
+  reg.counter("a").Add(7);
+  reg.histogram("b").Record(100);
+  reg.Reset();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+  EXPECT_EQ(reg.histogram("b").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, RenderAndJsonShapes) {
+  MetricsRegistry reg;
+  EXPECT_NE(reg.Render().find("(none)"), std::string::npos);
+
+  reg.counter("queries").Add(2);
+  reg.gauge("depth").Set(-1);
+  reg.histogram("lat").Record(3000);
+  std::string text = reg.Render();
+  EXPECT_NE(text.find("queries"), std::string::npos);
+  EXPECT_NE(text.find("depth"), std::string::npos);
+
+  std::string json = reg.RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\":-1"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(TraceTest, ScopesBuildNestedSpanTree) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  {
+    Trace::Scope outer(&trace, "execute");
+    outer.Note("rows", 42);
+    { Trace::Scope inner(&trace, "plan"); }
+  }
+  { Trace::Scope other(&trace, "derive"); }
+
+  ASSERT_EQ(trace.spans().size(), 2u);
+  const TraceSpan& execute = *trace.spans()[0];
+  EXPECT_EQ(execute.name, "execute");
+  ASSERT_EQ(execute.notes.size(), 1u);
+  EXPECT_EQ(execute.notes[0].first, "rows");
+  EXPECT_EQ(execute.notes[0].second, 42u);
+  ASSERT_EQ(execute.children.size(), 1u);
+  EXPECT_EQ(execute.children[0]->name, "plan");
+  EXPECT_EQ(trace.spans()[1]->name, "derive");
+
+  std::string text = trace.Render();
+  EXPECT_NE(text.find("execute"), std::string::npos);
+  EXPECT_NE(text.find("rows=42"), std::string::npos);
+
+  std::string json = trace.RenderJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"plan\""), std::string::npos);
+
+  trace.Clear();
+  EXPECT_TRUE(trace.empty());
+  EXPECT_NE(trace.Render().find("(none)"), std::string::npos);
+}
+
+TEST(TraceTest, NullTraceScopesAreNoOps) {
+  Trace::Scope scope(nullptr, "nothing");
+  scope.Note("rows", 1);  // must not crash
+}
+
+// ---------------------------------------------------------------------------
+// Executor surface.
+
+constexpr const char* kFlyingScript = R"(
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE CLASS penguin IN animal UNDER bird;
+CREATE CLASS afp IN animal UNDER penguin;
+CREATE INSTANCE peter IN animal UNDER afp;
+CREATE RELATION flies (who: animal);
+ASSERT flies(ALL bird);
+DENY flies(ALL penguin);
+ASSERT flies(ALL afp);
+)";
+
+TEST(ExecutorObsTest, DeterministicCountersAfterScript) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  MetricsRegistry& m = exec.database().metrics();
+  EXPECT_EQ(m.counter("query.statements").value(), 9u);
+  EXPECT_EQ(m.counter("facts.asserted").value(), 2u);
+  EXPECT_EQ(m.counter("facts.denied").value(), 1u);
+  EXPECT_EQ(m.counter("query.errors").value(), 0u);
+}
+
+TEST(ExecutorObsTest, ShowMetricsIsNonzeroAndJsonWellFormed) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies WHERE who = penguin;").ok());
+
+  std::string text = exec.Execute("SHOW METRICS;").value();
+  EXPECT_NE(text.find("query.statements"), std::string::npos);
+  EXPECT_NE(text.find("plan.nodes_executed"), std::string::npos);
+  EXPECT_NE(text.find("subsumption_cache."), std::string::npos);
+  EXPECT_EQ(text.find("(none)"), std::string::npos);
+
+  std::string json = exec.Execute("SHOW METRICS JSON;").value();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"query.statements\""), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ExplainAnalyzeReportsActuals) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out =
+      exec.Execute("EXPLAIN ANALYZE SELECT * FROM flies WHERE who = penguin;")
+          .value();
+  EXPECT_NE(out.find("analyzed plan for"), std::string::npos);
+  EXPECT_NE(out.find("actual rows="), std::string::npos);
+  EXPECT_NE(out.find("probes="), std::string::npos);
+  EXPECT_NE(out.find("totals: nodes="), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ShowTraceReportsPreviousQuery) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());
+
+  std::string trace = exec.Execute("SHOW TRACE;").value();
+  EXPECT_NE(trace.find("select"), std::string::npos);
+  EXPECT_NE(trace.find("plan"), std::string::npos);
+  EXPECT_NE(trace.find("execute"), std::string::npos);
+
+  // SHOW TRACE itself is not trace-worthy: asking again reports the same
+  // query, not the SHOW TRACE statement.
+  std::string again = exec.Execute("SHOW TRACE;").value();
+  EXPECT_NE(again.find("select"), std::string::npos);
+
+  std::string json = exec.Execute("SHOW TRACE JSON;").value();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+}
+
+TEST(ExecutorObsTest, DeriveFixpointRoundsAreTraced) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(R"(
+CREATE HIERARCHY h;
+CREATE INSTANCE a IN h;
+CREATE INSTANCE b IN h;
+CREATE INSTANCE c IN h;
+CREATE RELATION edge (src: h, dst: h);
+CREATE RELATION path (src: h, dst: h);
+ASSERT edge(a, b);
+ASSERT edge(b, c);
+RULE 'path(?x, ?y) :- edge(?x, ?y).';
+RULE 'path(?x, ?z) :- path(?x, ?y), edge(?y, ?z).';
+DERIVE;
+)")
+                  .ok());
+  std::string trace = exec.Execute("SHOW TRACE;").value();
+  EXPECT_NE(trace.find("derive fixpoint"), std::string::npos);
+  EXPECT_NE(trace.find("derive round"), std::string::npos);
+  EXPECT_GT(exec.database().metrics().counter("derive.facts_derived").value(),
+            0u);
+}
+
+TEST(ExecutorObsTest, WalCountersTrackAppendsAndReplay) {
+  std::string dir = std::string(::testing::TempDir()) + "/obs_wal_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  {
+    auto ldb = LoggedDatabase::Open(dir).value();
+    ASSERT_TRUE(ldb->CreateHierarchy("h").ok());
+    ASSERT_TRUE(ldb->CreateRelation("r", {{"x", "h"}}).ok());
+    MetricsRegistry& m = ldb->db().metrics();
+    EXPECT_EQ(m.counter("wal.records_appended").value(), 2u);
+    EXPECT_GT(m.counter("wal.bytes_appended").value(), 0u);
+    EXPECT_EQ(m.counter("wal.flushes").value(), 2u);
+  }
+  {
+    auto ldb = LoggedDatabase::Open(dir).value();
+    EXPECT_EQ(ldb->db().metrics().counter("wal.records_replayed").value(), 2u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExecutorObsTest, ResetMetricsZeroesEverything) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_GT(exec.database().metrics().counter("facts.asserted").value(), 0u);
+
+  std::string out = exec.Execute("RESET METRICS;").value();
+  EXPECT_NE(out.find("metrics reset"), std::string::npos);
+  EXPECT_EQ(exec.database().metrics().counter("facts.asserted").value(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hirel

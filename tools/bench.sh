@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in a build tree and collects the uniform JSON
+# lines (one per benchmark run, emitted by bench_json_main.h) into a single
+# summary file.
+#
+#   tools/bench.sh                       # build/release, out/bench_summary.jsonl
+#   tools/bench.sh build/asan-ubsan      # another build tree
+#   tools/bench.sh build/release out.jsonl --benchmark_min_time=0.05s
+#
+# Extra arguments after the summary path are passed to every binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build/release}"
+summary="${2:-${build_dir}/bench_summary.jsonl}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [ ! -d "${build_dir}/bench" ]; then
+  echo "error: ${build_dir}/bench not found (build the '${build_dir##*/}' preset first)" >&2
+  exit 1
+fi
+
+benches=( "${build_dir}"/bench/bench_* )
+if [ ! -e "${benches[0]}" ]; then
+  echo "error: no bench_* binaries under ${build_dir}/bench" >&2
+  exit 1
+fi
+
+mkdir -p "$(dirname "${summary}")"
+: > "${summary}"
+
+tmp="$(mktemp)"
+trap 'rm -f "${tmp}"' EXIT
+
+for bin in "${benches[@]}"; do
+  [ -x "${bin}" ] || continue
+  echo "==== $(basename "${bin}") ===="
+  # Color off: ANSI escapes from the console table would otherwise prefix
+  # the JSON lines and break the extraction below.
+  if ! "${bin}" --benchmark_color=false "$@" > "${tmp}" 2>&1; then
+    cat "${tmp}"
+    echo "error: $(basename "${bin}") failed" >&2
+    exit 1
+  fi
+  cat "${tmp}"
+  # Only the JSON lines land in the summary, so downstream tooling never
+  # parses the human-readable table. A binary may contribute none (e.g.
+  # when --benchmark_filter excludes all of its benchmarks).
+  grep -o '{"bench".*}' "${tmp}" >> "${summary}" || true
+done
+
+echo "wrote $(wc -l < "${summary}") benchmark results to ${summary}"

@@ -20,6 +20,15 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== ${preset}: test ===="
   ctest --preset "${preset}" -j "${jobs}"
+  echo "==== ${preset}: figure reproductions ===="
+  for repro in "build/${preset}"/bench/repro_*; do
+    [ -x "${repro}" ] || continue
+    echo "---- $(basename "${repro}")"
+    "${repro}" > /dev/null || {
+      echo "FAIL: $(basename "${repro}")" >&2
+      exit 1
+    }
+  done
 done
 
 echo "CI passed: ${presets[*]}"
