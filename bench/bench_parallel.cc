@@ -1,0 +1,162 @@
+// Parallel kernels: serial (threads=1) versus 2/4/8 worker threads on the
+// four heaviest engine paths — consolidate, explicate, join, and the DERIVE
+// fixpoint. Results are byte-identical at every thread count (see
+// tests/parallel_determinism_test.cc); this measures only the wall-clock
+// effect of chunked ParallelFor dispatch.
+//
+// Speedups require real cores: on a single-CPU host the 2/4/8-thread rows
+// show pure scheduling overhead, not gains. tools/bench.sh records whatever
+// the host gives; compare like with like.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json_main.h"
+
+#include "algebra/join.h"
+#include "common/random.h"
+#include "core/consolidate.h"
+#include "core/explicate.h"
+#include "core/inference.h"
+#include "rules/rule.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+/// Chain of class defaults plus redundant instance tuples — the same shape
+/// bench_consolidate uses, sized so each redundancy probe does real work.
+HierarchicalRelation BuildConsolidateWorkload(Database& db) {
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", /*depth=*/4,
+                                             /*fanout=*/2,
+                                             /*instances_per_leaf=*/48);
+  HierarchicalRelation relation("r", [&] {
+    Schema s;
+    (void)s.Append("v", h);
+    return s;
+  }());
+  Truth truth = Truth::kPositive;
+  NodeId node = h->root();
+  while (!h->Children(node).empty() && h->is_class(h->Children(node)[0])) {
+    node = h->Children(node)[0];
+    (void)relation.Insert({node}, truth);
+    truth = Negate(truth);
+  }
+  Random rng(42);
+  for (NodeId atom : h->Instances()) {
+    if (!rng.Bernoulli(0.5)) continue;
+    Result<Truth> inherited = InferTruth(relation, {atom});
+    if (!inherited.ok()) continue;
+    (void)relation.Insert({atom}, inherited.value());
+  }
+  return relation;
+}
+
+void BM_ParallelConsolidate(benchmark::State& state) {
+  Database db;
+  HierarchicalRelation base = BuildConsolidateWorkload(db);
+  InferenceOptions options;
+  options.threads = static_cast<size_t>(state.range(0));
+  size_t size = 0;
+  for (auto _ : state) {
+    size = Consolidated(base, options).value().size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["result_tuples"] = static_cast<double>(size);
+}
+
+void BM_ParallelExplicate(benchmark::State& state) {
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", /*depth=*/3,
+                                             /*fanout=*/4,
+                                             /*instances_per_leaf=*/12);
+  HierarchicalRelation relation("r", [&] {
+    Schema s;
+    (void)s.Append("v", h);
+    return s;
+  }());
+  (void)relation.Insert({h->root()}, Truth::kPositive);
+  for (NodeId child : h->Children(h->root())) {
+    (void)relation.Insert({child}, Truth::kNegative);
+    for (NodeId grandchild : h->Children(child)) {
+      (void)relation.Insert({grandchild}, Truth::kPositive);
+    }
+  }
+  ExplicateOptions options;
+  options.inference.threads = static_cast<size_t>(state.range(0));
+  size_t size = 0;
+  for (auto _ : state) {
+    size = Explicate(relation, {}, options).value().size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["result_tuples"] = static_cast<double>(size);
+}
+
+void BM_ParallelJoin(benchmark::State& state) {
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", /*depth=*/3,
+                                             /*fanout=*/4,
+                                             /*instances_per_leaf=*/8);
+  HierarchicalRelation* left = db.CreateRelation("l", {{"v", "d"}}).value();
+  HierarchicalRelation* right = db.CreateRelation("r", {{"v", "d"}}).value();
+  (void)left->Insert({h->root()}, Truth::kPositive);
+  for (NodeId child : h->Children(h->root())) {
+    (void)right->Insert({child}, Truth::kPositive);
+    for (NodeId grandchild : h->Children(child)) {
+      (void)left->Insert({grandchild}, Truth::kPositive);
+    }
+  }
+  JoinOptions options;
+  options.inference.threads = static_cast<size_t>(state.range(0));
+  size_t size = 0;
+  for (auto _ : state) {
+    size = NaturalJoin(*left, *right, options).value().size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["result_tuples"] = static_cast<double>(size);
+}
+
+void BM_ParallelDeriveFixpoint(benchmark::State& state) {
+  size_t derived = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Hierarchy* h = testing::BuildTreeHierarchy(db, "d", /*depth=*/2,
+                                               /*fanout=*/4,
+                                               /*instances_per_leaf=*/24);
+    HierarchicalRelation* flies =
+        db.CreateRelation("flies", {{"who", "d"}}).value();
+    (void)db.CreateRelation("travels_far", {{"who", "d"}});
+    (void)flies->Insert({h->Children(h->root())[0]}, Truth::kPositive);
+    RuleEngine engine(&db);
+    (void)engine.AddRule("travels_far(?x) :- flies(?x).");
+    RuleOptions options;
+    options.inference.threads = static_cast<size_t>(state.range(0));
+    options.subsumption_cache = &db.subsumption_cache();
+    state.ResumeTiming();
+    derived = engine.Evaluate(options).value();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["derived_facts"] = static_cast<double>(derived);
+}
+
+BENCHMARK(BM_ParallelConsolidate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelExplicate)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelJoin)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelDeriveFixpoint)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hirel
+
+HIREL_BENCH_JSON_MAIN();

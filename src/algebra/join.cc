@@ -106,11 +106,10 @@ Result<HierarchicalRelation> JoinOn(
     }
   }
 
-  InferenceOptions inference = options.inference;
   Result<HierarchicalRelation> derived = DeriveRelation(
       StrCat(left.name(), "_join_", right.name()), schema,
-      std::move(candidates),
-      [&, inference](const Item& item) -> Result<Truth> {
+      std::move(candidates), options.inference,
+      [&](const Item& item, const InferenceOptions& opts) -> Result<Truth> {
         Item litem(ls.size());
         for (size_t i = 0; i < ls.size(); ++i) litem[i] = item[i];
         Item ritem(rs.size());
@@ -119,8 +118,8 @@ Result<HierarchicalRelation> JoinOn(
                          ? item[right_join_of[j]]
                          : item[tail_positions[j]];
         }
-        HIREL_ASSIGN_OR_RETURN(Truth lt, InferTruth(left, litem, inference));
-        HIREL_ASSIGN_OR_RETURN(Truth rt, InferTruth(right, ritem, inference));
+        HIREL_ASSIGN_OR_RETURN(Truth lt, InferTruth(left, litem, opts));
+        HIREL_ASSIGN_OR_RETURN(Truth rt, InferTruth(right, ritem, opts));
         return (lt == Truth::kPositive && rt == Truth::kPositive)
                    ? Truth::kPositive
                    : Truth::kNegative;

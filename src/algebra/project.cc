@@ -15,7 +15,8 @@ namespace {
 Result<bool> HasWitness(const HierarchicalRelation& relation,
                         const std::vector<size_t>& keep,
                         const std::vector<size_t>& removed, const Item& kept,
-                        const ProjectOptions& options) {
+                        const ProjectOptions& options,
+                        const InferenceOptions& inference) {
   const Schema& schema = relation.schema();
 
   // Witnesses can only be true under some positive tuple that applies to
@@ -68,7 +69,7 @@ Result<bool> HasWitness(const HierarchicalRelation& relation,
                      "ProjectOptions::max_witness_probes"));
         }
         HIREL_ASSIGN_OR_RETURN(Truth truth,
-                               InferTruth(relation, full, options.inference));
+                               InferTruth(relation, full, inference));
         if (truth == Truth::kPositive) return true;
       }
       size_t k = removed.size();
@@ -122,10 +123,11 @@ Result<HierarchicalRelation> Project(const HierarchicalRelation& relation,
 
   return DeriveRelation(
       StrCat(relation.name(), "_project"), result_schema,
-      std::move(candidates),
-      [&](const Item& item) -> Result<Truth> {
+      std::move(candidates), options.inference,
+      [&](const Item& item, const InferenceOptions& opts) -> Result<Truth> {
         HIREL_ASSIGN_OR_RETURN(
-            bool witnessed, HasWitness(relation, keep, removed, item, options));
+            bool witnessed,
+            HasWitness(relation, keep, removed, item, options, opts));
         return witnessed ? Truth::kPositive : Truth::kNegative;
       },
       options.max_items);

@@ -35,8 +35,10 @@ Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,
 
   return DeriveRelation(
       StrCat(relation.name(), "_select_", h->NodeName(node)), schema,
-      std::move(candidates),
-      [&](const Item& item) { return InferTruth(relation, item, options); });
+      std::move(candidates), options,
+      [&](const Item& item, const InferenceOptions& opts) {
+        return InferTruth(relation, item, opts);
+      });
 }
 
 Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,

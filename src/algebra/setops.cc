@@ -51,13 +51,12 @@ Result<HierarchicalRelation> SetOp(
     }
   }
 
-  InferenceOptions inference = options.inference;
   return DeriveRelation(
       StrCat(left.name(), "_", op_name, "_", right.name()), schema,
-      std::move(candidates),
-      [&, inference](const Item& item) -> Result<Truth> {
-        HIREL_ASSIGN_OR_RETURN(Truth lt, InferTruth(left, item, inference));
-        HIREL_ASSIGN_OR_RETURN(Truth rt, InferTruth(right, item, inference));
+      std::move(candidates), options.inference,
+      [&](const Item& item, const InferenceOptions& opts) -> Result<Truth> {
+        HIREL_ASSIGN_OR_RETURN(Truth lt, InferTruth(left, item, opts));
+        HIREL_ASSIGN_OR_RETURN(Truth rt, InferTruth(right, item, opts));
         return combine(lt == Truth::kPositive, rt == Truth::kPositive)
                    ? Truth::kPositive
                    : Truth::kNegative;

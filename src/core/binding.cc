@@ -10,6 +10,18 @@ namespace hirel {
 
 namespace {
 
+/// Tuple-exclusion view: a shared (read-only) mask plus one extra id, so
+/// concurrent binding computations never mutate a common mask.
+struct ExcludeSet {
+  const std::vector<bool>* mask = nullptr;
+  TupleId extra = kInvalidTuple;
+
+  bool contains(TupleId id) const {
+    if (id == extra) return true;
+    return mask != nullptr && id < mask->size() && (*mask)[id];
+  }
+};
+
 /// Applicable tuples: all live, non-excluded tuples whose item subsumes
 /// `item`. The exact-match tuple (if any) is reported separately.
 struct Applicable {
@@ -18,11 +30,10 @@ struct Applicable {
 };
 
 Applicable CollectApplicable(const HierarchicalRelation& relation,
-                             const Item& item,
-                             const std::vector<bool>* exclude) {
+                             const Item& item, const ExcludeSet& exclude) {
   Applicable out;
   for (TupleId id : relation.TuplesSubsuming(item)) {
-    if (exclude != nullptr && id < exclude->size() && (*exclude)[id]) continue;
+    if (exclude.contains(id)) continue;
     if (relation.tuple(id).item == item) {
       out.self = id;
     } else {
@@ -59,8 +70,7 @@ std::vector<TupleId> OffPathBinders(const HierarchicalRelation& relation,
 /// and are subsumed by `from`, so the search explores only that interval.
 Result<bool> HasUnblockedPath(const HierarchicalRelation& relation,
                               const Item& from, const Item& to,
-                              const std::vector<bool>* exclude,
-                              size_t limit) {
+                              const ExcludeSet& exclude, size_t limit) {
   const Schema& schema = relation.schema();
   std::unordered_set<Item, ItemHash> seen;
   std::deque<Item> queue;
@@ -80,9 +90,7 @@ Result<bool> HasUnblockedPath(const HierarchicalRelation& relation,
         // Interior nodes carrying an asserted (non-excluded) tuple block
         // the path.
         std::optional<TupleId> blocker = relation.FindItem(next);
-        if (blocker.has_value() &&
-            !(exclude != nullptr && *blocker < exclude->size() &&
-              (*exclude)[*blocker])) {
+        if (blocker.has_value() && !exclude.contains(*blocker)) {
           continue;
         }
         if (seen.size() >= limit) {
@@ -100,7 +108,7 @@ Result<bool> HasUnblockedPath(const HierarchicalRelation& relation,
 
 Result<std::vector<TupleId>> OnPathBinders(
     const HierarchicalRelation& relation, const Item& item,
-    const std::vector<TupleId>& applicable, const std::vector<bool>* exclude,
+    const std::vector<TupleId>& applicable, const ExcludeSet& exclude,
     size_t limit) {
   std::vector<TupleId> binders;
   for (TupleId t : applicable) {
@@ -118,9 +126,11 @@ Result<std::vector<TupleId>> OnPathBinders(
 Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
                                         const Item& item,
                                         const std::vector<bool>& exclude,
+                                        TupleId also_exclude,
                                         const InferenceOptions& options) {
   if (options.probe_counter != nullptr) ++*options.probe_counter;
-  Applicable applicable = CollectApplicable(relation, item, &exclude);
+  ExcludeSet excluded{&exclude, also_exclude};
+  Applicable applicable = CollectApplicable(relation, item, excluded);
   Binding binding;
   if (applicable.self != kInvalidTuple) {
     binding.self_bound = true;
@@ -134,7 +144,7 @@ Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
     case PreemptionMode::kOnPath: {
       HIREL_ASSIGN_OR_RETURN(
           binding.binders,
-          OnPathBinders(relation, item, applicable.strict, &exclude,
+          OnPathBinders(relation, item, applicable.strict, excluded,
                         options.on_path_search_limit));
       break;
     }
@@ -145,11 +155,20 @@ Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
   return binding;
 }
 
+Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
+                                        const Item& item,
+                                        const std::vector<bool>& exclude,
+                                        const InferenceOptions& options) {
+  return ComputeBindingExcluding(relation, item, exclude, kInvalidTuple,
+                                 options);
+}
+
 Result<Binding> ComputeBinding(const HierarchicalRelation& relation,
                                const Item& item,
                                const InferenceOptions& options) {
   static const std::vector<bool> kNoExclusions;
-  return ComputeBindingExcluding(relation, item, kNoExclusions, options);
+  return ComputeBindingExcluding(relation, item, kNoExclusions, kInvalidTuple,
+                                 options);
 }
 
 TupleBindingGraph BuildTupleBindingGraph(const HierarchicalRelation& relation,

@@ -29,10 +29,27 @@ struct InferenceOptions {
   /// Safety cap on the product-interval search used by on-path preemption.
   size_t on_path_search_limit = 100000;
 
+  /// Degree of parallelism for the kernels built on inference (consolidate,
+  /// explicate, select/project/join/setops, DERIVE rounds): 1 is serial,
+  /// 0 means one thread per hardware thread. Results are byte-identical at
+  /// any value. Inference itself (one strongest-binding computation) is
+  /// always sequential; kernels partition their per-item probes across the
+  /// shared ThreadPool. Concurrent probes are safe because they only read
+  /// the relation and the hierarchies' immutable ReachabilitySnapshots.
+  size_t threads = 1;
+
   /// When non-null, incremented once per strongest-binding computation (the
   /// unit of subsumption work). The plan executor points this at per-node
-  /// counters so EXPLAIN ANALYZE can report probe counts; the pointer is
-  /// copied along with the options into every kernel.
+  /// counters so EXPLAIN ANALYZE can report probe counts.
+  ///
+  /// Threading contract: the counter is bumped with a plain (non-atomic)
+  /// increment, so a given InferenceOptions value must only ever be used
+  /// from one thread at a time. Parallel kernels therefore never share
+  /// this pointer across workers: each chunk of work runs with a copy of
+  /// the options whose probe_counter targets a chunk-local tally, and the
+  /// tallies are summed into the original counter after the parallel
+  /// region joins — on the calling thread, exactly once. Totals (and thus
+  /// EXPLAIN ANALYZE) are exact and identical to serial execution.
   uint64_t* probe_counter = nullptr;
 };
 
@@ -64,6 +81,15 @@ Result<Binding> ComputeBinding(const HierarchicalRelation& relation,
 Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
                                         const Item& item,
                                         const std::vector<bool>& exclude,
+                                        const InferenceOptions& options = {});
+
+/// Like the above, with one extra excluded tuple on top of the mask.
+/// Lets parallel consolidation exclude the tuple under test without
+/// mutating the shared mask (kInvalidTuple excludes nothing extra).
+Result<Binding> ComputeBindingExcluding(const HierarchicalRelation& relation,
+                                        const Item& item,
+                                        const std::vector<bool>& exclude,
+                                        TupleId also_exclude,
                                         const InferenceOptions& options = {});
 
 /// An explicit tuple-binding graph, for display and debugging (Fig. 1d).

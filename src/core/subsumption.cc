@@ -2,43 +2,52 @@
 
 #include <algorithm>
 
+#include "common/bitset.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 
 namespace hirel {
 
-SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation) {
+SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation,
+                                       size_t threads) {
   const Schema& schema = relation.schema();
   SubsumptionGraph graph;
 
   std::vector<TupleId> ids = relation.TupleIds();
   size_t n = ids.size();
 
-  auto binds_below = [&](size_t a, size_t b) {
-    return ItemBindsBelow(schema, relation.tuple(ids[a]).item,
-                          relation.tuple(ids[b]).item);
-  };
-  auto strictly_below = [&](size_t a, size_t b) {
-    return a != b && binds_below(a, b);
-  };
-
-  // Topological order: sort by a count of strict subsumers, then stable.
-  // (Any linear extension of the order works; counting ancestors yields
-  // one: if a strictly subsumes b, a has strictly fewer strict subsumers
-  // ... not in general with partial orders, so do a proper Kahn pass.)
-  std::vector<std::vector<size_t>> succ(n), pred(n);
-  for (size_t a = 0; a < n; ++a) {
-    for (size_t b = 0; b < n; ++b) {
-      if (!strictly_below(a, b)) continue;
-      // Hasse edge a -> b iff nothing strictly between.
-      bool covered = false;
-      for (size_t c = 0; c < n; ++c) {
-        if (c == a || c == b) continue;
-        if (strictly_below(a, c) && strictly_below(c, b)) {
-          covered = true;
-          break;
+  // Phase A: the full strict binds-below relation as bitset rows. Exactly
+  // n^2 pairwise item tests, partitioned across the pool by row — each
+  // chunk writes only its own rows, and the tests read nothing mutable
+  // (hierarchy snapshots are immutable), so the phase races with nothing.
+  std::vector<DynamicBitset> below(n, DynamicBitset(n));
+  ParallelOptions par;
+  par.threads = threads;
+  ParallelFor(n, par, [&](size_t /*chunk*/, size_t lo, size_t hi) -> Status {
+    for (size_t a = lo; a < hi; ++a) {
+      const Item& item_a = relation.tuple(ids[a]).item;
+      for (size_t b = 0; b < n; ++b) {
+        if (a != b &&
+            ItemBindsBelow(schema, item_a, relation.tuple(ids[b]).item)) {
+          below[a].Set(b);
         }
       }
-      if (!covered) {
+    }
+    return Status::OK();
+  });
+  std::vector<DynamicBitset> above(n, DynamicBitset(n));
+  for (size_t a = 0; a < n; ++a) {
+    for (uint32_t b : below[a].ToVector()) above[b].Set(a);
+  }
+
+  // Phase B: Hasse edge a -> b iff a is strictly below-closed above b with
+  // nothing strictly between, i.e. no c with a < c < b — exactly when
+  // below[a] and above[b] are disjoint (c = a and c = b are excluded by
+  // strictness already).
+  std::vector<std::vector<size_t>> succ(n), pred(n);
+  for (size_t a = 0; a < n; ++a) {
+    for (uint32_t b : below[a].ToVector()) {
+      if (!below[a].Intersects(above[b])) {
         succ[a].push_back(b);
         pred[b].push_back(a);
       }

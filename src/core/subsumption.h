@@ -43,7 +43,12 @@ struct SubsumptionGraph {
 /// Builds the subsumption graph of `relation`. The binding order used is
 /// plain item subsumption extended with preference edges, matching what
 /// off-path inference consults.
-SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation);
+///
+/// The pairwise binds-below tests (the n^2 dominant cost) are partitioned
+/// across the shared ThreadPool when `threads` > 1 (0 = one per hardware
+/// thread); the resulting graph is identical at any thread count.
+SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation,
+                                       size_t threads = 1);
 
 /// Multi-line rendering for debugging and the figure-reproduction binaries.
 std::string SubsumptionGraphToString(const HierarchicalRelation& relation,

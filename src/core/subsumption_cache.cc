@@ -14,38 +14,75 @@ std::vector<uint64_t> SubsumptionCache::HierarchyVersions(
 }
 
 bool SubsumptionCache::Matches(const Entry& entry,
-                               const HierarchicalRelation& relation) const {
+                               const HierarchicalRelation& relation) {
   return entry.relation_version == relation.version() &&
          entry.hierarchy_versions == HierarchyVersions(relation);
 }
 
 const SubsumptionGraph& SubsumptionCache::Get(
-    const HierarchicalRelation& relation) {
-  auto it = entries_.find(relation.name());
-  if (it != entries_.end() && Matches(it->second, relation)) {
-    ++stats_.hits;
-    return it->second.graph;
+    const HierarchicalRelation& relation, size_t threads) {
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Entry>& slot = entries_[relation.name()];
+    if (slot == nullptr) slot = std::make_unique<Entry>();
+    entry = slot.get();
   }
-  ++stats_.misses;
-  Entry& entry = entries_[relation.name()];
-  entry.relation_version = relation.version();
-  entry.hierarchy_versions = HierarchyVersions(relation);
-  entry.graph = BuildSubsumptionGraph(relation);
-  return entry.graph;
+  // Build (or validate) outside the map lock so misses on different
+  // relations proceed in parallel; the per-entry latch coalesces
+  // same-name rebuilds and makes the version check race-free.
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  if (entry->relation_version != 0 && Matches(*entry, relation)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return entry->graph;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+  }
+  entry->graph = BuildSubsumptionGraph(relation, threads);
+  entry->relation_version = relation.version();
+  entry->hierarchy_versions = HierarchyVersions(relation);
+  return entry->graph;
 }
 
 bool SubsumptionCache::Fresh(const HierarchicalRelation& relation) const {
-  auto it = entries_.find(relation.name());
-  return it != entries_.end() && Matches(it->second, relation);
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(relation.name());
+    if (it == entries_.end()) return false;
+    entry = it->second.get();
+  }
+  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  return entry->relation_version != 0 && Matches(*entry, relation);
 }
 
 void SubsumptionCache::Invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.erase(name) > 0) ++stats_.invalidations;
 }
 
 void SubsumptionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.invalidations += entries_.size();
   entries_.clear();
+}
+
+size_t SubsumptionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+SubsumptionCache::Stats SubsumptionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SubsumptionCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
 }
 
 }  // namespace hirel

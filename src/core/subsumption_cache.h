@@ -17,6 +17,8 @@
 #define HIREL_CORE_SUBSUMPTION_CACHE_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +29,17 @@ namespace hirel {
 
 /// Cache of subsumption graphs keyed by relation name and validated by
 /// version stamps. Entries are rebuilt in place when stale.
+///
+/// Thread-safety: Get, Fresh, size, stats and ResetStats are safe to call
+/// concurrently with each other. Entries are heap-allocated so a returned
+/// graph reference survives rehashes caused by concurrent Gets for other
+/// relations; it stays valid until the next Get/Invalidate/Clear *for
+/// that name*. The map mutex is not held while a graph builds, so
+/// concurrent misses on different names build in parallel; a concurrent
+/// miss on the same name is coalesced under the entry's own latch.
+/// Invalidate and Clear destroy entries and follow the single-writer rule:
+/// they must not race with a Get/Fresh for the affected names, exactly
+/// like mutations of the relations themselves.
 class SubsumptionCache {
  public:
   struct Stats {
@@ -36,10 +49,10 @@ class SubsumptionCache {
   };
 
   /// Returns the subsumption graph of `relation`, building it only if no
-  /// entry exists for `relation.name()` at the current version stamps. The
-  /// reference stays valid until the next Get/Invalidate/Clear for that
-  /// name.
-  const SubsumptionGraph& Get(const HierarchicalRelation& relation);
+  /// entry exists for `relation.name()` at the current version stamps.
+  /// `threads` is forwarded to BuildSubsumptionGraph on a miss.
+  const SubsumptionGraph& Get(const HierarchicalRelation& relation,
+                              size_t threads = 1);
 
   /// True iff a Get for `relation` right now would hit.
   bool Fresh(const HierarchicalRelation& relation) const;
@@ -51,12 +64,13 @@ class SubsumptionCache {
   /// Drops every entry.
   void Clear();
 
-  size_t size() const { return entries_.size(); }
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  size_t size() const;
+  Stats stats() const;
+  void ResetStats();
 
  private:
   struct Entry {
+    std::mutex build_mutex;  // serialises rebuilds of this one entry
     uint64_t relation_version = 0;
     std::vector<uint64_t> hierarchy_versions;
     SubsumptionGraph graph;
@@ -64,9 +78,11 @@ class SubsumptionCache {
 
   static std::vector<uint64_t> HierarchyVersions(
       const HierarchicalRelation& relation);
-  bool Matches(const Entry& entry, const HierarchicalRelation& relation) const;
+  static bool Matches(const Entry& entry,
+                      const HierarchicalRelation& relation);
 
-  std::unordered_map<std::string, Entry> entries_;
+  mutable std::mutex mutex_;  // guards entries_ (the map) and stats_
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_;
   Stats stats_;
 };
 

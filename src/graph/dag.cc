@@ -10,10 +10,6 @@ namespace hirel {
 
 namespace {
 
-// Above this node count, reachability queries fall back to BFS instead of
-// materialising the O(V^2)-bit closure.
-constexpr size_t kClosureNodeLimit = 8192;
-
 void EraseValue(std::vector<NodeId>& v, NodeId x) {
   v.erase(std::remove(v.begin(), v.end(), x), v.end());
 }
@@ -175,22 +171,21 @@ bool Dag::Reachable(NodeId u, NodeId v) const {
   if (!alive(u) || !alive(v)) return false;
   if (u == v) return true;
   // Trivial cases first: they keep bulk construction (edge to or from a
-  // fresh node) from ever touching the closure cache.
+  // fresh node) from ever touching the snapshot.
   if (out_[u].empty() || in_[v].empty()) return false;
-  if (capacity() <= kClosureNodeLimit) {
-    EnsureClosure();
-    return closure_[u].Test(v);
+  // Lock-free query path: load the published snapshot; only a stale (or
+  // never-built) snapshot pays the mutex-guarded rebuild.
+  const ReachabilitySnapshot* snap =
+      snapshot_ptr_.load(std::memory_order_acquire);
+  if (snap == nullptr) snap = EnsureSnapshot();
+  switch (snap->Query(u, v)) {
+    case ReachabilitySnapshot::Answer::kYes:
+      return true;
+    case ReachabilitySnapshot::Answer::kNo:
+      return false;
+    case ReachabilitySnapshot::Answer::kUnknown:
+      break;
   }
-  // Large graph: interval fast path first. Containment in the spanning
-  // forest's DFS range implies reachability; on single-parent graphs it is
-  // also necessary, so the BFS is skipped entirely.
-  EnsureIntervals();
-  // exit_ == 0 marks a node the spanning-forest DFS never reached (only
-  // possible via a non-first parent); such nodes bypass the fast path.
-  if (exit_[v] != 0 && enter_[u] <= enter_[v] && exit_[v] <= exit_[u]) {
-    return true;
-  }
-  if (tree_single_parent_) return false;
   return ReachableBfs(u, v);
 }
 
@@ -314,8 +309,25 @@ bool Dag::HasRedundantEdge() const {
 
 const DynamicBitset& Dag::ClosureRow(NodeId n) const {
   assert(alive(n));
-  EnsureClosure();
-  return closure_[n];
+  const ReachabilitySnapshot* snap =
+      snapshot_ptr_.load(std::memory_order_acquire);
+  if (snap == nullptr) snap = EnsureSnapshot();
+  assert(snap->closure_backed() &&
+         "ClosureRow requires capacity() <= closure_node_limit()");
+  return snap->ClosureRow(n);
+}
+
+std::shared_ptr<const ReachabilitySnapshot> Dag::reachability() const {
+  EnsureSnapshot();
+  // Safe to copy without the mutex: under the single-writer contract no
+  // rebuild replaces snapshot_ concurrently with queries, and EnsureSnapshot
+  // ordered the store of snapshot_ before our read.
+  return snapshot_;
+}
+
+void Dag::SetClosureNodeLimit(size_t limit) {
+  closure_node_limit_ = limit;
+  InvalidateClosure();
 }
 
 void Dag::CopyFrom(const Dag& other) {
@@ -324,25 +336,54 @@ void Dag::CopyFrom(const Dag& other) {
   alive_ = other.alive_;
   num_alive_ = other.num_alive_;
   num_edges_ = other.num_edges_;
-  // Caches are rebuilt on demand; the mutex is never copied.
-  closure_valid_.store(false, std::memory_order_release);
-  intervals_valid_.store(false, std::memory_order_release);
-  closure_.clear();
-  enter_.clear();
-  exit_.clear();
+  closure_node_limit_ = other.closure_node_limit_;
+  // Snapshots are rebuilt on demand; the mutex is never copied.
+  snapshot_ptr_.store(nullptr, std::memory_order_release);
+  snapshot_.reset();
 }
 
-void Dag::EnsureIntervals() const {
-  if (intervals_valid_.load(std::memory_order_acquire)) return;
+const ReachabilitySnapshot* Dag::EnsureSnapshot() const {
+  const ReachabilitySnapshot* snap =
+      snapshot_ptr_.load(std::memory_order_acquire);
+  if (snap != nullptr) return snap;
   std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (intervals_valid_.load(std::memory_order_relaxed)) return;
-  size_t cap = capacity();
-  enter_.assign(cap, 0);
-  exit_.assign(cap, 0);
-  tree_single_parent_ = true;
+  snap = snapshot_ptr_.load(std::memory_order_relaxed);
+  if (snap != nullptr) return snap;
+  snapshot_ = BuildSnapshot();
+  // The release store publishes the fully built snapshot; concurrent
+  // queries either see null (and take the mutex) or the complete object.
+  snapshot_ptr_.store(snapshot_.get(), std::memory_order_release);
+  return snapshot_.get();
+}
+
+std::shared_ptr<const ReachabilitySnapshot> Dag::BuildSnapshot() const {
+  auto snap = std::make_shared<ReachabilitySnapshot>();
+  const size_t cap = capacity();
+  if (cap <= closure_node_limit_) {
+    snap->closure_backed_ = true;
+    snap->closure_.assign(cap, DynamicBitset(cap));
+    // Process in reverse topological order so each node's row can absorb
+    // the already-complete rows of its children.
+    std::vector<NodeId> topo = TopologicalOrder();
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      NodeId n = *it;
+      snap->closure_[n].Set(n);
+      for (NodeId c : out_[n]) snap->closure_[n].UnionWith(snap->closure_[c]);
+    }
+    return snap;
+  }
+  // Large graph: spanning-forest interval index. A DFS over each node's
+  // first-parent spanning tree assigns [enter, exit) ranges such that
+  // containment implies reachability (sound fast path; the BFS remains the
+  // complete slow path). single_parent_ is true when the graph IS its
+  // spanning forest (every node has <= 1 parent), making the fast path
+  // complete.
+  snap->enter_.assign(cap, 0);
+  snap->exit_.assign(cap, 0);
+  snap->single_parent_ = true;
   for (NodeId n = 0; n < cap; ++n) {
     if (alive_[n] && in_[n].size() > 1) {
-      tree_single_parent_ = false;
+      snap->single_parent_ = false;
       break;
     }
   }
@@ -356,41 +397,24 @@ void Dag::EnsureIntervals() const {
   for (NodeId root = 0; root < cap; ++root) {
     if (!alive_[root] || !in_[root].empty()) continue;
     stack.emplace_back(root, 0);
-    enter_[root] = clock++;
+    snap->enter_[root] = clock++;
     while (!stack.empty()) {
       auto& [node, next] = stack.back();
       if (next < out_[node].size()) {
         NodeId child = out_[node][next++];
         if (first_child_of(node, child)) {
-          enter_[child] = clock++;
+          snap->enter_[child] = clock++;
           stack.emplace_back(child, 0);
         }
       } else {
-        exit_[node] = clock;
+        snap->exit_[node] = clock;
         stack.pop_back();
       }
     }
   }
   // Nodes reached only through non-first parents keep [0, 0): the fast
   // path never claims them, and single-parent graphs have none.
-  intervals_valid_.store(true, std::memory_order_release);
-}
-
-void Dag::EnsureClosure() const {
-  if (closure_valid_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  if (closure_valid_.load(std::memory_order_relaxed)) return;
-  size_t cap = capacity();
-  closure_.assign(cap, DynamicBitset(cap));
-  // Process in reverse topological order so each node's row can absorb the
-  // already-complete rows of its children.
-  std::vector<NodeId> topo = TopologicalOrder();
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    NodeId n = *it;
-    closure_[n].Set(n);
-    for (NodeId c : out_[n]) closure_[n].UnionWith(closure_[c]);
-  }
-  closure_valid_.store(true, std::memory_order_release);
+  return snap;
 }
 
 }  // namespace hirel

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -30,15 +31,69 @@ using NodeId = uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// An immutable view answering "is v reachable from u?" for one version of
+/// a Dag. Built once per version stamp and shared via shared_ptr, so any
+/// number of threads can query it concurrently with no synchronization:
+/// this is what makes parallel strongest-binding probes safe and fast.
+///
+/// Two representations, chosen by graph size (Dag::closure_node_limit):
+///  * closure-backed — one transitive-closure bitset row per node; every
+///    query is decided (kYes/kNo).
+///  * interval-backed — DFS [enter, exit) ranges over the first-parent
+///    spanning forest. Containment proves reachability (kYes); on
+///    single-parent graphs non-containment disproves it (kNo); otherwise
+///    the answer is kUnknown and the caller falls back to a BFS.
+class ReachabilitySnapshot {
+ public:
+  enum class Answer : uint8_t { kNo = 0, kYes = 1, kUnknown = 2 };
+
+  /// Answers for live nodes u != v; the trivial cases are the caller's.
+  Answer Query(NodeId u, NodeId v) const {
+    if (closure_backed_) {
+      return closure_[u].Test(v) ? Answer::kYes : Answer::kNo;
+    }
+    // exit_ == 0 marks a node the spanning-forest DFS never reached (only
+    // possible via a non-first parent); such nodes bypass the fast path.
+    if (exit_[v] != 0 && enter_[u] <= enter_[v] && exit_[v] <= exit_[u]) {
+      return Answer::kYes;
+    }
+    return single_parent_ ? Answer::kNo : Answer::kUnknown;
+  }
+
+  /// True when every query is decided without a BFS fallback.
+  bool complete() const { return closure_backed_ || single_parent_; }
+
+  bool closure_backed() const { return closure_backed_; }
+
+  /// Reachability row for n (bit i set iff i is reachable from n).
+  /// Requires closure_backed().
+  const DynamicBitset& ClosureRow(NodeId n) const { return closure_[n]; }
+
+ private:
+  friend class Dag;
+
+  bool closure_backed_ = false;
+  bool single_parent_ = false;
+  std::vector<DynamicBitset> closure_;
+  std::vector<uint32_t> enter_;
+  std::vector<uint32_t> exit_;
+};
+
 /// A mutable DAG with cycle rejection, reachability, topological orderings,
 /// incremental transitive reduction, and the paper's node elimination.
 ///
-/// Thread-safety: concurrent const (query) access is safe — the lazy
-/// reachability caches are built under an internal mutex. Mutations are
-/// single-writer: callers must exclude queries while mutating, matching
-/// the paper's single-user model.
+/// Thread-safety: concurrent const (query) access is safe. Reachability is
+/// served from an immutable ReachabilitySnapshot published through an
+/// atomic pointer — after the one-time build (mutex-guarded, double
+/// checked) the query path takes no lock and touches no mutable state.
+/// Mutations are single-writer: callers must exclude queries while
+/// mutating, matching the paper's single-user model.
 class Dag {
  public:
+  /// Default for SetClosureNodeLimit: above this node count snapshots use
+  /// DFS intervals (+ BFS fallback) instead of the O(V^2)-bit closure.
+  static constexpr size_t kDefaultClosureNodeLimit = 8192;
+
   Dag() = default;
 
   Dag(const Dag& other) { CopyFrom(other); }
@@ -125,18 +180,31 @@ class Dag {
   bool HasRedundantEdge() const;
 
   /// Reachability row for n: bit i set iff node i is reachable from n.
-  /// Served from a closure cache when the graph is small enough; the cache
-  /// is invalidated by any mutation.
+  /// Served from the closure-backed snapshot; requires
+  /// capacity() <= closure_node_limit().
   const DynamicBitset& ClosureRow(NodeId n) const;
+
+  /// The current reachability snapshot, building it if stale. The returned
+  /// shared_ptr keeps the snapshot valid across subsequent Dag mutations,
+  /// so batch jobs can pin one consistent view for their whole run.
+  std::shared_ptr<const ReachabilitySnapshot> reachability() const;
+
+  /// Sets the node-count threshold above which snapshots switch from the
+  /// bitset closure to DFS intervals + BFS fallback. A mutation (single
+  /// writer, like all mutations); invalidates the current snapshot.
+  void SetClosureNodeLimit(size_t limit);
+
+  size_t closure_node_limit() const { return closure_node_limit_; }
 
  private:
   bool ReachableBfs(NodeId u, NodeId v) const;
   void InvalidateClosure() {
-    closure_valid_.store(false, std::memory_order_release);
-    intervals_valid_.store(false, std::memory_order_release);
+    snapshot_ptr_.store(nullptr, std::memory_order_release);
   }
-  void EnsureClosure() const;
-  void EnsureIntervals() const;
+  /// Builds and publishes the snapshot if none is current; returns the
+  /// published snapshot (kept alive by snapshot_).
+  const ReachabilitySnapshot* EnsureSnapshot() const;
+  std::shared_ptr<const ReachabilitySnapshot> BuildSnapshot() const;
   void CopyFrom(const Dag& other);
 
   std::vector<std::vector<NodeId>> out_;
@@ -144,26 +212,14 @@ class Dag {
   std::vector<bool> alive_;
   size_t num_alive_ = 0;
   size_t num_edges_ = 0;
+  size_t closure_node_limit_ = kDefaultClosureNodeLimit;
 
-  // Lazy caches below are built under cache_mutex_ with double-checked
-  // validity flags, so concurrent const readers are safe.
+  // Snapshot publication: built under cache_mutex_ (double-checked), then
+  // exposed through snapshot_ptr_ so queries are lock-free. snapshot_
+  // owns the object; snapshot_ptr_ is null when stale.
   mutable std::mutex cache_mutex_;
-
-  // Transitive-closure cache, built on demand for reachability queries on
-  // small graphs.
-  mutable std::atomic<bool> closure_valid_{false};
-  mutable std::vector<DynamicBitset> closure_;
-
-  // Spanning-forest interval index: a DFS over each node's first-parent
-  // spanning tree assigns [enter, exit) ranges such that containment
-  // implies reachability (sound fast path; the BFS remains the complete
-  // slow path). Rebuilt lazily on large graphs where the closure is too
-  // expensive. tree_single_parent_ is true when the graph IS its spanning
-  // forest (every node has <= 1 parent), making the fast path complete.
-  mutable std::atomic<bool> intervals_valid_{false};
-  mutable bool tree_single_parent_ = false;
-  mutable std::vector<uint32_t> enter_;
-  mutable std::vector<uint32_t> exit_;
+  mutable std::shared_ptr<const ReachabilitySnapshot> snapshot_;
+  mutable std::atomic<const ReachabilitySnapshot*> snapshot_ptr_{nullptr};
 };
 
 }  // namespace hirel

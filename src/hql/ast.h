@@ -172,6 +172,12 @@ struct SetPreemptionStmt {
   std::string mode;
 };
 
+/// SET THREADS n: session worker count for the parallel kernels
+/// (1 = serial, 0 = one per hardware thread).
+struct SetThreadsStmt {
+  int64_t threads = 1;
+};
+
 /// RULE 'head(args) :- body.': register a Datalog rule.
 struct RuleStmt {
   std::string text;
@@ -223,8 +229,9 @@ using Statement =
                  ConsolidateStmt, ExplicateStmt, ExtensionStmt, ShowStmt,
                  DropStmt, SaveStmt, LoadStmt, HelpStmt, CompressStmt,
                  BeginStmt, CommitStmt, AbortStmt, SetPreemptionStmt,
-                 RuleStmt, DeriveStmt, CountStmt, ShowBindingStmt,
-                 EliminateStmt, ExplainPlanStmt, ResetMetricsStmt>;
+                 SetThreadsStmt, RuleStmt, DeriveStmt, CountStmt,
+                 ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
+                 ResetMetricsStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

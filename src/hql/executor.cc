@@ -10,6 +10,7 @@
 #include "algebra/select.h"
 #include "algebra/setops.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/consolidate.h"
 #include "core/explicate.h"
 #include "core/integrity.h"
@@ -81,6 +82,9 @@ struct TraceName {
   const char* operator()(const AbortStmt&) const { return "abort"; }
   const char* operator()(const SetPreemptionStmt&) const {
     return "set preemption";
+  }
+  const char* operator()(const SetThreadsStmt&) const {
+    return "set threads";
   }
   const char* operator()(const RuleStmt&) const { return "rule"; }
   const char* operator()(const DeriveStmt&) const { return "derive"; }
@@ -205,6 +209,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
       }
       plan::ExecOptions exec;
       exec.inference = self.options_;
+      exec.threads = self.options_.threads;
       exec.cache = &db.subsumption_cache();
       plan::ExecStats stats;
       obs::Trace::Scope span(self.active_trace_, "execute");
@@ -392,6 +397,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
       // each node's actual rows, wall time, and subsumption probes.
       plan::ExecOptions exec;
       exec.inference = self.options_;
+      exec.threads = self.options_.threads;
       exec.cache = &db.subsumption_cache();
       exec.collect_node_stats = true;
       plan::ExecStats exec_stats;
@@ -485,7 +491,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
           HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
                                  std::as_const(db).GetRelation(stmt.name));
           const SubsumptionGraph& graph =
-              db.subsumption_cache().Get(*relation);
+              db.subsumption_cache().Get(*relation, self.options_.threads);
           return SubsumptionGraphToString(*relation, graph);
         }
         case ShowStmt::What::kRules: {
@@ -508,6 +514,17 @@ Result<std::string> Executor::ExecuteStatementImpl(
               .Set(static_cast<int64_t>(cache.stats().invalidations));
           m.gauge("subsumption_cache.entries")
               .Set(static_cast<int64_t>(cache.size()));
+          m.gauge("exec.threads")
+              .Set(static_cast<int64_t>(self.options_.threads));
+          ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
+          m.gauge("pool.workers").Set(static_cast<int64_t>(pool.workers));
+          m.gauge("pool.regions").Set(static_cast<int64_t>(pool.regions));
+          m.gauge("pool.tasks_run").Set(static_cast<int64_t>(pool.tasks_run));
+          m.gauge("pool.steals").Set(static_cast<int64_t>(pool.steals));
+          m.gauge("pool.max_queue_depth")
+              .Set(static_cast<int64_t>(pool.max_queue_depth));
+          m.gauge("pool.busy_ms")
+              .Set(static_cast<int64_t>(pool.busy_ns / 1'000'000));
           if (stmt.json) return StrCat(m.RenderJson(), "\n");
           return m.Render();
         }
@@ -665,6 +682,22 @@ Result<std::string> Executor::ExecuteStatementImpl(
                     PreemptionModeToString(self.options_.preemption), "\n");
     }
 
+    Result<std::string> operator()(const SetThreadsStmt& stmt) {
+      if (stmt.threads < 0 || stmt.threads > 1024) {
+        return Status::InvalidArgument(
+            StrCat("SET THREADS expects 0 (auto) or 1..1024, got ",
+                   stmt.threads));
+      }
+      self.options_.threads = static_cast<size_t>(stmt.threads);
+      db.metrics().gauge("exec.threads")
+          .Set(static_cast<int64_t>(self.options_.threads));
+      if (stmt.threads == 0) {
+        return StrCat("threads: auto (",
+                      ThreadPool::EffectiveThreads(0), " effective)\n");
+      }
+      return StrCat("threads: ", self.options_.threads, "\n");
+    }
+
     Result<std::string> operator()(const SaveStmt& stmt) {
       HIREL_RETURN_IF_ERROR(SaveDatabase(db, stmt.path));
       return StrCat("saved to '", stmt.path, "'\n");
@@ -682,6 +715,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
     Result<std::string> operator()(const ResetMetricsStmt&) {
       db.metrics().Reset();
       db.subsumption_cache().ResetStats();
+      ThreadPool::Shared().ResetStats();
       return std::string("metrics reset\n");
     }
   };

@@ -467,6 +467,14 @@ class Parser {
       return Statement(ResetMetricsStmt{});
     }
     if (AcceptKeyword("SET")) {
+      if (AcceptKeyword("THREADS")) {
+        if (Peek().type != TokenType::kInteger) {
+          return Error("SET THREADS expects an integer");
+        }
+        SetThreadsStmt stmt;
+        stmt.threads = Advance().int_value;
+        return Statement(stmt);
+      }
       HIREL_RETURN_IF_ERROR(ExpectKeyword("PREEMPTION").status());
       SetPreemptionStmt stmt;
       HIREL_ASSIGN_OR_RETURN(stmt.mode, ExpectIdentifier());

@@ -34,6 +34,7 @@ std::string HelpText() {
     COUNT r [BY attr];                           -- extension statistics
     COMPRESS r;                                  -- re-encode minimally
     SET PREEMPTION offpath;                      -- or onpath / none
+    SET THREADS 4;                               -- parallel kernels; 0 = auto, 1 = serial
 
   rules (Datalog layer)
     RULE 'head(?x) :- body(?x), not other(?x).';

@@ -20,6 +20,7 @@ constexpr std::array kReservedWords = {
     "SET",         "PREEMPTION", "RULE",      "DERIVE",    "RULES",
     "COUNT",       "BY",        "SUBSUMPTION", "BINDING",   "PLAN",
     "ANALYZE",     "METRICS",   "TRACE",     "RESET",     "JSON",
+    "THREADS",
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "algebra/select.h"
 #include "algebra/setops.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/consolidate.h"
 #include "core/explicate.h"
 
@@ -83,10 +84,13 @@ class Walker {
   }
 
   /// Inference options for one node's kernel: the shared options with the
-  /// probe counter pointed at the node's (or the run's) tally.
+  /// worker count applied and the probe counter pointed at the node's (or
+  /// the run's) tally.
   InferenceOptions InferFor(PlanNodeStats* ns) {
     InferenceOptions inference = options_.inference;
+    inference.threads = options_.threads;
     if (ns != nullptr) {
+      ns->workers = ThreadPool::EffectiveThreads(options_.threads);
       inference.probe_counter = &ns->subsumption_probes;
     } else if (stats_ != nullptr) {
       inference.probe_counter = &stats_->subsumption_probes;
@@ -107,7 +111,7 @@ class Walker {
         if (ns != nullptr) ++ns->graph_cache_misses;
       }
     }
-    return &options_.cache->Get(*slot.rel);
+    return &options_.cache->Get(*slot.rel, options_.threads);
   }
 
   Result<Slot> Exec(const PlanNode& node) {

@@ -30,6 +30,11 @@ struct ExecOptions {
   /// Preemption mode etc., forwarded to every kernel.
   InferenceOptions inference;
 
+  /// Worker count for the parallel kernels (1 = serial, 0 = one per
+  /// hardware thread); forwarded as InferenceOptions::threads to every
+  /// node's kernel. Results are byte-identical at any value.
+  size_t threads = 1;
+
   /// Subsumption-graph cache consulted for base-relation inputs; null
   /// disables caching (each kernel builds its own graph).
   SubsumptionCache* cache = nullptr;
@@ -56,6 +61,9 @@ struct PlanNodeStats {
   uint64_t subsumption_probes = 0;
   size_t graph_cache_hits = 0;
   size_t graph_cache_misses = 0;
+  /// Effective worker count the node's kernel may fan out to; 0 or 1 means
+  /// it ran serially. EXPLAIN ANALYZE renders values > 1 as `workers=N`.
+  size_t workers = 0;
 };
 
 struct ExecStats {

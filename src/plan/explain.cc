@@ -68,6 +68,9 @@ void Render(const PlanNode& node, size_t depth, const ExecStats* exec,
         out += StrCat(" graph_cache=", ns.graph_cache_hits, "/",
                       ns.graph_cache_hits + ns.graph_cache_misses, " hit");
       }
+      if (ns.workers > 1) {
+        out += StrCat(" workers=", ns.workers);
+      }
       out += "]";
     }
   }

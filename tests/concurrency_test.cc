@@ -13,6 +13,7 @@
 #include "algebra/setops.h"
 #include "core/explicate.h"
 #include "core/inference.h"
+#include "core/subsumption_cache.h"
 #include "testing/fixtures.h"
 
 namespace hirel {
@@ -85,6 +86,82 @@ TEST(ConcurrencyTest, ParallelOperatorsOnSharedRelations) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, ConcurrentSubsumptionCacheGets) {
+  testing::LovesFixture f;
+  const std::string jill_graph = SubsumptionGraphToString(
+      *f.jill, BuildSubsumptionGraph(*f.jill));
+  const std::string jack_graph = SubsumptionGraphToString(
+      *f.jack, BuildSubsumptionGraph(*f.jack));
+
+  constexpr int kThreads = 8;
+  constexpr int kGetsPerThread = 200;
+  for (int trial = 0; trial < 5; ++trial) {
+    SubsumptionCache cache;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int q = 0; q < kGetsPerThread; ++q) {
+          // Alternate names so cold misses for different relations build
+          // concurrently and rehashes race with reads of other entries.
+          const HierarchicalRelation& rel = (t + q) % 2 == 0 ? *f.jill
+                                                             : *f.jack;
+          const std::string& expected =
+              (t + q) % 2 == 0 ? jill_graph : jack_graph;
+          const SubsumptionGraph& graph = cache.Get(rel);
+          if (SubsumptionGraphToString(rel, graph) != expected) ++failures;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0) << "trial " << trial;
+    // Same-name misses coalesce under the entry latch: exactly one build
+    // per relation, every other Get is a hit, none is lost.
+    SubsumptionCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u) << "trial " << trial;
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<size_t>(kThreads) * kGetsPerThread)
+        << "trial " << trial;
+  }
+}
+
+TEST(ConcurrencyTest, ReachabilitySnapshotColdBuildAndPinnedQueries) {
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db;
+    Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 3, 3, 4);
+    std::vector<NodeId> instances = h->Instances();
+    NodeId root = h->root();
+
+    // Race the cold build: every thread pins its own snapshot first.
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        std::shared_ptr<const ReachabilitySnapshot> snap = h->reachability();
+        for (size_t i = t; i < instances.size(); i += 8) {
+          NodeId v = instances[i];
+          bool reachable =
+              root == v ||
+              snap->Query(root, v) == ReachabilitySnapshot::Answer::kYes;
+          if (!reachable) ++failures;
+          if (!h->Subsumes(root, v)) ++failures;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0) << "trial " << trial;
+
+    // A pinned snapshot answers from its own version even while the
+    // hierarchy moves on (the mutation publishes a fresh snapshot).
+    std::shared_ptr<const ReachabilitySnapshot> pinned = h->reachability();
+    NodeId probe = instances.front();
+    ASSERT_TRUE(h->AddClass("late_arrival").ok());
+    EXPECT_EQ(pinned->Query(root, probe),
+              ReachabilitySnapshot::Answer::kYes);
+    EXPECT_TRUE(h->Subsumes(root, probe));
+  }
 }
 
 }  // namespace

@@ -282,5 +282,43 @@ TEST(DagTest, ClosureInvalidatedByMutation) {
   EXPECT_FALSE(d.Reachable(0, 3));
 }
 
+TEST(DagTest, SetClosureNodeLimitSwitchesToBfsFallback) {
+  Dag d = Diamond();
+  EXPECT_TRUE(d.reachability()->closure_backed());
+
+  // Record every answer from the closure-backed snapshot.
+  bool closure_answers[4][4];
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) closure_answers[u][v] = d.Reachable(u, v);
+  }
+
+  // Dropping the limit below the node count forces the interval snapshot.
+  // The diamond's node 3 has two parents, so only one (the first parent)
+  // carries it in the spanning forest: Reachable(2, 3) is exactly the
+  // query the intervals cannot decide and the BFS fallback must answer.
+  d.SetClosureNodeLimit(2);
+  EXPECT_EQ(d.closure_node_limit(), 2u);
+  std::shared_ptr<const ReachabilitySnapshot> snap = d.reachability();
+  EXPECT_FALSE(snap->closure_backed());
+  EXPECT_FALSE(snap->complete());  // multi-parent: BFS fallback in play
+  EXPECT_EQ(snap->Query(2, 3), ReachabilitySnapshot::Answer::kUnknown);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      EXPECT_EQ(d.Reachable(u, v), closure_answers[u][v])
+          << "u=" << u << " v=" << v;
+    }
+  }
+
+  // A pinned snapshot stays valid and consistent across later mutations.
+  ASSERT_TRUE(d.RemoveEdge(1, 3).ok());
+  ASSERT_TRUE(d.RemoveEdge(2, 3).ok());
+  EXPECT_FALSE(d.Reachable(0, 3));
+  EXPECT_EQ(snap->Query(1, 3), ReachabilitySnapshot::Answer::kYes);
+
+  // Restoring a generous limit brings the closure representation back.
+  d.SetClosureNodeLimit(Dag::kDefaultClosureNodeLimit);
+  EXPECT_TRUE(d.reachability()->closure_backed());
+}
+
 }  // namespace
 }  // namespace hirel

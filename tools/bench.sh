@@ -50,3 +50,58 @@ for bin in "${benches[@]}"; do
 done
 
 echo "wrote $(wc -l < "${summary}") benchmark results to ${summary}"
+
+# Diff this run against the committed BENCH_<name>.json baselines (native
+# google-benchmark JSON, recorded with --benchmark_out). Matching is by
+# benchmark name within the corresponding bench_<name> binary; baselines
+# recorded on different hardware drift, so this is informational only and
+# never fails the run.
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "python3 not found; skipping baseline diff"
+  exit 0
+fi
+baselines=( BENCH_*.json )
+if [ ! -e "${baselines[0]}" ]; then
+  echo "no committed BENCH_*.json baselines; skipping baseline diff"
+  exit 0
+fi
+python3 - "${summary}" "${baselines[@]}" <<'PYEOF'
+import json, os, sys
+
+summary_path, *baseline_paths = sys.argv[1:]
+
+# name -> ns_per_op from this run's summary lines.
+current = {}
+with open(summary_path) as f:
+    for line in f:
+        try:
+            run = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        current[(run.get("bench"), run.get("name"))] = run.get("ns_per_op")
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+for path in baseline_paths:
+    # BENCH_parallel.json holds runs of bench_parallel.
+    bench = "bench_" + os.path.basename(path)[len("BENCH_"):-len(".json")]
+    with open(path) as f:
+        baseline = json.load(f)
+    rows = []
+    for run in baseline.get("benchmarks", []):
+        if run.get("run_type", "iteration") == "aggregate":
+            continue
+        name = run["name"]
+        now = current.get((bench, name))
+        if now is None:
+            continue
+        base_ns = run["real_time"] * UNIT_NS.get(run.get("time_unit", "ns"), 1.0)
+        delta = 100.0 * (now - base_ns) / base_ns if base_ns else 0.0
+        rows.append((name, base_ns, now, delta))
+    print(f"==== baseline diff: {path} ({bench}) ====")
+    if not rows:
+        print("  (no matching benchmarks in this run)")
+        continue
+    for name, base_ns, now, delta in rows:
+        print(f"  {name:<40} {base_ns:>12.0f} ns -> {now:>12.0f} ns  "
+              f"({delta:+.1f}%)")
+PYEOF

@@ -1,21 +1,37 @@
 #!/usr/bin/env bash
-# Local CI: configure, build, and test the release and asan-ubsan presets.
+# Local CI: configure, build, and test the release, asan-ubsan, and tsan
+# presets. The tsan lane is narrow by design: it builds and runs only the
+# threading-sensitive suites (concurrency, plan property, parallel
+# determinism) so the sweep stays fast while still exercising every lock,
+# latch, and snapshot-publication path under ThreadSanitizer.
 #
-#   tools/ci.sh            # both presets
+#   tools/ci.sh            # all three presets
 #   tools/ci.sh release    # just one
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(release asan-ubsan)
+  presets=(release asan-ubsan tsan)
 fi
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
+tsan_targets=(hirel_concurrency_test hirel_plan_test
+              hirel_parallel_determinism_test)
+tsan_filter='ConcurrencyTest|PlanProperty|ParallelDeterminismTest'
+
 for preset in "${presets[@]}"; do
   echo "==== ${preset}: configure ===="
   cmake --preset "${preset}"
+  if [ "${preset}" = "tsan" ]; then
+    echo "==== ${preset}: build (threaded suites) ===="
+    cmake --build --preset "${preset}" -j "${jobs}" \
+        --target "${tsan_targets[@]}"
+    echo "==== ${preset}: test (threaded suites) ===="
+    ctest --preset "${preset}" -R "${tsan_filter}"
+    continue
+  fi
   echo "==== ${preset}: build ===="
   cmake --build --preset "${preset}" -j "${jobs}"
   echo "==== ${preset}: test ===="
