@@ -1,0 +1,97 @@
+// Observability overhead: what a HIREL_LOG site costs when the level is
+// filtered out (the claim: one predicted branch), what an enabled event
+// costs end-to-end into the ring sink, and what the exporters cost to
+// render — so leaving logging on in production is a measured decision.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json_main.h"
+
+#include "common/str_util.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace hirel {
+namespace {
+
+using obs::LogLevel;
+
+// The HIREL_LOG pattern against a local logger whose minimum level filters
+// the event out: one relaxed load + compare, fields never evaluated.
+void BM_LogSiteDisabled(benchmark::State& state) {
+  obs::Logger logger(LogLevel::kOff, /*ring_capacity=*/8);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    if (logger.ShouldLog(LogLevel::kInfo)) {
+      logger.Log(LogLevel::kInfo, "bench", "event",
+                 {{"n", StrCat(++n)}, {"flag", "true"}});
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+
+// Same site with the level passing: field StrCat, event construction, and
+// the ring append, all included.
+void BM_LogSiteEnabledRing(benchmark::State& state) {
+  obs::Logger logger(LogLevel::kInfo, /*ring_capacity=*/1024);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    if (logger.ShouldLog(LogLevel::kInfo)) {
+      logger.Log(LogLevel::kInfo, "bench", "event",
+                 {{"n", StrCat(++n)}, {"flag", "true"}});
+    }
+  }
+  state.counters["ring_size"] = static_cast<double>(logger.ring().size());
+}
+
+void BM_LogEventToJson(benchmark::State& state) {
+  obs::LogEvent event;
+  event.seq = 42;
+  event.unix_micros = 1722900000000000;
+  event.level = LogLevel::kWarn;
+  event.component = "query";
+  event.event = "slow_query";
+  event.fields = {{"text", "SELECT * FROM flying WHERE animal = bird"},
+                  {"ms", "12.500"},
+                  {"digest", "a1b2c3d4e5f60718"}};
+  for (auto _ : state) {
+    std::string json = event.ToJson();
+    benchmark::DoNotOptimize(json);
+  }
+}
+
+void BM_JsonEscape(benchmark::State& state) {
+  std::string text(static_cast<size_t>(state.range(0)), 'x');
+  for (size_t i = 0; i < text.size(); i += 16) text[i] = '"';
+  for (auto _ : state) {
+    std::string escaped = obs::JsonEscape(text);
+    benchmark::DoNotOptimize(escaped);
+  }
+}
+
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  for (int i = 0; i < 16; ++i) {
+    metrics.counter(StrCat("bench.counter", i)).Add(i * 7);
+    metrics.gauge(StrCat("bench.gauge", i)).Set(i * 3);
+  }
+  obs::Histogram& h = metrics.histogram("bench.latency_ns");
+  for (uint64_t ns = 1; ns < (uint64_t{1} << 30); ns <<= 1) h.Record(ns);
+  for (auto _ : state) {
+    std::string text = obs::PrometheusText(metrics);
+    benchmark::DoNotOptimize(text);
+  }
+}
+
+BENCHMARK(BM_LogSiteDisabled);
+BENCHMARK(BM_LogSiteEnabledRing);
+BENCHMARK(BM_LogEventToJson);
+BENCHMARK(BM_JsonEscape)->Arg(64)->Arg(1024);
+BENCHMARK(BM_PrometheusRender);
+
+}  // namespace
+}  // namespace hirel
+
+HIREL_BENCH_JSON_MAIN();

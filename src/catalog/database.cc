@@ -1,6 +1,7 @@
 #include "catalog/database.h"
 
 #include "common/str_util.h"
+#include "obs/log.h"
 
 namespace hirel {
 
@@ -15,6 +16,8 @@ Result<Hierarchy*> Database::CreateHierarchy(std::string_view name,
   auto hierarchy = std::make_unique<Hierarchy>(std::string(name), options);
   Hierarchy* raw = hierarchy.get();
   hierarchies_.emplace(std::string(name), std::move(hierarchy));
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "create_hierarchy",
+            {{"name", std::string(name)}});
   return raw;
 }
 
@@ -50,6 +53,8 @@ Status Database::DropHierarchy(std::string_view name) {
     }
   }
   hierarchies_.erase(it);
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "drop_hierarchy",
+            {{"name", std::string(name)}});
   return Status::OK();
 }
 
@@ -73,7 +78,11 @@ Status Database::EliminateNode(std::string_view hierarchy, NodeId node) {
       }
     }
   }
-  return h->EliminateNode(node);
+  std::string name = h->NodeName(node);
+  HIREL_RETURN_IF_ERROR(h->EliminateNode(node));
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "eliminate_node",
+            {{"hierarchy", std::string(hierarchy)}, {"node", name}});
+  return Status::OK();
 }
 
 std::vector<std::string> Database::HierarchyNames() const {
@@ -102,6 +111,9 @@ Result<HierarchicalRelation*> Database::CreateRelation(
                                                          std::move(schema));
   HierarchicalRelation* raw = relation.get();
   relations_.emplace(std::string(name), std::move(relation));
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "create_relation",
+            {{"name", std::string(name)},
+             {"attributes", StrCat(attributes.size())}});
   return raw;
 }
 
@@ -121,6 +133,8 @@ Result<HierarchicalRelation*> Database::AdoptRelation(
   }
   std::string name = relation.name();
   subsumption_cache_.Invalidate(name);
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "adopt_relation",
+            {{"name", name}, {"tuples", StrCat(relation.size())}});
   auto owned =
       std::make_unique<HierarchicalRelation>(std::move(relation));
   HierarchicalRelation* raw = owned.get();
@@ -152,6 +166,8 @@ Status Database::DropRelation(std::string_view name) {
   }
   subsumption_cache_.Invalidate(it->first);
   relations_.erase(it);
+  HIREL_LOG(obs::LogLevel::kInfo, "catalog", "drop_relation",
+            {{"name", std::string(name)}});
   return Status::OK();
 }
 

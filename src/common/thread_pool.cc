@@ -4,6 +4,9 @@
 #include <chrono>
 #include <memory>
 
+#include "common/str_util.h"
+#include "obs/log.h"
+
 namespace hirel {
 
 namespace {
@@ -37,6 +40,8 @@ struct ThreadPool::Region {
   size_t num_chunks = 0;
   size_t spans = 0;  // participant spans chunks are pre-assigned to
 
+  uint64_t ordinal = 0;  // region sequence number, for captured chunk spans
+
   std::unique_ptr<std::atomic<bool>[]> claimed;  // one flag per chunk
   std::atomic<size_t> unclaimed{0};  // fast "is there work" check
   std::atomic<size_t> next_slot{1};  // slot 0 is the caller
@@ -49,10 +54,16 @@ struct ThreadPool::Region {
 };
 
 ThreadPool::ThreadPool(size_t workers) {
+  thread_busy_ns_ = std::make_unique<std::atomic<uint64_t>[]>(workers + 1);
+  for (size_t i = 0; i <= workers; ++i) {
+    thread_busy_ns_[i].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  HIREL_LOG(obs::LogLevel::kInfo, "pool", "start",
+            {{"workers", StrCat(workers)}});
 }
 
 ThreadPool::~ThreadPool() {
@@ -92,6 +103,17 @@ ThreadPool::Stats ThreadPool::GetStats() const {
   s.busy_ns = stat_busy_ns_.load(std::memory_order_relaxed);
   s.max_queue_depth = stat_max_queue_.load(std::memory_order_relaxed);
   s.workers = workers_.size();
+  s.per_thread_busy_ns.reserve(workers_.size() + 1);
+  for (size_t i = 0; i <= workers_.size(); ++i) {
+    s.per_thread_busy_ns.push_back(
+        thread_busy_ns_[i].load(std::memory_order_relaxed));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Region* r : active_) {
+      s.queue_depth += r->unclaimed.load(std::memory_order_relaxed);
+    }
+  }
   return s;
 }
 
@@ -101,9 +123,29 @@ void ThreadPool::ResetStats() {
   stat_steals_.store(0, std::memory_order_relaxed);
   stat_busy_ns_.store(0, std::memory_order_relaxed);
   stat_max_queue_.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i <= workers_.size(); ++i) {
+    thread_busy_ns_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
-size_t ThreadPool::Participate(Region& region, size_t slot) {
+void ThreadPool::StartChunkCapture() {
+  {
+    std::lock_guard<std::mutex> lock(capture_mutex_);
+    captured_.clear();
+  }
+  capture_enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<ThreadPool::ChunkSpan> ThreadPool::StopChunkCapture() {
+  capture_enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(capture_mutex_);
+  std::vector<ChunkSpan> spans;
+  spans.swap(captured_);
+  return spans;
+}
+
+size_t ThreadPool::Participate(Region& region, size_t slot,
+                               size_t thread_index) {
   const size_t chunks = region.num_chunks;
   const size_t spans = region.spans;
   const size_t span = slot % spans;
@@ -117,9 +159,18 @@ size_t ThreadPool::Participate(Region& region, size_t slot) {
     const size_t end = std::min(region.n, begin + region.chunk_size);
     const uint64_t t0 = NowNs();
     Status status = (*region.fn)(c, begin, end);
-    stat_busy_ns_.fetch_add(NowNs() - t0, std::memory_order_relaxed);
+    const uint64_t dur = NowNs() - t0;
+    stat_busy_ns_.fetch_add(dur, std::memory_order_relaxed);
+    thread_busy_ns_[thread_index].fetch_add(dur, std::memory_order_relaxed);
     stat_tasks_.fetch_add(1, std::memory_order_relaxed);
     if (stolen) stat_steals_.fetch_add(1, std::memory_order_relaxed);
+    if (capture_enabled_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(capture_mutex_);
+      if (captured_.size() < kMaxCapturedChunks) {
+        captured_.push_back(
+            ChunkSpan{thread_index, t0, dur, c, region.ordinal});
+      }
+    }
     if (!status.ok()) region.errors[c] = std::move(status);
     ++ran;
   };
@@ -138,7 +189,7 @@ size_t ThreadPool::Participate(Region& region, size_t slot) {
   return ran;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   while (true) {
     Region* region = nullptr;
     size_t slot = 0;
@@ -164,7 +215,7 @@ void ThreadPool::WorkerLoop() {
       region->pending.fetch_add(1, std::memory_order_relaxed);
       slot = region->next_slot.fetch_add(1, std::memory_order_relaxed);
     }
-    const size_t ran = Participate(*region, slot);
+    const size_t ran = Participate(*region, slot, /*thread_index=*/1 + worker_index);
     const size_t delta = ran + 1;
     if (region->pending.fetch_sub(delta, std::memory_order_acq_rel) == delta) {
       std::lock_guard<std::mutex> lock(region->done_mutex);
@@ -206,7 +257,7 @@ Status ThreadPool::ParallelFor(
   // each worker while it is inside Participate).
   region.pending.store(num_chunks + 1, std::memory_order_relaxed);
 
-  stat_regions_.fetch_add(1, std::memory_order_relaxed);
+  region.ordinal = stat_regions_.fetch_add(1, std::memory_order_relaxed) + 1;
   UpdateMax(stat_max_queue_, num_chunks);
 
   {
@@ -215,7 +266,7 @@ Status ThreadPool::ParallelFor(
   }
   work_cv_.notify_all();
 
-  const size_t ran = Participate(region, /*slot=*/0);
+  const size_t ran = Participate(region, /*slot=*/0, /*thread_index=*/0);
 
   {
     // Delist before releasing our own participation: afterwards no new

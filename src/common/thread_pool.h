@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -63,7 +64,22 @@ class ThreadPool {
     uint64_t steals = 0;     ///< Chunks claimed outside the owner's span.
     uint64_t busy_ns = 0;    ///< Total wall time spent inside chunk bodies.
     uint64_t max_queue_depth = 0;  ///< Largest chunk count of any region.
+    uint64_t queue_depth = 0;  ///< Unclaimed chunks across active regions now.
     size_t workers = 0;      ///< Worker threads owned by the pool.
+    /// Wall time inside chunk bodies per thread: [0] is caller threads
+    /// (every ParallelFor caller participates), [1 + i] is pool worker i.
+    std::vector<uint64_t> per_thread_busy_ns;
+  };
+
+  /// One chunk execution, recorded while chunk capture is on. `worker` is
+  /// 0 for the calling thread and 1 + i for pool worker i; `start_ns` is a
+  /// steady-clock stamp on the same clock as Trace::epoch_ns.
+  struct ChunkSpan {
+    size_t worker = 0;
+    uint64_t start_ns = 0;
+    uint64_t dur_ns = 0;
+    size_t chunk = 0;
+    uint64_t region = 0;  ///< ordinal of the owning ParallelFor region
   };
 
   explicit ThreadPool(size_t workers);
@@ -88,6 +104,19 @@ class ThreadPool {
   Stats GetStats() const;
   void ResetStats();
 
+  /// Starts recording one ChunkSpan per executed chunk (clearing any
+  /// previous capture). Capture is bounded (kMaxCapturedChunks) so a
+  /// runaway query cannot grow memory without limit; the HQL executor
+  /// turns capture on around each script so EXPORT TRACE can place pool
+  /// work on per-worker tracks. Off (the default) costs one predicted
+  /// branch per chunk.
+  void StartChunkCapture();
+
+  /// Stops capture and returns the recorded spans in claim order.
+  std::vector<ChunkSpan> StopChunkCapture();
+
+  static constexpr size_t kMaxCapturedChunks = 65536;
+
   /// Runs `fn(chunk, begin, end)` over [0, n) split into contiguous chunks.
   ///
   /// Blocks until every chunk has run. The caller participates, so the
@@ -105,15 +134,16 @@ class ThreadPool {
  private:
   struct Region;
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
-  /// Claims and runs chunks of `region` as participant `slot`; returns the
-  /// number of chunks this participant executed.
-  size_t Participate(Region& region, size_t slot);
+  /// Claims and runs chunks of `region` as participant `slot`, attributing
+  /// busy time to `thread_index` (0 = caller, 1 + i = worker i); returns
+  /// the number of chunks this participant executed.
+  size_t Participate(Region& region, size_t slot, size_t thread_index);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;                 // guards active_ and stop_
+  mutable std::mutex mutex_;         // guards active_ and stop_
   std::condition_variable work_cv_;  // workers wait here for regions
   std::deque<Region*> active_;       // regions that may have unclaimed work
   bool stop_ = false;
@@ -123,6 +153,13 @@ class ThreadPool {
   std::atomic<uint64_t> stat_steals_{0};
   std::atomic<uint64_t> stat_busy_ns_{0};
   std::atomic<uint64_t> stat_max_queue_{0};
+  // Per-thread busy time: [0] callers, [1 + i] worker i. Sized once in the
+  // constructor, so lock-free updates need no bounds growth.
+  std::unique_ptr<std::atomic<uint64_t>[]> thread_busy_ns_;
+
+  std::atomic<bool> capture_enabled_{false};
+  std::mutex capture_mutex_;  // guards captured_
+  std::vector<ChunkSpan> captured_;
 };
 
 /// Convenience wrapper over ThreadPool::Shared().ParallelFor.

@@ -1,5 +1,8 @@
 #include "core/subsumption_cache.h"
 
+#include "common/str_util.h"
+#include "obs/log.h"
+
 namespace hirel {
 
 std::vector<uint64_t> SubsumptionCache::HierarchyVersions(
@@ -60,14 +63,28 @@ bool SubsumptionCache::Fresh(const HierarchicalRelation& relation) const {
 }
 
 void SubsumptionCache::Invalidate(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.erase(name) > 0) ++stats_.invalidations;
+  bool erased;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    erased = entries_.erase(name) > 0;
+    if (erased) ++stats_.invalidations;
+  }
+  if (erased) {
+    HIREL_LOG(obs::LogLevel::kDebug, "subsumption_cache", "invalidate",
+              {{"relation", name}});
+  }
 }
 
 void SubsumptionCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_.invalidations += entries_.size();
-  entries_.clear();
+  size_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped = entries_.size();
+    stats_.invalidations += dropped;
+    entries_.clear();
+  }
+  HIREL_LOG(obs::LogLevel::kDebug, "subsumption_cache", "clear",
+            {{"entries", StrCat(dropped)}});
 }
 
 size_t SubsumptionCache::size() const {

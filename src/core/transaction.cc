@@ -1,6 +1,8 @@
 #include "core/transaction.h"
 
+#include "common/str_util.h"
 #include "core/conflict.h"
+#include "obs/log.h"
 
 namespace hirel {
 
@@ -19,6 +21,10 @@ Status Transaction::Commit() {
 
   auto rollback = [&]() {
     if (metrics_ != nullptr) metrics_->counter("txn.commit_failures").Add();
+    HIREL_LOG(obs::LogLevel::kWarn, "txn", "commit_failed",
+              {{"relation", relation_->name()},
+               {"staged", StrCat(staged)},
+               {"applied", StrCat(undo_log.size())}});
     // Reverse in LIFO order, then abort: staged operations are discarded,
     // like any aborted transaction's.
     for (auto it = undo_log.rbegin(); it != undo_log.rend(); ++it) {
@@ -69,6 +75,8 @@ Status Transaction::Commit() {
     metrics_->counter("txn.commits").Add();
     metrics_->counter("txn.ops_committed").Add(staged);
   }
+  HIREL_LOG(obs::LogLevel::kInfo, "txn", "commit",
+            {{"relation", relation_->name()}, {"ops", StrCat(staged)}});
   return Status::OK();
 }
 

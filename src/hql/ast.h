@@ -127,12 +127,14 @@ struct ShowStmt {
     kRelations,
     kRules,
     kSubsumption,  // SHOW SUBSUMPTION rel: the Fig. 6a construction
-    kMetrics,      // SHOW METRICS [JSON]: the engine's metrics registry
+    kMetrics,      // SHOW METRICS [JSON|PROMETHEUS]: the metrics registry
     kTrace,        // SHOW TRACE [JSON]: the last query's span tree
+    kLog,          // SHOW LOG [JSON]: the in-memory event-log ring
   };
   What what = What::kRelations;
   std::string name;
-  bool json = false;  // JSON rendering, for kMetrics / kTrace
+  bool json = false;        // JSON rendering, for kMetrics / kTrace / kLog
+  bool prometheus = false;  // Prometheus text exposition, for kMetrics
 };
 
 struct DropStmt {
@@ -222,6 +224,24 @@ struct ExplainPlanStmt {
 /// RESET METRICS: zero every metric (and the subsumption cache's stats).
 struct ResetMetricsStmt {};
 
+/// SET SLOW_QUERY_MS n: statements at least n ms of wall time are written
+/// to the event log with their text, plan digest, and per-node actuals.
+/// n = 0 logs every plan-running statement; a negative n turns it off.
+struct SetSlowQueryStmt {
+  int64_t threshold_ms = -1;
+};
+
+/// SET LOG debug|info|warn|error|off: minimum level of the global logger.
+struct SetLogStmt {
+  std::string level;
+};
+
+/// EXPORT TRACE 'file.json': write the last query's trace (plus captured
+/// pool chunk spans) as Chrome trace-event JSON.
+struct ExportTraceStmt {
+  std::string path;
+};
+
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
                  CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
@@ -231,7 +251,8 @@ using Statement =
                  BeginStmt, CommitStmt, AbortStmt, SetPreemptionStmt,
                  SetThreadsStmt, RuleStmt, DeriveStmt, CountStmt,
                  ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
-                 ResetMetricsStmt>;
+                 ResetMetricsStmt, SetSlowQueryStmt, SetLogStmt,
+                 ExportTraceStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "algebra/join.h"
 #include "algebra/aggregate.h"
@@ -27,6 +28,8 @@
 #include "hql/resolve.h"
 #include "io/snapshot.h"
 #include "io/text_dump.h"
+#include "obs/export.h"
+#include "obs/log.h"
 
 namespace hirel {
 namespace hql {
@@ -99,16 +102,25 @@ struct TraceName {
   const char* operator()(const ResetMetricsStmt&) const {
     return "reset metrics";
   }
+  const char* operator()(const SetSlowQueryStmt&) const {
+    return "set slow_query_ms";
+  }
+  const char* operator()(const SetLogStmt&) const { return "set log"; }
+  const char* operator()(const ExportTraceStmt&) const {
+    return "export trace";
+  }
 };
 
 /// Statements whose traces are worth keeping. SHOW TRACE / SHOW METRICS /
-/// RESET METRICS are excluded so that inspecting the last query does not
-/// overwrite its trace.
+/// SHOW LOG / RESET METRICS / EXPORT TRACE are excluded so that inspecting
+/// or exporting the last query does not overwrite its trace.
 bool TraceWorthy(const Statement& statement) {
   if (std::holds_alternative<ResetMetricsStmt>(statement)) return false;
+  if (std::holds_alternative<ExportTraceStmt>(statement)) return false;
   if (const auto* show = std::get_if<ShowStmt>(&statement)) {
     return show->what != ShowStmt::What::kMetrics &&
-           show->what != ShowStmt::What::kTrace;
+           show->what != ShowStmt::What::kTrace &&
+           show->what != ShowStmt::What::kLog;
   }
   return true;
 }
@@ -127,10 +139,49 @@ uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+std::string NsToMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+/// Per-node actuals in plan order, one compact clause per executed node:
+/// "Scan r: rows=5 ms=0.012; Join on (...): rows=3 ms=0.104".
+void AppendNodeActuals(const plan::PlanNode& node,
+                       const plan::ExecStats& stats, std::string& out) {
+  auto it = stats.per_node.find(&node);
+  if (it != stats.per_node.end()) {
+    if (!out.empty()) out += "; ";
+    out += StrCat(plan::DescribeNode(node), ": rows=", it->second.rows_out,
+                  " ms=", NsToMs(it->second.wall_ns));
+  }
+  for (const plan::PlanPtr& child : node.children) {
+    AppendNodeActuals(*child, stats, out);
+  }
+}
+
+/// Writes one slow-query event: statement text, plan digest, totals, and
+/// per-node actuals. Callers check the threshold first.
+void LogSlowQuery(Database& db, const std::string& text,
+                  const plan::PlanNode& root, const plan::ExecStats& stats,
+                  uint64_t ns) {
+  db.metrics().counter("query.slow_queries").Add();
+  std::string nodes;
+  AppendNodeActuals(root, stats, nodes);
+  HIREL_LOG(obs::LogLevel::kWarn, "query", "slow_query",
+            {{"text", text},
+             {"digest", plan::PlanDigest(root)},
+             {"ms", NsToMs(ns)},
+             {"nodes_executed", StrCat(stats.nodes_executed)},
+             {"probes", StrCat(stats.subsumption_probes)},
+             {"nodes", nodes}});
+}
+
 }  // namespace
 
 Result<std::string> Executor::Execute(std::string_view source) {
   obs::Trace trace;
+  std::vector<std::string> texts;
   Result<std::vector<Statement>> parsed = [&]() {
     std::vector<Token> tokens;
     {
@@ -140,30 +191,40 @@ Result<std::string> Executor::Execute(std::string_view source) {
       tokens = std::move(*lexed);
     }
     obs::Trace::Scope span(&trace, "parse");
-    return ParseTokens(std::move(tokens));
+    return ParseTokens(std::move(tokens), &texts);
   }();
   HIREL_RETURN_IF_ERROR(parsed.status());
 
   active_trace_ = &trace;
+  ThreadPool::Shared().StartChunkCapture();
   bool keep_trace = false;
   std::string output;
-  for (const Statement& statement : *parsed) {
+  Status failure = Status::OK();
+  for (size_t i = 0; i < parsed->size(); ++i) {
+    const Statement& statement = (*parsed)[i];
     db_->metrics().counter("query.statements").Add();
     keep_trace = keep_trace || TraceWorthy(statement);
+    current_statement_text_ = i < texts.size() ? texts[i] : std::string();
     Result<std::string> part = [&]() {
       obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
       return ExecuteStatementImpl(statement);
     }();
     if (!part.ok()) {
       db_->metrics().counter("query.errors").Add();
-      active_trace_ = nullptr;
-      if (keep_trace) trace_ = std::move(trace);
-      return part.status();
+      failure = part.status();
+      break;
     }
     output += *part;
   }
   active_trace_ = nullptr;
-  if (keep_trace) trace_ = std::move(trace);
+  current_statement_text_.clear();
+  std::vector<ThreadPool::ChunkSpan> chunks =
+      ThreadPool::Shared().StopChunkCapture();
+  if (keep_trace) {
+    trace_ = std::move(trace);
+    pool_spans_ = std::move(chunks);
+  }
+  HIREL_RETURN_IF_ERROR(failure);
   return output;
 }
 
@@ -171,14 +232,20 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
   if (active_trace_ != nullptr) return ExecuteStatementImpl(statement);
   obs::Trace trace;
   active_trace_ = &trace;
+  ThreadPool::Shared().StartChunkCapture();
   db_->metrics().counter("query.statements").Add();
   Result<std::string> result = [&]() {
     obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
     return ExecuteStatementImpl(statement);
   }();
   active_trace_ = nullptr;
+  std::vector<ThreadPool::ChunkSpan> chunks =
+      ThreadPool::Shared().StopChunkCapture();
   if (!result.ok()) db_->metrics().counter("query.errors").Add();
-  if (TraceWorthy(statement)) trace_ = std::move(trace);
+  if (TraceWorthy(statement)) {
+    trace_ = std::move(trace);
+    pool_spans_ = std::move(chunks);
+  }
   return result;
 }
 
@@ -211,6 +278,11 @@ Result<std::string> Executor::ExecuteStatementImpl(
       exec.inference = self.options_;
       exec.threads = self.options_.threads;
       exec.cache = &db.subsumption_cache();
+      // Arming the slow-query log collects per-node actuals for every
+      // plan, so a statement that crosses the threshold can be logged
+      // with the breakdown that explains it.
+      const bool slow_log_armed = self.slow_query_ms_ >= 0;
+      exec.collect_node_stats = slow_log_armed;
       plan::ExecStats stats;
       obs::Trace::Scope span(self.active_trace_, "execute");
       auto start = std::chrono::steady_clock::now();
@@ -220,6 +292,10 @@ Result<std::string> Executor::ExecuteStatementImpl(
       span.Note("nodes", stats.nodes_executed);
       span.Note("probes", stats.subsumption_probes);
       RecordPlanMetrics(stats, ns);
+      if (out.ok() && slow_log_armed &&
+          ns >= static_cast<uint64_t>(self.slow_query_ms_) * 1'000'000) {
+        LogSlowQuery(db, self.current_statement_text_, *compiled, stats, ns);
+      }
       return out;
     }
 
@@ -410,6 +486,11 @@ Result<std::string> Executor::ExecuteStatementImpl(
         span.Note("nodes", exec_stats.nodes_executed);
         span.Note("probes", exec_stats.subsumption_probes);
         RecordPlanMetrics(exec_stats, ns);
+        if (self.slow_query_ms_ >= 0 &&
+            ns >= static_cast<uint64_t>(self.slow_query_ms_) * 1'000'000) {
+          LogSlowQuery(db, self.current_statement_text_, *compiled,
+                       exec_stats, ns);
+        }
       }
       return StrCat("analyzed plan for ", stmt.text, ":\n",
                     plan::ExplainAnalyzeTree(*compiled, exec_stats, &stats));
@@ -525,12 +606,45 @@ Result<std::string> Executor::ExecuteStatementImpl(
               .Set(static_cast<int64_t>(pool.max_queue_depth));
           m.gauge("pool.busy_ms")
               .Set(static_cast<int64_t>(pool.busy_ns / 1'000'000));
+          m.gauge("pool.queue_depth")
+              .Set(static_cast<int64_t>(pool.queue_depth));
+          for (size_t i = 0; i < pool.per_thread_busy_ns.size(); ++i) {
+            m.gauge(StrCat("pool.thread", i, ".busy_ms"))
+                .Set(static_cast<int64_t>(pool.per_thread_busy_ns[i] /
+                                          1'000'000));
+          }
           if (stmt.json) return StrCat(m.RenderJson(), "\n");
+          if (stmt.prometheus) return obs::PrometheusText(m);
           return m.Render();
         }
         case ShowStmt::What::kTrace: {
           if (stmt.json) return StrCat(self.trace_.RenderJson(), "\n");
           return self.trace_.Render();
+        }
+        case ShowStmt::What::kLog: {
+          obs::Logger& logger = obs::Logger::Global();
+          std::vector<obs::LogEvent> events = logger.ring().Snapshot();
+          if (stmt.json) {
+            std::string out = "[";
+            for (size_t i = 0; i < events.size(); ++i) {
+              if (i > 0) out += ",";
+              out += events[i].ToJson();
+            }
+            out += "]\n";
+            return out;
+          }
+          if (events.empty()) {
+            return std::string("log empty (logging disabled?)\n");
+          }
+          std::string out = StrCat("log (", events.size(), " event(s)");
+          if (logger.ring().dropped() > 0) {
+            out += StrCat(", ", logger.ring().dropped(), " dropped");
+          }
+          out += "):\n";
+          for (const obs::LogEvent& event : events) {
+            out += StrCat("  ", event.ToText(), "\n");
+          }
+          return out;
         }
       }
       return Status::Internal("unhandled show kind");
@@ -589,6 +703,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
       if (self.txn_ == nullptr) {
         return Status::InvalidArgument("no open transaction");
       }
+      HIREL_LOG(obs::LogLevel::kInfo, "txn", "abort",
+                {{"relation", self.txn_relation_},
+                 {"staged", StrCat(self.txn_->num_staged())}});
       self.txn_.reset();
       std::string relation = std::move(self.txn_relation_);
       self.txn_relation_.clear();
@@ -691,6 +808,10 @@ Result<std::string> Executor::ExecuteStatementImpl(
       self.options_.threads = static_cast<size_t>(stmt.threads);
       db.metrics().gauge("exec.threads")
           .Set(static_cast<int64_t>(self.options_.threads));
+      HIREL_LOG(obs::LogLevel::kInfo, "pool", "resize",
+                {{"threads", StrCat(self.options_.threads)},
+                 {"effective",
+                  StrCat(ThreadPool::EffectiveThreads(self.options_.threads))}});
       if (stmt.threads == 0) {
         return StrCat("threads: auto (",
                       ThreadPool::EffectiveThreads(0), " effective)\n");
@@ -717,6 +838,42 @@ Result<std::string> Executor::ExecuteStatementImpl(
       db.subsumption_cache().ResetStats();
       ThreadPool::Shared().ResetStats();
       return std::string("metrics reset\n");
+    }
+
+    Result<std::string> operator()(const SetSlowQueryStmt& stmt) {
+      self.slow_query_ms_ = stmt.threshold_ms;
+      if (stmt.threshold_ms < 0) return std::string("slow-query log: off\n");
+      return StrCat("slow-query log: threshold ", stmt.threshold_ms,
+                    " ms\n");
+    }
+
+    Result<std::string> operator()(const SetLogStmt& stmt) {
+      obs::LogLevel level;
+      if (!obs::ParseLogLevel(stmt.level, &level)) {
+        return Status::InvalidArgument(
+            StrCat("unknown log level '", stmt.level,
+                   "' (expected debug, info, warn, error, or off)"));
+      }
+      obs::Logger::Global().set_min_level(level);
+      return StrCat("log level: ", obs::LogLevelName(level), "\n");
+    }
+
+    Result<std::string> operator()(const ExportTraceStmt& stmt) {
+      std::string json = obs::ChromeTraceJson(self.trace_, self.pool_spans_);
+      std::FILE* file = std::fopen(stmt.path.c_str(), "w");
+      if (file == nullptr) {
+        return Status::IoError(
+            StrCat("cannot open '", stmt.path, "' for writing"));
+      }
+      size_t written = std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+      if (written != json.size()) {
+        return Status::IoError(StrCat("short write to '", stmt.path, "'"));
+      }
+      HIREL_LOG(obs::LogLevel::kInfo, "trace", "export",
+                {{"path", stmt.path}, {"bytes", StrCat(json.size())}});
+      return StrCat("exported trace to '", stmt.path, "' (", json.size(),
+                    " bytes)\n");
     }
   };
 

@@ -6,9 +6,11 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "catalog/database.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/binding.h"
 #include "core/transaction.h"
 #include "hql/ast.h"
@@ -43,11 +45,30 @@ class Executor {
   /// The last completed query's span tree (what SHOW TRACE renders).
   const obs::Trace& last_trace() const { return trace_; }
 
+  /// Pool chunk spans captured while the last trace-worthy script ran
+  /// (what EXPORT TRACE places on per-worker tracks).
+  const std::vector<ThreadPool::ChunkSpan>& last_pool_spans() const {
+    return pool_spans_;
+  }
+
  private:
   Result<std::string> ExecuteStatementImpl(const Statement& statement);
 
   std::unique_ptr<Database> db_;
   InferenceOptions options_;
+
+  // SET SLOW_QUERY_MS threshold: statements whose plan execution takes at
+  // least this many milliseconds are written to the event log with text,
+  // plan digest, and per-node actuals. Negative = off (the default).
+  // Arming it also turns on per-node stats collection for every plan.
+  int64_t slow_query_ms_ = -1;
+
+  // Source text of the statement currently executing (set by Execute for
+  // each statement in turn) — what the slow-query log records.
+  std::string current_statement_text_;
+
+  // Pool chunk spans recorded while trace_ was captured.
+  std::vector<ThreadPool::ChunkSpan> pool_spans_;
 
   // The trace being recorded for the current Execute call (null outside
   // one) and the last completed, trace-worthy query's spans. SHOW TRACE /

@@ -12,10 +12,12 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<std::vector<Statement>> Parse() {
+  Result<std::vector<Statement>> Parse(std::vector<std::string>* texts) {
     std::vector<Statement> statements;
     while (!Check(TokenType::kEnd)) {
+      size_t begin = pos_;
       HIREL_ASSIGN_OR_RETURN(Statement stmt, ParseStatement());
+      if (texts != nullptr) texts->push_back(SourceText(begin, pos_));
       statements.push_back(std::move(stmt));
       HIREL_RETURN_IF_ERROR(Expect(TokenType::kSemicolon).status());
     }
@@ -375,8 +377,12 @@ class Parser {
       } else if (AcceptKeyword("METRICS")) {
         stmt.what = ShowStmt::What::kMetrics;
         stmt.json = AcceptKeyword("JSON");
+        if (!stmt.json) stmt.prometheus = AcceptKeyword("PROMETHEUS");
       } else if (AcceptKeyword("TRACE")) {
         stmt.what = ShowStmt::What::kTrace;
+        stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptKeyword("LOG")) {
+        stmt.what = ShowStmt::What::kLog;
         stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
@@ -386,7 +392,7 @@ class Parser {
       } else {
         return Error(
             "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
-            "METRICS, or TRACE");
+            "METRICS, TRACE, or LOG");
       }
       return Statement(std::move(stmt));
     }
@@ -475,9 +481,33 @@ class Parser {
         stmt.threads = Advance().int_value;
         return Statement(stmt);
       }
+      if (AcceptKeyword("SLOW_QUERY_MS")) {
+        SetSlowQueryStmt stmt;
+        if (Check(TokenType::kInteger)) {
+          stmt.threshold_ms = Advance().int_value;
+        } else if (Check(TokenType::kIdentifier) &&
+                   EqualsIgnoreCase(Peek().text, "off")) {
+          Advance();
+          stmt.threshold_ms = -1;
+        } else {
+          return Error("SET SLOW_QUERY_MS expects an integer or OFF");
+        }
+        return Statement(stmt);
+      }
+      if (AcceptKeyword("LOG")) {
+        SetLogStmt stmt;
+        HIREL_ASSIGN_OR_RETURN(stmt.level, ExpectIdentifier());
+        return Statement(std::move(stmt));
+      }
       HIREL_RETURN_IF_ERROR(ExpectKeyword("PREEMPTION").status());
       SetPreemptionStmt stmt;
       HIREL_ASSIGN_OR_RETURN(stmt.mode, ExpectIdentifier());
+      return Statement(std::move(stmt));
+    }
+    if (AcceptKeyword("EXPORT")) {
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("TRACE").status());
+      ExportTraceStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.path, ExpectStringLiteral());
       return Statement(std::move(stmt));
     }
     return Error("expected a statement");
@@ -489,14 +519,16 @@ class Parser {
 
 }  // namespace
 
-Result<std::vector<Statement>> ParseScript(std::string_view source) {
+Result<std::vector<Statement>> ParseScript(std::string_view source,
+                                           std::vector<std::string>* texts) {
   HIREL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
-  return ParseTokens(std::move(tokens));
+  return ParseTokens(std::move(tokens), texts);
 }
 
-Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens) {
+Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens,
+                                           std::vector<std::string>* texts) {
   Parser parser(std::move(tokens));
-  return parser.Parse();
+  return parser.Parse(texts);
 }
 
 }  // namespace hql

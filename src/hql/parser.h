@@ -22,12 +22,15 @@
 //   DROP HIERARCHY h; DROP RELATION r;
 //   SAVE 'path'; LOAD 'path';
 //   EXPLAIN PLAN <stmt>;  EXPLAIN ANALYZE <stmt>;
-//   SHOW METRICS [JSON];  SHOW TRACE [JSON];  RESET METRICS;
+//   SHOW METRICS [JSON | PROMETHEUS];  SHOW TRACE [JSON];  RESET METRICS;
+//   SHOW LOG [JSON];  SET LOG <level>;  SET SLOW_QUERY_MS <n | OFF>;
+//   EXPORT TRACE 'path';
 //   HELP;
 
 #ifndef HIREL_HQL_PARSER_H_
 #define HIREL_HQL_PARSER_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -39,12 +42,16 @@ namespace hirel {
 namespace hql {
 
 /// Parses a full script into statements. Fails with kParseError carrying
-/// line/column context.
-Result<std::vector<Statement>> ParseScript(std::string_view source);
+/// line/column context. When `texts` is non-null it receives one
+/// reconstructed source string per parsed statement (the slow-query log
+/// records these).
+Result<std::vector<Statement>> ParseScript(
+    std::string_view source, std::vector<std::string>* texts = nullptr);
 
 /// Parses an already-tokenized script. Splitting tokenization from parsing
 /// lets the executor's query trace time the two phases separately.
-Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens);
+Result<std::vector<Statement>> ParseTokens(
+    std::vector<Token> tokens, std::vector<std::string>* texts = nullptr);
 
 }  // namespace hql
 }  // namespace hirel

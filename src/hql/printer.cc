@@ -56,8 +56,12 @@ std::string HelpText() {
     HELP;
 
   observability
-    SHOW METRICS [JSON];                         -- engine counters/histograms
+    SHOW METRICS [JSON | PROMETHEUS];            -- engine counters/histograms
     SHOW TRACE [JSON];                           -- last query's span tree
+    SHOW LOG [JSON];                             -- in-memory event log
+    SET LOG debug|info|warn|error|off;           -- logger minimum level
+    SET SLOW_QUERY_MS n;                         -- log statements >= n ms (OFF to disable)
+    EXPORT TRACE 'file.json';                    -- Chrome trace-event JSON
     RESET METRICS;                               -- zero every metric
 )";
 }

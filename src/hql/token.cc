@@ -20,7 +20,8 @@ constexpr std::array kReservedWords = {
     "SET",         "PREEMPTION", "RULE",      "DERIVE",    "RULES",
     "COUNT",       "BY",        "SUBSUMPTION", "BINDING",   "PLAN",
     "ANALYZE",     "METRICS",   "TRACE",     "RESET",     "JSON",
-    "THREADS",
+    "THREADS",     "LOG",       "EXPORT",    "PROMETHEUS",
+    "SLOW_QUERY_MS",
 };
 
 }  // namespace

@@ -7,6 +7,7 @@
 
 #include "common/str_util.h"
 #include "io/coding.h"
+#include "obs/log.h"
 
 namespace hirel {
 
@@ -291,6 +292,8 @@ Status SaveDatabase(const Database& db, const std::string& path) {
   }
   db.metrics().counter("snapshot.saves").Add();
   db.metrics().counter("snapshot.bytes_written").Add(data.size());
+  HIREL_LOG(obs::LogLevel::kInfo, "snapshot", "save",
+            {{"path", path}, {"bytes", StrCat(data.size())}});
   return Status::OK();
 }
 
@@ -316,6 +319,8 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path) {
   // The loaded database starts a fresh metrics epoch; record what it cost.
   db->metrics().counter("snapshot.loads").Add();
   db->metrics().counter("snapshot.bytes_read").Add(data.size());
+  HIREL_LOG(obs::LogLevel::kInfo, "snapshot", "load",
+            {{"path", path}, {"bytes", StrCat(data.size())}});
   return db;
 }
 

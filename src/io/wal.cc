@@ -9,6 +9,7 @@
 #include "core/integrity.h"
 #include "io/coding.h"
 #include "io/snapshot.h"
+#include "obs/log.h"
 
 namespace hirel {
 
@@ -266,6 +267,8 @@ Status WalWriter::Append(std::string_view payload) {
     metrics_->counter("wal.bytes_appended").Add(frame.size());
     metrics_->counter("wal.flushes").Add();
   }
+  HIREL_LOG(obs::LogLevel::kDebug, "wal", "append",
+            {{"bytes", StrCat(frame.size())}});
   return Status::OK();
 }
 
@@ -366,6 +369,10 @@ Result<std::unique_ptr<LoggedDatabase>> LoggedDatabase::Open(
   logged->replayed_ = records.size();
   logged->db_->metrics().counter("wal.records_replayed").Add(records.size());
   logged->wal_->set_metrics(&logged->db_->metrics());
+  HIREL_LOG(obs::LogLevel::kInfo, "wal", "replay",
+            {{"dir", dir},
+             {"records", StrCat(records.size())},
+             {"torn_tail", torn ? "true" : "false"}});
   return logged;
 }
 
@@ -548,6 +555,7 @@ Status LoggedDatabase::Checkpoint() {
   HIREL_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path()));
   wal_->set_metrics(&db_->metrics());
   db_->metrics().counter("wal.checkpoints").Add();
+  HIREL_LOG(obs::LogLevel::kInfo, "wal", "checkpoint", {{"dir", dir_}});
   return Status::OK();
 }
 

@@ -1,0 +1,43 @@
+// Exporters: the engine's own observability state rendered in the two
+// interchange formats external tools actually consume.
+//
+//  * ChromeTraceJson turns the last query's span tree (plus the thread
+//    pool's captured chunk spans) into Chrome trace-event JSON, loadable
+//    in chrome://tracing or Perfetto. Query spans land on one track; each
+//    pool thread (caller + workers) gets its own named track, so parallel
+//    kernels render as the timeline they really were.
+//  * PrometheusText renders a MetricsRegistry in the Prometheus text
+//    exposition format: `# TYPE` lines, sanitized metric names, and
+//    cumulative histogram buckets with `le` labels.
+
+#ifndef HIREL_OBS_EXPORT_H_
+#define HIREL_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hirel {
+namespace obs {
+
+/// Chrome trace-event JSON for `trace` and the pool chunk spans captured
+/// while it ran. Span start offsets come from TraceSpan::start_ns; pool
+/// spans carry absolute steady-clock stamps and are aligned by subtracting
+/// trace.epoch_ns() (or the earliest pool stamp when the trace is empty).
+std::string ChromeTraceJson(const Trace& trace,
+                            const std::vector<ThreadPool::ChunkSpan>& pool);
+
+/// Prometheus text exposition of every metric in `metrics`. Names are
+/// sanitized to [a-zA-Z0-9_] with a `hirel_` prefix; when sanitization
+/// changed the name, the raw name is preserved as a `name` label (with
+/// Prometheus label escaping). Histograms render cumulative `_bucket`
+/// series with `le` bounds in nanoseconds, plus `_sum` and `_count`.
+std::string PrometheusText(const MetricsRegistry& metrics);
+
+}  // namespace obs
+}  // namespace hirel
+
+#endif  // HIREL_OBS_EXPORT_H_

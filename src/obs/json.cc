@@ -1,0 +1,53 @@
+#include "obs/json.h"
+
+#include <cstdio>
+
+namespace hirel {
+namespace obs {
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  AppendJsonEscaped(out, text);
+  return out;
+}
+
+void AppendJsonString(std::string& out, std::string_view text) {
+  out += '"';
+  AppendJsonEscaped(out, text);
+  out += '"';
+}
+
+}  // namespace obs
+}  // namespace hirel

@@ -1,45 +1,10 @@
 #include "obs/metrics.h"
 
 #include "common/str_util.h"
+#include "obs/json.h"
 
 namespace hirel {
 namespace obs {
-
-namespace {
-
-/// JSON string escaping for metric names (which are identifiers in
-/// practice, but SHOW METRICS JSON must stay well-formed regardless).
-std::string JsonEscape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 void Histogram::Reset() {
   count_ = 0;

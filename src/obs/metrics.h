@@ -150,6 +150,20 @@ class MetricsRegistry {
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string RenderJson() const;
 
+  /// Read-only iteration for exporters (obs/export.h). Sorted by name.
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges()
+      const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
  private:
   std::unique_ptr<bool> enabled_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

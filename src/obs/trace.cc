@@ -4,11 +4,19 @@
 #include <cstdio>
 
 #include "common/str_util.h"
+#include "obs/json.h"
 
 namespace hirel {
 namespace obs {
 
 namespace {
+
+uint64_t SteadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::string FormatMs(uint64_t ns) {
   char buf[32];
@@ -37,11 +45,14 @@ void RenderSpan(const TraceSpan& span, size_t depth, std::string& out) {
 }
 
 void RenderSpanJson(const TraceSpan& span, std::string& out) {
-  out += StrCat("{\"name\":\"", span.name, "\",\"ns\":", span.ns,
+  out += "{\"name\":";
+  AppendJsonString(out, span.name);
+  out += StrCat(",\"ns\":", span.ns, ",\"start_ns\":", span.start_ns,
                 ",\"notes\":{");
   for (size_t i = 0; i < span.notes.size(); ++i) {
     if (i > 0) out += ",";
-    out += StrCat("\"", span.notes[i].first, "\":", span.notes[i].second);
+    AppendJsonString(out, span.notes[i].first);
+    out += StrCat(":", span.notes[i].second);
   }
   out += "},\"children\":[";
   for (size_t i = 0; i < span.children.size(); ++i) {
@@ -57,6 +68,7 @@ void Trace::Clear() {
   root_.children.clear();
   root_.notes.clear();
   open_.clear();
+  epoch_ns_ = 0;
 }
 
 std::string Trace::Render() const {
@@ -83,6 +95,9 @@ TraceSpan* Trace::Open(std::string name) {
   parent->children.push_back(std::make_unique<TraceSpan>());
   TraceSpan* span = parent->children.back().get();
   span->name = std::move(name);
+  uint64_t now = SteadyNs();
+  if (epoch_ns_ == 0) epoch_ns_ = now;
+  span->start_ns = now - epoch_ns_;
   open_.push_back(span);
   return span;
 }

@@ -30,6 +30,10 @@ namespace obs {
 struct TraceSpan {
   std::string name;
   uint64_t ns = 0;
+  /// Wall-clock offset of this span's open relative to the trace's epoch
+  /// (the instant its first span opened). Lets exporters lay spans out on
+  /// a real timeline (EXPORT TRACE) instead of synthesizing one.
+  uint64_t start_ns = 0;
   std::vector<std::pair<std::string, uint64_t>> notes;
   std::vector<std::unique_ptr<TraceSpan>> children;
 };
@@ -51,6 +55,11 @@ class Trace {
   const std::vector<std::unique_ptr<TraceSpan>>& spans() const {
     return root_.children;
   }
+
+  /// Steady-clock nanosecond stamp of the first span's open (0 while the
+  /// trace is empty). Pool chunk spans recorded against the same clock can
+  /// be aligned to span start_ns offsets by subtracting this.
+  uint64_t epoch_ns() const { return epoch_ns_; }
 
   /// Indented tree, one span per line with its wall time and notes.
   std::string Render() const;
@@ -84,6 +93,7 @@ class Trace {
 
   TraceSpan root_;                // synthetic; only its children render
   std::vector<TraceSpan*> open_;  // stack of open spans, outermost first
+  uint64_t epoch_ns_ = 0;         // steady ns of the first span's open
 };
 
 }  // namespace obs

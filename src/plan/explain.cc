@@ -142,6 +142,29 @@ std::string DescribeNode(const PlanNode& node) {
   return "?";
 }
 
+namespace {
+
+void HashPlan(const PlanNode& node, uint64_t& h) {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  for (char c : DescribeNode(node)) {
+    h = (h ^ static_cast<unsigned char>(c)) * kPrime;
+  }
+  h = (h ^ '(') * kPrime;
+  for (const PlanPtr& child : node.children) HashPlan(*child, h);
+  h = (h ^ ')') * kPrime;
+}
+
+}  // namespace
+
+std::string PlanDigest(const PlanNode& root) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  HashPlan(root, h);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 std::string ExplainPlanTree(const PlanNode& root, const RewriteStats* stats) {
   std::string out;
   if (stats != nullptr) {

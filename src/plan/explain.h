@@ -31,6 +31,12 @@ std::string ExplainPlanTree(const PlanNode& root,
 std::string ExplainAnalyzeTree(const PlanNode& root, const ExecStats& exec,
                                const RewriteStats* stats = nullptr);
 
+/// Stable 16-hex-digit digest of a plan's shape: an FNV-1a hash over each
+/// node's DescribeNode line and the tree structure. Two statements that
+/// compile to the same rewritten plan share a digest, so the slow-query
+/// log can group repeat offenders without storing whole plans.
+std::string PlanDigest(const PlanNode& root);
+
 }  // namespace plan
 }  // namespace hirel
 

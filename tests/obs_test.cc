@@ -1,15 +1,23 @@
 // Observability: MetricsRegistry semantics, histogram bucketing, the
-// disabled fast path, trace span trees, and the executor-facing surface
-// (EXPLAIN ANALYZE, SHOW METRICS, SHOW TRACE, RESET METRICS).
+// disabled fast path, trace span trees, the structured event log, the
+// exporters (Chrome trace JSON, Prometheus text), and the executor-facing
+// surface (EXPLAIN ANALYZE, SHOW METRICS, SHOW TRACE, SHOW LOG, slow-query
+// log, EXPORT TRACE, RESET METRICS).
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 
 #include "hql/executor.h"
 #include "io/wal.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -150,6 +158,168 @@ TEST(TraceTest, NullTraceScopesAreNoOps) {
 }
 
 // ---------------------------------------------------------------------------
+// Shared JSON escaping (used by SHOW ... JSON, the log, and the exporters).
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain text"), "plain text");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+
+  std::string out;
+  AppendJsonString(out, "k\"v");
+  EXPECT_EQ(out, "\"k\\\"v\"");
+}
+
+// ---------------------------------------------------------------------------
+// Histogram edges.
+
+TEST(MetricsRegistryTest, HistogramEdgeValuesLandInExpectedBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("edges");
+
+  // A value equal to a bucket's bound belongs to the next bucket: bounds
+  // are exclusive upper limits.
+  h.Record(Histogram::BucketBound(1) - 1);  // 2047 -> bucket 1
+  h.Record(Histogram::BucketBound(1));      // 2048 -> bucket 2
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+
+  // The last finite bucket and the first value past it (overflow).
+  const size_t last_finite = Histogram::kBuckets - 2;
+  const uint64_t top_bound = Histogram::BucketBound(last_finite);
+  ASSERT_NE(top_bound, 0u);
+  h.Record(top_bound - 1);
+  h.Record(top_bound);
+  EXPECT_EQ(h.buckets()[last_finite], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+
+  // Bounds double from 1024; the +Inf bucket reports bound 0.
+  for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketBound(i), uint64_t{1024} << i) << i;
+  }
+  EXPECT_EQ(Histogram::BucketBound(Histogram::kBuckets - 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured event log.
+
+TEST(LoggerTest, LevelGatesEventsAndRingRecordsThem) {
+  Logger logger(LogLevel::kWarn, /*ring_capacity=*/8);
+  EXPECT_FALSE(logger.ShouldLog(LogLevel::kInfo));
+  EXPECT_TRUE(logger.ShouldLog(LogLevel::kWarn));
+
+  logger.Log(LogLevel::kInfo, "wal", "append");  // filtered out
+  logger.Log(LogLevel::kWarn, "wal", "checkpoint", {{"records", "12"}});
+  std::vector<LogEvent> events = logger.ring().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].component, "wal");
+  EXPECT_EQ(events[0].event, "checkpoint");
+
+  std::string text = events[0].ToText();
+  EXPECT_NE(text.find("warn"), std::string::npos);
+  EXPECT_NE(text.find("wal.checkpoint"), std::string::npos);
+  EXPECT_NE(text.find("records=12"), std::string::npos);
+
+  std::string json = events[0].ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"component\":\"wal\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"records\":\"12\""), std::string::npos);
+}
+
+TEST(LoggerTest, RingDropsOldestAtCapacity) {
+  Logger logger(LogLevel::kInfo, /*ring_capacity=*/2);
+  logger.Log(LogLevel::kInfo, "t", "first");
+  logger.Log(LogLevel::kInfo, "t", "second");
+  logger.Log(LogLevel::kInfo, "t", "third");
+
+  EXPECT_EQ(logger.ring().size(), 2u);
+  EXPECT_EQ(logger.ring().dropped(), 1u);
+  std::vector<LogEvent> events = logger.ring().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].event, "second");
+  EXPECT_EQ(events[1].event, "third");
+  EXPECT_LT(events[0].seq, events[1].seq);
+
+  logger.ring().Clear();
+  EXPECT_EQ(logger.ring().size(), 0u);
+}
+
+TEST(LoggerTest, ParseLogLevelRoundTrips) {
+  LogLevel level;
+  ASSERT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  ASSERT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("chatty", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(ExportTest, ChromeTraceJsonRendersSpansAndPoolTracks) {
+  Trace trace;
+  {
+    Trace::Scope outer(&trace, "execute");
+    outer.Note("rows", 7);
+    { Trace::Scope inner(&trace, "plan"); }
+  }
+  std::vector<ThreadPool::ChunkSpan> pool;
+  pool.push_back({0, trace.epoch_ns() + 1000, 500, 3, 1});
+  pool.push_back({2, trace.epoch_ns() + 2000, 400, 4, 1});
+
+  std::string json = ChromeTraceJson(trace, pool);
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":7"), std::string::npos);
+  EXPECT_NE(json.find("pool caller"), std::string::npos);
+  EXPECT_NE(json.find("pool worker 1"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"chunk\""), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.counter("query.statements").Add(3);
+  reg.gauge("pool.threads").Set(2);
+  reg.histogram("query.latency_ns").Record(1500);
+
+  std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("# TYPE hirel_query_statements counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hirel_query_statements{name=\"query.statements\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hirel_pool_threads gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hirel_query_latency_ns histogram\n"),
+            std::string::npos);
+  // 1500 ns lands in [1024, 2048): cumulative buckets step 0 -> 1.
+  EXPECT_NE(text.find("le=\"1024\"} 0\n"), std::string::npos);
+  EXPECT_NE(text.find("le=\"2048\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(
+      text.find("hirel_query_latency_ns_sum{name=\"query.latency_ns\"} 1500\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("hirel_query_latency_ns_count{name=\"query.latency_ns\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesRawNameLabel) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\nstuff").Add(1);
+  std::string text = PrometheusText(reg);
+  EXPECT_NE(text.find("# TYPE hirel_weird_name_with_stuff counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("name=\"weird\\\"name\\\\with\\nstuff\""),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Executor surface.
 
 constexpr const char* kFlyingScript = R"(
@@ -275,6 +445,128 @@ TEST(ExecutorObsTest, ResetMetricsZeroesEverything) {
   std::string out = exec.Execute("RESET METRICS;").value();
   EXPECT_NE(out.find("metrics reset"), std::string::npos);
   EXPECT_EQ(exec.database().metrics().counter("facts.asserted").value(), 0u);
+}
+
+TEST(ExecutorObsTest, ResetMetricsKeepsHandlesValid) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  MetricsRegistry& m = exec.database().metrics();
+  Counter& asserted = m.counter("facts.asserted");
+  Histogram& latency = m.histogram("query.latency_ns");
+  ASSERT_GT(asserted.value(), 0u);
+
+  ASSERT_TRUE(exec.Execute("RESET METRICS;").ok());
+  EXPECT_EQ(asserted.value(), 0u);
+  asserted.Add(2);
+  latency.Record(4096);
+  EXPECT_EQ(m.counter("facts.asserted").value(), 2u);
+  EXPECT_EQ(m.histogram("query.latency_ns").count(), 1u);
+}
+
+TEST(ExecutorObsTest, ShowLogEmptyPrintsHint) {
+  hql::Executor exec;
+  // The first statement lazily constructs the shared thread pool, which
+  // logs a pool.start event; clear after so the ring is genuinely empty.
+  ASSERT_TRUE(exec.Execute("SHOW METRICS;").ok());
+  Logger::Global().ring().Clear();
+  std::string out = exec.Execute("SHOW LOG;").value();
+  EXPECT_NE(out.find("log empty (logging disabled?)"), std::string::npos);
+}
+
+TEST(ExecutorObsTest, DdlEventsReachShowLog) {
+  Logger::Global().ring().Clear();
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+
+  std::string text = exec.Execute("SHOW LOG;").value();
+  EXPECT_NE(text.find("log ("), std::string::npos);
+  EXPECT_NE(text.find("catalog.create_hierarchy"), std::string::npos);
+  EXPECT_NE(text.find("catalog.create_relation"), std::string::npos);
+  EXPECT_NE(text.find("name=animal"), std::string::npos);
+
+  std::string json = exec.Execute("SHOW LOG JSON;").value();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"component\":\"catalog\""), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"create_hierarchy\""), std::string::npos);
+}
+
+TEST(ExecutorObsTest, SetLogValidatesAndSetsLevel) {
+  hql::Executor exec;
+  std::string out = exec.Execute("SET LOG debug;").value();
+  EXPECT_NE(out.find("log level: debug"), std::string::npos);
+  EXPECT_EQ(Logger::Global().min_level(), LogLevel::kDebug);
+
+  EXPECT_TRUE(exec.Execute("SET LOG chatty;").status().IsInvalidArgument());
+  EXPECT_EQ(Logger::Global().min_level(), LogLevel::kDebug);
+
+  ASSERT_TRUE(exec.Execute("SET LOG info;").ok());
+  EXPECT_EQ(Logger::Global().min_level(), LogLevel::kInfo);
+}
+
+TEST(ExecutorObsTest, SlowQueryLogVisibleInShowLogJson) {
+  Logger::Global().ring().Clear();
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+
+  std::string armed = exec.Execute("SET SLOW_QUERY_MS 0;").value();
+  EXPECT_NE(armed.find("threshold 0 ms"), std::string::npos);
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies WHERE who = penguin;").ok());
+
+  std::string json = exec.Execute("SHOW LOG JSON;").value();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"event\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(json.find("SELECT * FROM flies WHERE who = penguin"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"digest\":"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes_executed\":"), std::string::npos);
+  EXPECT_GE(exec.database().metrics().counter("query.slow_queries").value(),
+            1u);
+
+  std::string off = exec.Execute("SET SLOW_QUERY_MS OFF;").value();
+  EXPECT_NE(off.find("slow-query log: off"), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ShowMetricsPrometheusRendersExposition) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());
+
+  std::string text = exec.Execute("SHOW METRICS PROMETHEUS;").value();
+  EXPECT_NE(text.find("# TYPE hirel_query_statements counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hirel_query_execute_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hirel_pool_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ExportTraceWritesParseableChromeJson) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());
+
+  std::string path = std::string(::testing::TempDir()) + "/obs_trace.json";
+  std::string out = exec.Execute("EXPORT TRACE '" + path + "';").value();
+  EXPECT_NE(out.find("exported trace to"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  // Braces and brackets stay balanced: the escaping above means none can
+  // appear inside string values unmatched.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -45,6 +45,40 @@ for preset in "${presets[@]}"; do
       exit 1
     }
   done
+
+  echo "==== ${preset}: observability smoke ===="
+  repl="build/${preset}/examples/hql_repl"
+  trace_json="$(mktemp)"
+  smoke="$(mktemp)"
+  sed "s|__TRACE__|${trace_json}|" tools/obs_smoke.hql > "${smoke}"
+  obs_out="$("${repl}" "${smoke}" < /dev/null)"
+  rm -f "${smoke}"
+  echo "${obs_out}" | grep -q '"event":"slow_query"' || {
+    echo "FAIL: no slow-query event in SHOW LOG JSON" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q '^# TYPE ' || {
+    echo "FAIL: no '# TYPE' lines in SHOW METRICS PROMETHEUS" >&2
+    exit 1
+  }
+  if command -v python3 > /dev/null 2>&1; then
+    # Every JSON-producing statement emits a line starting with [ or {;
+    # each must parse, as must the exported Chrome trace file.
+    echo "${obs_out}" | grep '^[[{]' | while IFS= read -r json_line; do
+      printf '%s\n' "${json_line}" | python3 -m json.tool > /dev/null || {
+        echo "FAIL: invalid JSON output: ${json_line:0:80}..." >&2
+        exit 1
+      }
+    done
+    python3 -m json.tool "${trace_json}" > /dev/null || {
+      echo "FAIL: exported trace is not valid JSON" >&2
+      exit 1
+    }
+    echo "observability JSON validated (including exported trace)"
+  else
+    echo "NOTICE: python3 not found; skipping JSON validation"
+  fi
+  rm -f "${trace_json}"
 done
 
 echo "CI passed: ${presets[*]}"

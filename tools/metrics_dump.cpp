@@ -1,0 +1,86 @@
+// Scrape-friendly metrics dump.
+//
+//   build/tools/metrics_dump [--prometheus | --json | --text] [script.hql ...]
+//
+// Executes the given HQL scripts against a fresh database (script output is
+// discarded), then writes the engine's metrics registry to stdout — by
+// default in the Prometheus text exposition format, so the binary can sit
+// behind a textfile collector or a cron job without an HTTP endpoint.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "hql/executor.h"
+#include "obs/export.h"
+
+using namespace hirel;
+
+namespace {
+
+enum class Format { kPrometheus, kJson, kText };
+
+int Usage() {
+  std::cerr << "usage: metrics_dump [--prometheus | --json | --text] "
+               "[script.hql ...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Format format = Format::kPrometheus;
+  hql::Executor exec;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--prometheus") == 0) {
+      format = Format::kPrometheus;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      format = Format::kJson;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--text") == 0) {
+      format = Format::kText;
+      continue;
+    }
+    if (argv[i][0] == '-') return Usage();
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    Result<std::string> out = exec.Execute(buffer.str());
+    if (!out.ok()) {
+      std::cerr << argv[i] << ": " << out.status() << "\n";
+      return 1;
+    }
+  }
+
+  // SHOW METRICS syncs the subsumption-cache and thread-pool gauges into
+  // the registry; its rendering is discarded in favour of the exporter's.
+  Result<std::string> synced = exec.Execute("SHOW METRICS;");
+  if (!synced.ok()) {
+    std::cerr << "metrics sync failed: " << synced.status() << "\n";
+    return 1;
+  }
+
+  const obs::MetricsRegistry& metrics = exec.database().metrics();
+  switch (format) {
+    case Format::kPrometheus:
+      std::cout << obs::PrometheusText(metrics);
+      break;
+    case Format::kJson:
+      std::cout << metrics.RenderJson() << "\n";
+      break;
+    case Format::kText:
+      std::cout << metrics.Render();
+      break;
+  }
+  return 0;
+}

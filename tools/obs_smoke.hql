@@ -1,0 +1,35 @@
+-- Observability smoke script, driven by tools/ci.sh. The __TRACE__
+-- placeholder is substituted with a temp path before execution. Every
+-- statement here must keep working: the CI lane validates the JSON
+-- outputs (SHOW ... JSON lines and the exported trace file) with
+-- python3 -m json.tool and greps for a slow-query event and Prometheus
+-- `# TYPE` lines.
+SET LOG debug;
+SET SLOW_QUERY_MS 0;
+
+CREATE HIERARCHY animal;
+CREATE CLASS bird IN animal;
+CREATE CLASS canary IN animal UNDER bird;
+CREATE CLASS penguin IN animal UNDER bird;
+CREATE CLASS galapagos IN animal UNDER penguin;
+CREATE CLASS afp IN animal UNDER penguin;
+CREATE INSTANCE tweety IN animal UNDER canary;
+CREATE INSTANCE paul IN animal UNDER galapagos;
+CREATE INSTANCE pamela IN animal UNDER afp;
+CREATE INSTANCE patricia IN animal UNDER afp, galapagos;
+CREATE INSTANCE peter IN animal UNDER afp;
+CREATE RELATION flies (who: animal);
+ASSERT flies(ALL bird);
+DENY flies(ALL penguin);
+ASSERT flies(ALL afp);
+ASSERT flies(peter);
+
+SELECT * FROM flies WHERE who = penguin;
+
+EXPORT TRACE '__TRACE__';
+SHOW LOG JSON;
+SHOW METRICS JSON;
+SHOW TRACE JSON;
+SHOW METRICS PROMETHEUS;
+SET SLOW_QUERY_MS OFF;
+SET LOG info;
