@@ -87,6 +87,99 @@ BENCHMARK(BM_FlatStorage)
     ->Args({10000, 30})
     ->Args({10000, 300});
 
+// ----- Row vs columnar TupleStore layouts -----------------------------------
+//
+// One relation, `tuples` positive instance tuples over a single leaf class,
+// built once per layout. Byte counters come from ApproxBytes(), which now
+// includes the stores' indexes and bitmaps, so the two layouts are compared
+// on their full footprint, not just payloads.
+
+struct LayoutSetup {
+  LayoutSetup(StorageKind kind, size_t tuples) {
+    hierarchy = testing::BuildTreeHierarchy(db, "d", /*depth=*/1,
+                                            /*fanout=*/1,
+                                            /*instances_per_leaf=*/tuples);
+    relation = db.CreateRelation("r", {{"v", "d"}}, kind).value();
+    atoms = hierarchy->Instances();
+    for (NodeId atom : atoms) {
+      (void)relation->Insert({atom}, Truth::kPositive);
+    }
+  }
+
+  Database db;
+  Hierarchy* hierarchy;
+  HierarchicalRelation* relation;
+  std::vector<NodeId> atoms;
+};
+
+void LayoutBytes(benchmark::State& state, StorageKind kind) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  LayoutSetup setup(kind, tuples);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.relation->ApproxBytes());
+  }
+  state.counters["tuples"] = static_cast<double>(setup.relation->size());
+  state.counters["bytes"] =
+      static_cast<double>(setup.relation->ApproxBytes());
+  state.counters["chunks"] =
+      static_cast<double>(setup.relation->num_chunks());
+}
+
+/// Binding-style candidate scan: every probe hits the one-class taxonomy,
+/// so the row store walks its inverted index while the columnar store
+/// sweeps dictionary-marked codes word by word.
+void LayoutSubsumingScan(benchmark::State& state, StorageKind kind) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  LayoutSetup setup(kind, tuples);
+  Item probe{setup.atoms[setup.atoms.size() / 2]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.relation->TuplesSubsuming(probe));
+  }
+  state.counters["tuples"] = static_cast<double>(setup.relation->size());
+  state.counters["bytes"] =
+      static_cast<double>(setup.relation->ApproxBytes());
+}
+
+/// Full pass over all live tuples through the chunk iteration the parallel
+/// kernels use.
+void LayoutChunkScan(benchmark::State& state, StorageKind kind) {
+  size_t tuples = static_cast<size_t>(state.range(0));
+  LayoutSetup setup(kind, tuples);
+  const HierarchicalRelation& r = *setup.relation;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (size_t c = 0; c < r.num_chunks(); ++c) {
+      r.ForEachLiveInChunk(c, [&](TupleId id) { sum += r.Component(id, 0); });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["tuples"] = static_cast<double>(r.size());
+  state.counters["chunks"] = static_cast<double>(r.num_chunks());
+}
+
+BENCHMARK_CAPTURE(LayoutBytes, row, StorageKind::kRow)
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({100000});
+BENCHMARK_CAPTURE(LayoutBytes, columnar, StorageKind::kColumnar)
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({100000});
+BENCHMARK_CAPTURE(LayoutSubsumingScan, row, StorageKind::kRow)
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({100000});
+BENCHMARK_CAPTURE(LayoutSubsumingScan, columnar, StorageKind::kColumnar)
+    ->Args({1000})
+    ->Args({10000})
+    ->Args({100000});
+BENCHMARK_CAPTURE(LayoutChunkScan, row, StorageKind::kRow)
+    ->Args({10000})
+    ->Args({100000});
+BENCHMARK_CAPTURE(LayoutChunkScan, columnar, StorageKind::kColumnar)
+    ->Args({10000})
+    ->Args({100000});
+
 }  // namespace
 }  // namespace hirel
 

@@ -1,9 +1,11 @@
 #include "algebra/join.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "algebra/derivation.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/inference.h"
 
 namespace hirel {
@@ -59,51 +61,87 @@ Result<HierarchicalRelation> JoinOn(
                "; consolidate the arguments, select a sub-hierarchy first, "
                "or raise JoinOptions::max_items"));
   };
-  std::vector<Item> candidates;
-  for (TupleId lid : left.TupleIds()) {
-    const HTuple& lt = left.tuple(lid);
-    for (TupleId rid : right.TupleIds()) {
-      const HTuple& rt = right.tuple(rid);
-      // Per-join-attribute alignment choices.
-      std::vector<std::vector<NodeId>> choices(on.size());
-      bool disjoint = false;
-      for (size_t k = 0; k < on.size(); ++k) {
-        const Hierarchy* h = ls.hierarchy(on[k].first);
-        choices[k] = h->MaximalCommonDescendants(lt.item[on[k].first],
-                                                 rt.item[on[k].second]);
-        if (choices[k].empty()) {
-          disjoint = true;
-          break;
-        }
-      }
-      if (disjoint) continue;
+  // Right items are materialised once (ascending id order) so the parallel
+  // left scan below never touches the right store concurrently.
+  std::vector<Item> right_items;
+  right_items.reserve(right.size());
+  for (TupleId rid : right.TupleIds()) {
+    right_items.push_back(right.ItemAt(rid));
+  }
 
-      Item base(schema.size());
-      for (size_t i = 0; i < ls.size(); ++i) base[i] = lt.item[i];
-      for (size_t j = 0; j < rs.size(); ++j) {
-        if (tail_positions[j] != SIZE_MAX) {
-          base[tail_positions[j]] = rt.item[j];
+  // Left tuples are scanned chunk by chunk in parallel; per-chunk candidate
+  // vectors are concatenated in chunk order below, reproducing the serial
+  // nested-loop order at any thread count. Each chunk holds at most
+  // max_items + 1 candidates, so the overflow check stays memory-bounded.
+  std::vector<std::vector<Item>> per_chunk(left.num_chunks());
+  ParallelOptions par;
+  par.threads = options.inference.threads;
+  HIREL_RETURN_IF_ERROR(ParallelFor(
+      per_chunk.size(), par,
+      [&](size_t /*chunk*/, size_t lo, size_t hi) -> Status {
+        for (size_t c = lo; c < hi; ++c) {
+          Status chunk_status;
+          left.ForEachLiveInChunk(c, [&](TupleId lid) {
+            if (!chunk_status.ok()) return;
+            Item litem = left.ItemAt(lid);
+            for (const Item& ritem : right_items) {
+              // Per-join-attribute alignment choices.
+              std::vector<std::vector<NodeId>> choices(on.size());
+              bool disjoint = false;
+              for (size_t k = 0; k < on.size(); ++k) {
+                const Hierarchy* h = ls.hierarchy(on[k].first);
+                choices[k] = h->MaximalCommonDescendants(
+                    litem[on[k].first], ritem[on[k].second]);
+                if (choices[k].empty()) {
+                  disjoint = true;
+                  break;
+                }
+              }
+              if (disjoint) continue;
+
+              Item base(schema.size());
+              for (size_t i = 0; i < ls.size(); ++i) base[i] = litem[i];
+              for (size_t j = 0; j < rs.size(); ++j) {
+                if (tail_positions[j] != SIZE_MAX) {
+                  base[tail_positions[j]] = ritem[j];
+                }
+              }
+              std::vector<size_t> idx(on.size(), 0);
+              while (true) {
+                Item item = base;
+                for (size_t k = 0; k < on.size(); ++k) {
+                  item[on[k].first] = choices[k][idx[k]];
+                }
+                if (per_chunk[c].size() > options.max_items) {
+                  chunk_status = overflow();
+                  return;
+                }
+                per_chunk[c].push_back(std::move(item));
+                size_t k = on.size();
+                bool done = on.empty();
+                while (k > 0) {
+                  --k;
+                  if (++idx[k] < choices[k].size()) break;
+                  idx[k] = 0;
+                  if (k == 0) done = true;
+                }
+                if (done) break;
+              }
+            }
+          });
+          HIREL_RETURN_IF_ERROR(chunk_status);
         }
-      }
-      std::vector<size_t> idx(on.size(), 0);
-      while (true) {
-        Item item = base;
-        for (size_t k = 0; k < on.size(); ++k) {
-          item[on[k].first] = choices[k][idx[k]];
-        }
-        if (candidates.size() >= options.max_items) return overflow();
-        candidates.push_back(std::move(item));
-        size_t k = on.size();
-        bool done = on.empty();
-        while (k > 0) {
-          --k;
-          if (++idx[k] < choices[k].size()) break;
-          idx[k] = 0;
-          if (k == 0) done = true;
-        }
-        if (done) break;
-      }
-    }
+        return Status::OK();
+      }));
+  size_t total = 0;
+  for (const std::vector<Item>& chunk : per_chunk) total += chunk.size();
+  if (total > options.max_items) return overflow();
+  std::vector<Item> candidates;
+  candidates.reserve(total);
+  for (std::vector<Item>& chunk : per_chunk) {
+    candidates.insert(candidates.end(),
+                      std::make_move_iterator(chunk.begin()),
+                      std::make_move_iterator(chunk.end()));
   }
 
   Result<HierarchicalRelation> derived = DeriveRelation(

@@ -1,7 +1,10 @@
 #include "algebra/select.h"
 
+#include <iterator>
+
 #include "algebra/derivation.h"
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/explicate.h"
 #include "core/inference.h"
 
@@ -22,15 +25,33 @@ Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,
 
   // Candidates: each tuple's item clamped into the sub-hierarchy at `node`
   // (via maximal common descendants, so tuples on classes that merely
-  // overlap the selection class still contribute).
+  // overlap the selection class still contribute). The scan walks the
+  // store's fixed-size chunks in parallel; chunk boundaries and the
+  // chunk-order concatenation below depend only on the append count, so
+  // the candidate list is identical at any thread count.
+  std::vector<std::vector<Item>> per_chunk(relation.num_chunks());
+  ParallelOptions par;
+  par.threads = options.threads;
+  HIREL_RETURN_IF_ERROR(ParallelFor(
+      per_chunk.size(), par,
+      [&](size_t /*chunk*/, size_t lo, size_t hi) -> Status {
+        for (size_t c = lo; c < hi; ++c) {
+          relation.ForEachLiveInChunk(c, [&](TupleId id) {
+            Item item = relation.ItemAt(id);
+            for (NodeId m : h->MaximalCommonDescendants(item[attr], node)) {
+              Item clamped = item;
+              clamped[attr] = m;
+              per_chunk[c].push_back(std::move(clamped));
+            }
+          });
+        }
+        return Status::OK();
+      }));
   std::vector<Item> candidates;
-  for (TupleId id : relation.TupleIds()) {
-    const HTuple& t = relation.tuple(id);
-    for (NodeId m : h->MaximalCommonDescendants(t.item[attr], node)) {
-      Item clamped = t.item;
-      clamped[attr] = m;
-      candidates.push_back(std::move(clamped));
-    }
+  for (std::vector<Item>& chunk : per_chunk) {
+    candidates.insert(candidates.end(),
+                      std::make_move_iterator(chunk.begin()),
+                      std::make_move_iterator(chunk.end()));
   }
 
   return DeriveRelation(

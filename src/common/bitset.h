@@ -47,6 +47,13 @@ class DynamicBitset {
   /// Indices of all set bits, ascending.
   std::vector<uint32_t> ToVector() const;
 
+  /// Number of 64-bit words backing the set.
+  size_t num_words() const { return words_.size(); }
+
+  /// The i-th backing word; bit b of word i is index i * 64 + b. Lets
+  /// liveness scans skip whole dead words instead of testing bit by bit.
+  uint64_t word(size_t i) const { return words_[i]; }
+
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
     return a.size_ == b.size_ && a.words_ == b.words_;
   }

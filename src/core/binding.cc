@@ -34,7 +34,7 @@ Applicable CollectApplicable(const HierarchicalRelation& relation,
   Applicable out;
   for (TupleId id : relation.TuplesSubsuming(item)) {
     if (exclude.contains(id)) continue;
-    if (relation.tuple(id).item == item) {
+    if (relation.ItemAtEquals(id, item)) {
       out.self = id;
     } else {
       out.strict.push_back(id);
@@ -48,18 +48,20 @@ Applicable CollectApplicable(const HierarchicalRelation& relation,
 std::vector<TupleId> OffPathBinders(const HierarchicalRelation& relation,
                                     const std::vector<TupleId>& applicable) {
   const Schema& schema = relation.schema();
+  std::vector<Item> items;
+  items.reserve(applicable.size());
+  for (TupleId t : applicable) items.push_back(relation.ItemAt(t));
   std::vector<TupleId> binders;
-  for (TupleId t : applicable) {
+  for (size_t a = 0; a < applicable.size(); ++a) {
     bool preempted = false;
-    for (TupleId other : applicable) {
-      if (other == t) continue;
-      if (ItemBindsBelow(schema, relation.tuple(t).item,
-                         relation.tuple(other).item)) {
+    for (size_t b = 0; b < applicable.size(); ++b) {
+      if (b == a) continue;
+      if (ItemBindsBelow(schema, items[a], items[b])) {
         preempted = true;
         break;
       }
     }
-    if (!preempted) binders.push_back(t);
+    if (!preempted) binders.push_back(applicable[a]);
   }
   return binders;
 }
@@ -114,7 +116,7 @@ Result<std::vector<TupleId>> OnPathBinders(
   for (TupleId t : applicable) {
     HIREL_ASSIGN_OR_RETURN(
         bool unblocked,
-        HasUnblockedPath(relation, relation.tuple(t).item, item, exclude,
+        HasUnblockedPath(relation, relation.ItemAt(t), item, exclude,
                          limit));
     if (unblocked) binders.push_back(t);
   }
@@ -179,9 +181,10 @@ TupleBindingGraph BuildTupleBindingGraph(const HierarchicalRelation& relation,
   graph.nodes = relation.TuplesSubsuming(item);
   graph.edges.resize(graph.nodes.size());
 
-  auto item_of = [&](size_t i) -> const Item& {
-    return relation.tuple(graph.nodes[i]).item;
-  };
+  std::vector<Item> items;
+  items.reserve(graph.nodes.size());
+  for (TupleId id : graph.nodes) items.push_back(relation.ItemAt(id));
+  auto item_of = [&](size_t i) -> const Item& { return items[i]; };
 
   // Hasse edges among applicable tuples: a -> b iff a strictly subsumes b
   // with no applicable tuple strictly between.

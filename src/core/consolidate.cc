@@ -19,16 +19,17 @@ namespace {
 Result<bool> RedundantGiven(const HierarchicalRelation& relation, TupleId id,
                             const std::vector<bool>& exclude,
                             const InferenceOptions& options) {
-  const HTuple& t = relation.tuple(id);
+  const Item item = relation.ItemAt(id);
+  const Truth truth = relation.TruthOf(id);
   Result<Binding> binding =
-      ComputeBindingExcluding(relation, t.item, exclude, id, options);
+      ComputeBindingExcluding(relation, item, exclude, id, options);
   if (!binding.ok()) return binding.status();
   if (binding->binders.empty()) {
     // Only the universal negated tuple precedes it.
-    return t.truth == Truth::kNegative;
+    return truth == Truth::kNegative;
   }
   for (TupleId p : binding->binders) {
-    if (relation.tuple(p).truth != t.truth) return false;
+    if (relation.TruthOf(p) != truth) return false;
   }
   return true;
 }

@@ -1,7 +1,5 @@
 #include "core/hierarchical_relation.h"
 
-#include <algorithm>
-
 #include "common/str_util.h"
 
 namespace hirel {
@@ -36,9 +34,9 @@ Status HierarchicalRelation::ValidateItem(const Item& item) const {
 
 Result<TupleId> HierarchicalRelation::Insert(Item item, Truth truth) {
   HIREL_RETURN_IF_ERROR(ValidateItem(item));
-  auto it = item_index_.find(item);
-  if (it != item_index_.end()) {
-    if (tuples_[it->second].truth == truth) {
+  std::optional<TupleId> existing = store_->Find(item);
+  if (existing.has_value()) {
+    if (store_->truth(*existing) == truth) {
       return Status::AlreadyExists(
           StrCat("relation '", name_, "': duplicate tuple ",
                  ItemToString(schema_, item)));
@@ -47,159 +45,97 @@ Result<TupleId> HierarchicalRelation::Insert(Item item, Truth truth) {
         StrCat("relation '", name_, "': item ", ItemToString(schema_, item),
                " is already asserted with the opposite truth value"));
   }
-  TupleId id = static_cast<TupleId>(tuples_.size());
-  tuples_.push_back(HTuple{std::move(item), truth});
-  alive_.push_back(true);
-  ++num_alive_;
-  item_index_.emplace(tuples_.back().item, id);
-  if (component_index_.size() != schema_.size()) {
-    component_index_.resize(schema_.size());
-  }
-  for (size_t i = 0; i < schema_.size(); ++i) {
-    component_index_[i][tuples_.back().item[i]].push_back(id);
-  }
+  TupleId id = store_->Append(std::move(item), truth);
   version_ = NextRevision();
   return id;
 }
 
 Result<TupleId> HierarchicalRelation::Upsert(Item item, Truth truth) {
   HIREL_RETURN_IF_ERROR(ValidateItem(item));
-  auto it = item_index_.find(item);
-  if (it != item_index_.end()) {
-    tuples_[it->second].truth = truth;
+  std::optional<TupleId> existing = store_->Find(item);
+  if (existing.has_value()) {
+    store_->SetTruth(*existing, truth);
     version_ = NextRevision();
-    return it->second;
+    return *existing;
   }
-  return Insert(std::move(item), truth);
+  TupleId id = store_->Append(std::move(item), truth);
+  version_ = NextRevision();
+  return id;
 }
 
 Status HierarchicalRelation::Erase(TupleId id) {
-  if (!alive(id)) {
+  if (!store_->alive(id)) {
     return Status::NotFound(StrCat("relation '", name_, "': tuple ", id));
   }
-  item_index_.erase(tuples_[id].item);
-  for (size_t i = 0; i < schema_.size(); ++i) {
-    auto it = component_index_[i].find(tuples_[id].item[i]);
-    if (it != component_index_[i].end()) {
-      auto& bucket = it->second;
-      bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
-                   bucket.end());
-      if (bucket.empty()) component_index_[i].erase(it);
-    }
-  }
-  alive_[id] = false;
-  --num_alive_;
+  store_->Erase(id);
   version_ = NextRevision();
   return Status::OK();
 }
 
 Status HierarchicalRelation::EraseItem(const Item& item) {
-  auto it = item_index_.find(item);
-  if (it == item_index_.end()) {
+  std::optional<TupleId> existing = store_->Find(item);
+  if (!existing.has_value()) {
     return Status::NotFound(StrCat("relation '", name_, "': no tuple on ",
                                    ItemToString(schema_, item)));
   }
-  return Erase(it->second);
+  return Erase(*existing);
 }
 
 void HierarchicalRelation::Clear() {
-  tuples_.clear();
-  alive_.clear();
-  item_index_.clear();
-  component_index_.clear();
-  num_alive_ = 0;
+  store_->Clear();
   version_ = NextRevision();
 }
 
 std::optional<TupleId> HierarchicalRelation::FindItem(const Item& item) const {
-  auto it = item_index_.find(item);
-  if (it == item_index_.end()) return std::nullopt;
-  return it->second;
+  return store_->Find(item);
 }
 
 std::optional<Truth> HierarchicalRelation::TruthAt(const Item& item) const {
-  auto it = item_index_.find(item);
-  if (it == item_index_.end()) return std::nullopt;
-  return tuples_[it->second].truth;
+  std::optional<TupleId> existing = store_->Find(item);
+  if (!existing.has_value()) return std::nullopt;
+  return store_->truth(*existing);
 }
 
 std::vector<TupleId> HierarchicalRelation::TupleIds() const {
-  std::vector<TupleId> ids;
-  ids.reserve(num_alive_);
-  for (TupleId id = 0; id < tuples_.size(); ++id) {
-    if (alive_[id]) ids.push_back(id);
-  }
-  return ids;
+  return store_->LiveIds();
 }
 
 std::vector<TupleId> HierarchicalRelation::TuplesSubsuming(
     const Item& item) const {
-  std::vector<TupleId> out;
-  if (num_alive_ == 0 || item.size() != schema_.size()) return out;
+  if (store_->size() == 0 || item.size() != schema_.size()) return {};
   if (schema_.empty()) return TupleIds();  // the empty item subsumes itself
-  // Candidates: tuples whose first component is an ancestor of item[0]
-  // (subsumption on attribute 0 is necessary). Verified in full below; the
-  // result comes out in ascending id order for determinism.
-  const Dag& dag = schema_.hierarchy(0)->dag();
-  if (!dag.alive(item[0])) return out;
-  for (NodeId ancestor : dag.Ancestors(item[0])) {
-    auto it = component_index_[0].find(ancestor);
-    if (it == component_index_[0].end()) continue;
-    for (TupleId id : it->second) {
-      if (ItemSubsumes(schema_, tuples_[id].item, item)) out.push_back(id);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  if (!schema_.hierarchy(0)->dag().alive(item[0])) return {};
+  return store_->TuplesSubsuming(schema_, item);
 }
 
 std::vector<TupleId> HierarchicalRelation::TuplesSubsumedBy(
     const Item& item) const {
-  std::vector<TupleId> out;
-  if (num_alive_ == 0 || item.size() != schema_.size()) return out;
+  if (store_->size() == 0 || item.size() != schema_.size()) return {};
   if (schema_.empty()) return TupleIds();
-  const Dag& dag = schema_.hierarchy(0)->dag();
-  if (!dag.alive(item[0])) return out;
-  for (NodeId descendant : dag.Descendants(item[0])) {
-    auto it = component_index_[0].find(descendant);
-    if (it == component_index_[0].end()) continue;
-    for (TupleId id : it->second) {
-      if (ItemSubsumes(schema_, item, tuples_[id].item)) out.push_back(id);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  if (!schema_.hierarchy(0)->dag().alive(item[0])) return {};
+  return store_->TuplesSubsumedBy(schema_, item);
 }
 
 size_t HierarchicalRelation::CoveredAtomCount() const {
   size_t count = 0;
-  for (TupleId id = 0; id < tuples_.size(); ++id) {
-    if (alive_[id] && tuples_[id].truth == Truth::kPositive) {
-      count += ItemExtensionSize(schema_, tuples_[id].item);
+  for (TupleId id : store_->LiveIds()) {
+    if (store_->truth(id) == Truth::kPositive) {
+      count += ItemExtensionSize(schema_, store_->ItemAt(id));
     }
   }
   return count;
 }
 
-size_t HierarchicalRelation::ApproxBytes() const {
-  size_t bytes = 0;
-  for (TupleId id = 0; id < tuples_.size(); ++id) {
-    if (!alive_[id]) continue;
-    bytes += sizeof(HTuple) + tuples_[id].item.capacity() * sizeof(NodeId);
-  }
-  return bytes;
-}
-
 std::string HierarchicalRelation::ToString() const {
   std::string out = StrCat(name_, schema_.ToString(), "\n");
-  for (TupleId id : TupleIds()) {
-    const HTuple& t = tuples_[id];
-    out += StrCat("  ", TruthToString(t.truth), " ");
-    for (size_t i = 0; i < t.item.size(); ++i) {
+  for (TupleId id : store_->LiveIds()) {
+    out += StrCat("  ", TruthToString(store_->truth(id)), " ");
+    for (size_t i = 0; i < schema_.size(); ++i) {
       if (i > 0) out += ", ";
       const Hierarchy* h = schema_.hierarchy(i);
-      if (h->is_class(t.item[i])) out += "ALL ";
-      out += h->NodeName(t.item[i]);
+      NodeId node = store_->component(id, i);
+      if (h->is_class(node)) out += "ALL ";
+      out += h->NodeName(node);
     }
     out += "\n";
   }

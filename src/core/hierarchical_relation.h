@@ -11,39 +11,29 @@
 // contradiction, rejected at insert time. Redundant (non-identical) tuples
 // ARE retained — "redundant tuples are eliminated in our model only when
 // explicitly requested by the user through a consolidate" (Section 3.2).
+//
+// Physical tuple layout is delegated to a TupleStore (row or columnar; see
+// core/tuple_store.h). The relation keeps the logical contract — schema
+// validation, duplicate/contradiction policy, version stamps — while the
+// store owns slots, liveness, and the scan indexes.
 
 #ifndef HIREL_CORE_HIERARCHICAL_RELATION_H_
 #define HIREL_CORE_HIERARCHICAL_RELATION_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/revision.h"
 #include "common/status.h"
+#include "core/tuple_store.h"
 #include "types/item.h"
 #include "types/schema.h"
 
 namespace hirel {
-
-/// Index of a tuple within its relation. Stable until the tuple is erased;
-/// erased ids are never reused.
-using TupleId = uint32_t;
-
-inline constexpr TupleId kInvalidTuple = 0xffffffffu;
-
-/// A stored tuple: an item plus its truth value.
-struct HTuple {
-  Item item;
-  Truth truth = Truth::kPositive;
-
-  friend bool operator==(const HTuple& a, const HTuple& b) {
-    return a.truth == b.truth && a.item == b.item;
-  }
-};
 
 /// Which preemption semantics inference uses to order binding strength
 /// (Appendix). Off-path is the paper's default throughout its examples.
@@ -65,11 +55,32 @@ const char* PreemptionModeToString(PreemptionMode mode);
 /// A named hierarchical relation over a schema.
 class HierarchicalRelation {
  public:
-  HierarchicalRelation(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  /// The storage kind defaults to the session-wide DefaultStorageKind() (a
+  /// default argument, so it is re-read at every construction — derived
+  /// relations follow SET STORAGE / HIREL_STORAGE automatically).
+  HierarchicalRelation(std::string name, Schema schema,
+                       StorageKind storage = DefaultStorageKind())
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        store_(MakeTupleStore(storage, schema_.size())) {}
 
-  HierarchicalRelation(const HierarchicalRelation&) = default;
-  HierarchicalRelation& operator=(const HierarchicalRelation&) = default;
+  /// Copies clone the store and keep the version stamp verbatim: a copy of
+  /// a base relation shares its tuple ids and version, so caches keyed on
+  /// (relation version, hierarchy versions) stay valid across the copy.
+  HierarchicalRelation(const HierarchicalRelation& other)
+      : name_(other.name_),
+        schema_(other.schema_),
+        version_(other.version_),
+        store_(other.store_->Clone()) {}
+  HierarchicalRelation& operator=(const HierarchicalRelation& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      schema_ = other.schema_;
+      version_ = other.version_;
+      store_ = other.store_->Clone();
+    }
+    return *this;
+  }
   HierarchicalRelation(HierarchicalRelation&&) = default;
   HierarchicalRelation& operator=(HierarchicalRelation&&) = default;
 
@@ -84,9 +95,12 @@ class HierarchicalRelation {
   /// with the schema hierarchies' versions to detect staleness.
   uint64_t version() const { return version_; }
 
+  /// Physical layout of this relation's tuples, fixed at construction.
+  StorageKind storage_kind() const { return store_->kind(); }
+
   /// Number of live tuples.
-  size_t size() const { return num_alive_; }
-  bool empty() const { return num_alive_ == 0; }
+  size_t size() const { return store_->size(); }
+  bool empty() const { return store_->size() == 0; }
 
   // ----- Mutation (unchecked w.r.t. the ambiguity constraint; see
   // integrity.h / transaction.h for guarded updates) ------------------------
@@ -114,12 +128,31 @@ class HierarchicalRelation {
 
   // ----- Lookup -------------------------------------------------------------
 
-  bool alive(TupleId id) const {
-    return id < tuples_.size() && alive_[id];
+  bool alive(TupleId id) const { return store_->alive(id); }
+
+  /// The tuple with id `id`; must be alive. Returned by value: a columnar
+  /// store has no HTuple to reference. `const HTuple& t = r.tuple(id);`
+  /// still works (lifetime extension), but do not keep pointers into the
+  /// result across statements.
+  HTuple tuple(TupleId id) const {
+    return HTuple{store_->ItemAt(id), store_->truth(id)};
   }
 
-  /// The tuple with id `id`; must be alive.
-  const HTuple& tuple(TupleId id) const { return tuples_[id]; }
+  /// The item of a live tuple (by value; see tuple()).
+  Item ItemAt(TupleId id) const { return store_->ItemAt(id); }
+
+  /// The truth value of a live tuple.
+  Truth TruthOf(TupleId id) const { return store_->truth(id); }
+
+  /// Component `attr` of a live tuple, without materialising the item.
+  NodeId Component(TupleId id, size_t attr) const {
+    return store_->component(id, attr);
+  }
+
+  /// True iff live tuple `id` stores exactly `item`.
+  bool ItemAtEquals(TupleId id, const Item& item) const {
+    return store_->ItemAtEquals(id, item);
+  }
 
   /// The id of the tuple asserted exactly on `item`, if any.
   std::optional<TupleId> FindItem(const Item& item) const;
@@ -133,22 +166,40 @@ class HierarchicalRelation {
   /// Ids of live tuples whose item subsumes `item` (including an exact
   /// match). These are the nodes of the item's tuple-binding graph.
   ///
-  /// Served from the per-attribute inverted index: candidates are the
-  /// tuples whose first component is an ancestor of item[0], then verified
-  /// on the remaining attributes — O(ancestors + candidates) instead of a
-  /// relation scan.
+  /// Served by the store's layout-specific scan (inverted component index
+  /// for rows, dictionary-marked column sweep for columns); both return
+  /// identical ascending ids.
   std::vector<TupleId> TuplesSubsuming(const Item& item) const;
 
   /// Ids of live tuples whose item is subsumed by `item`.
   std::vector<TupleId> TuplesSubsumedBy(const Item& item) const;
+
+  // ----- Chunked iteration --------------------------------------------------
+
+  /// Number of fixed-size scan chunks (TupleStore::kChunkTuples ids each)
+  /// covering every slot, live or dead. A pure function of the append
+  /// count, so parallel chunk scans are deterministic.
+  size_t num_chunks() const { return store_->num_chunks(); }
+
+  /// Invokes `fn` for every live id in chunk `chunk`, ascending.
+  void ForEachLiveInChunk(size_t chunk,
+                          const std::function<void(TupleId)>& fn) const {
+    store_->ForEachLiveInChunk(chunk, fn);
+  }
 
   /// Total number of atomic items covered by positive tuples (an upper
   /// bound on the extension size, ignoring exceptions). Used by storage
   /// accounting in benchmarks.
   size_t CoveredAtomCount() const;
 
-  /// Approximate in-memory footprint of the stored tuples in bytes.
-  size_t ApproxBytes() const;
+  /// Approximate in-memory footprint in bytes, including the store's
+  /// indexes and bitmaps, not just tuple payloads.
+  size_t ApproxBytes() const { return store_->ApproxBytes(); }
+
+  /// Per-column byte breakdown for SHOW STORAGE.
+  std::vector<StorageColumnInfo> ColumnInfo() const {
+    return store_->ColumnInfo(schema_);
+  }
 
   /// Renders the relation as the paper's figures do: one "+"/"-" column
   /// followed by attribute values, classes prefixed with the universal
@@ -161,18 +212,7 @@ class HierarchicalRelation {
   std::string name_;
   Schema schema_;
   uint64_t version_ = NextRevision();
-
-  std::vector<HTuple> tuples_;
-  std::vector<bool> alive_;
-  size_t num_alive_ = 0;
-
-  std::unordered_map<Item, TupleId, ItemHash> item_index_;
-
-  // Inverted index: per attribute, component node -> live tuple ids using
-  // that node at that position. Accelerates TuplesSubsuming /
-  // TuplesSubsumedBy, the two scans behind all binding computations.
-  std::vector<std::unordered_map<NodeId, std::vector<TupleId>>>
-      component_index_;
+  std::unique_ptr<TupleStore> store_;
 };
 
 }  // namespace hirel

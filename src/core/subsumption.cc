@@ -20,15 +20,16 @@ SubsumptionGraph BuildSubsumptionGraph(const HierarchicalRelation& relation,
   // n^2 pairwise item tests, partitioned across the pool by row — each
   // chunk writes only its own rows, and the tests read nothing mutable
   // (hierarchy snapshots are immutable), so the phase races with nothing.
+  std::vector<Item> items;
+  items.reserve(n);
+  for (TupleId id : ids) items.push_back(relation.ItemAt(id));
   std::vector<DynamicBitset> below(n, DynamicBitset(n));
   ParallelOptions par;
   par.threads = threads;
   ParallelFor(n, par, [&](size_t /*chunk*/, size_t lo, size_t hi) -> Status {
     for (size_t a = lo; a < hi; ++a) {
-      const Item& item_a = relation.tuple(ids[a]).item;
       for (size_t b = 0; b < n; ++b) {
-        if (a != b &&
-            ItemBindsBelow(schema, item_a, relation.tuple(ids[b]).item)) {
+        if (a != b && ItemBindsBelow(schema, items[a], items[b])) {
           below[a].Set(b);
         }
       }

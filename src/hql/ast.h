@@ -130,6 +130,7 @@ struct ShowStmt {
     kMetrics,      // SHOW METRICS [JSON|PROMETHEUS]: the metrics registry
     kTrace,        // SHOW TRACE [JSON]: the last query's span tree
     kLog,          // SHOW LOG [JSON]: the in-memory event-log ring
+    kStorage,      // SHOW STORAGE: per-relation layout and byte breakdown
   };
   What what = What::kRelations;
   std::string name;
@@ -242,6 +243,12 @@ struct ExportTraceStmt {
   std::string path;
 };
 
+/// SET STORAGE ROW|COLUMNAR: layout for relations created from here on
+/// (existing relations keep theirs).
+struct SetStorageStmt {
+  std::string kind;
+};
+
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
                  CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
@@ -252,7 +259,7 @@ using Statement =
                  SetThreadsStmt, RuleStmt, DeriveStmt, CountStmt,
                  ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
                  ResetMetricsStmt, SetSlowQueryStmt, SetLogStmt,
-                 ExportTraceStmt>;
+                 ExportTraceStmt, SetStorageStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

@@ -109,6 +109,9 @@ struct TraceName {
   const char* operator()(const ExportTraceStmt&) const {
     return "export trace";
   }
+  const char* operator()(const SetStorageStmt&) const {
+    return "set storage";
+  }
 };
 
 /// Statements whose traces are worth keeping. SHOW TRACE / SHOW METRICS /
@@ -613,6 +616,27 @@ Result<std::string> Executor::ExecuteStatementImpl(
                 .Set(static_cast<int64_t>(pool.per_thread_busy_ns[i] /
                                           1'000'000));
           }
+          size_t row_relations = 0, columnar_relations = 0;
+          size_t row_bytes = 0, columnar_bytes = 0;
+          for (const std::string& name : db.RelationNames()) {
+            Result<const HierarchicalRelation*> r =
+                std::as_const(db).GetRelation(name);
+            if (!r.ok()) continue;
+            if ((*r)->storage_kind() == StorageKind::kRow) {
+              ++row_relations;
+              row_bytes += (*r)->ApproxBytes();
+            } else {
+              ++columnar_relations;
+              columnar_bytes += (*r)->ApproxBytes();
+            }
+          }
+          m.gauge("storage.row_relations")
+              .Set(static_cast<int64_t>(row_relations));
+          m.gauge("storage.columnar_relations")
+              .Set(static_cast<int64_t>(columnar_relations));
+          m.gauge("storage.row_bytes").Set(static_cast<int64_t>(row_bytes));
+          m.gauge("storage.columnar_bytes")
+              .Set(static_cast<int64_t>(columnar_bytes));
           if (stmt.json) return StrCat(m.RenderJson(), "\n");
           if (stmt.prometheus) return obs::PrometheusText(m);
           return m.Render();
@@ -643,6 +667,29 @@ Result<std::string> Executor::ExecuteStatementImpl(
           out += "):\n";
           for (const obs::LogEvent& event : events) {
             out += StrCat("  ", event.ToText(), "\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kStorage: {
+          std::string out =
+              StrCat("storage default: ",
+                     StorageKindToString(DefaultStorageKind()),
+                     " (applies to new relations)\n");
+          for (const std::string& name : db.RelationNames()) {
+            HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
+                                   std::as_const(db).GetRelation(name));
+            out += StrCat("  ", name, " [",
+                          StorageKindToString(relation->storage_kind()),
+                          "] ", relation->size(), " live, ",
+                          relation->num_chunks(), " chunk(s), ~",
+                          relation->ApproxBytes(), " bytes\n");
+            for (const StorageColumnInfo& col : relation->ColumnInfo()) {
+              out += StrCat("    ", col.name, ": ", col.bytes, " bytes");
+              if (col.dict_entries > 0) {
+                out += StrCat(" (dict ", col.dict_entries, ")");
+              }
+              out += "\n";
+            }
           }
           return out;
         }
@@ -845,6 +892,20 @@ Result<std::string> Executor::ExecuteStatementImpl(
       if (stmt.threshold_ms < 0) return std::string("slow-query log: off\n");
       return StrCat("slow-query log: threshold ", stmt.threshold_ms,
                     " ms\n");
+    }
+
+    Result<std::string> operator()(const SetStorageStmt& stmt) {
+      std::optional<StorageKind> kind = ParseStorageKind(stmt.kind);
+      if (!kind.has_value()) {
+        return Status::InvalidArgument(
+            StrCat("unknown storage kind '", stmt.kind,
+                   "' (expected ROW or COLUMNAR)"));
+      }
+      SetDefaultStorageKind(*kind);
+      HIREL_LOG(obs::LogLevel::kInfo, "catalog", "set_storage",
+                {{"kind", StorageKindToString(*kind)}});
+      return StrCat("storage: ", StorageKindToString(*kind),
+                    " (applies to new relations)\n");
     }
 
     Result<std::string> operator()(const SetLogStmt& stmt) {

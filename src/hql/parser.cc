@@ -384,6 +384,8 @@ class Parser {
       } else if (AcceptKeyword("LOG")) {
         stmt.what = ShowStmt::What::kLog;
         stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptKeyword("STORAGE")) {
+        stmt.what = ShowStmt::What::kStorage;
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
         HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
@@ -392,7 +394,7 @@ class Parser {
       } else {
         return Error(
             "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
-            "METRICS, TRACE, or LOG");
+            "METRICS, TRACE, LOG, or STORAGE");
       }
       return Statement(std::move(stmt));
     }
@@ -497,6 +499,11 @@ class Parser {
       if (AcceptKeyword("LOG")) {
         SetLogStmt stmt;
         HIREL_ASSIGN_OR_RETURN(stmt.level, ExpectIdentifier());
+        return Statement(std::move(stmt));
+      }
+      if (AcceptKeyword("STORAGE")) {
+        SetStorageStmt stmt;
+        HIREL_ASSIGN_OR_RETURN(stmt.kind, ExpectIdentifier());
         return Statement(std::move(stmt));
       }
       HIREL_RETURN_IF_ERROR(ExpectKeyword("PREEMPTION").status());

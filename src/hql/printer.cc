@@ -35,6 +35,8 @@ std::string HelpText() {
     COMPRESS r;                                  -- re-encode minimally
     SET PREEMPTION offpath;                      -- or onpath / none
     SET THREADS 4;                               -- parallel kernels; 0 = auto, 1 = serial
+    SET STORAGE row|columnar;                    -- layout for new relations
+    SHOW STORAGE;                                -- per-relation layout and bytes
 
   rules (Datalog layer)
     RULE 'head(?x) :- body(?x), not other(?x).';

@@ -13,7 +13,13 @@ namespace hirel {
 
 namespace {
 
-constexpr std::string_view kMagic = "HIRELDB1";
+// Format v1 ("HIRELDB1"): per relation, a flat tuple list. Format v2
+// ("HIRELDB2") adds one storage tag byte per relation (0 = row, 1 =
+// columnar); row relations keep the v1 tuple encoding, columnar relations
+// are written as a truth bitmap plus per-attribute dictionaries and code
+// streams. Writers always emit v2; the loader accepts both.
+constexpr std::string_view kMagicV1 = "HIRELDB1";
+constexpr std::string_view kMagicV2 = "HIRELDB2";
 
 uint64_t Fnv1a(std::string_view data) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -191,19 +197,50 @@ Result<std::string> SerializeDatabase(const Database& db) {
       PutLengthPrefixedString(&payload, schema.name(i));
       PutLengthPrefixedString(&payload, schema.hierarchy(i)->name());
     }
+    PutFixed8(&payload, static_cast<uint8_t>(relation->storage_kind()));
     std::vector<TupleId> ids = relation->TupleIds();
     PutVarint64(&payload, ids.size());
-    for (TupleId id : ids) {
-      const HTuple& t = relation->tuple(id);
-      PutFixed8(&payload, t.truth == Truth::kPositive ? 1 : 0);
-      for (size_t i = 0; i < schema.size(); ++i) {
-        const NodeRemap& remap = remaps[schema.hierarchy(i)->name()];
-        PutVarint32(&payload, remap[t.item[i]]);
+    if (relation->storage_kind() == StorageKind::kRow) {
+      for (TupleId id : ids) {
+        PutFixed8(&payload,
+                  relation->TruthOf(id) == Truth::kPositive ? 1 : 0);
+        for (size_t i = 0; i < schema.size(); ++i) {
+          const NodeRemap& remap = remaps[schema.hierarchy(i)->name()];
+          PutVarint32(&payload, remap[relation->Component(id, i)]);
+        }
+      }
+    } else {
+      // Columnar encoding: truth bitmap over live tuples (bit i = tuple i
+      // positive, live-id order), then per attribute a first-occurrence
+      // dictionary of remapped nodes followed by one code per live tuple.
+      std::string bitmap((ids.size() + 7) / 8, '\0');
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (relation->TruthOf(ids[i]) == Truth::kPositive) {
+          bitmap[i >> 3] |= static_cast<char>(1u << (i & 7));
+        }
+      }
+      payload += bitmap;
+      for (size_t attr = 0; attr < schema.size(); ++attr) {
+        const NodeRemap& remap = remaps[schema.hierarchy(attr)->name()];
+        std::vector<NodeId> dict;
+        std::unordered_map<NodeId, uint32_t> code_of;
+        std::vector<uint32_t> codes;
+        codes.reserve(ids.size());
+        for (TupleId id : ids) {
+          NodeId node = relation->Component(id, attr);
+          auto [it, inserted] =
+              code_of.try_emplace(node, static_cast<uint32_t>(dict.size()));
+          if (inserted) dict.push_back(node);
+          codes.push_back(it->second);
+        }
+        PutVarint64(&payload, dict.size());
+        for (NodeId node : dict) PutVarint32(&payload, remap[node]);
+        for (uint32_t code : codes) PutVarint32(&payload, code);
       }
     }
   }
 
-  std::string out(kMagic);
+  std::string out(kMagicV2);
   out += payload;
   // Checksum trailer over magic + payload.
   uint64_t checksum = Fnv1a(out);
@@ -214,10 +251,14 @@ Result<std::string> SerializeDatabase(const Database& db) {
 }
 
 Result<std::unique_ptr<Database>> DeserializeDatabase(std::string_view data) {
-  if (data.size() < kMagic.size() + 8 ||
-      data.substr(0, kMagic.size()) != kMagic) {
+  if (data.size() < kMagicV1.size() + 8) {
     return Status::Corruption("not a hirel snapshot");
   }
+  std::string_view magic = data.substr(0, kMagicV1.size());
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    return Status::Corruption("not a hirel snapshot");
+  }
+  const bool v2 = magic == kMagicV2;
   std::string_view body = data.substr(0, data.size() - 8);
   std::string_view trailer = data.substr(data.size() - 8);
   uint64_t stored = 0;
@@ -229,7 +270,7 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(std::string_view data) {
     return Status::Corruption("snapshot checksum mismatch");
   }
 
-  Decoder decoder(body.substr(kMagic.size()));
+  Decoder decoder(body.substr(kMagicV1.size()));
   auto db = std::make_unique<Database>();
 
   HIREL_ASSIGN_OR_RETURN(uint64_t hierarchy_count, decoder.GetVarint64());
@@ -250,21 +291,64 @@ Result<std::unique_ptr<Database>> DeserializeDatabase(std::string_view data) {
                              decoder.GetLengthPrefixedString());
       attributes.emplace_back(std::move(attr_name), std::move(hierarchy_name));
     }
-    HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
-                           db->CreateRelation(name, attributes));
-    HIREL_ASSIGN_OR_RETURN(uint64_t tuple_count, decoder.GetVarint64());
-    for (uint64_t t = 0; t < tuple_count; ++t) {
-      HIREL_ASSIGN_OR_RETURN(uint8_t truth, decoder.GetFixed8());
-      Item item(attr_count);
-      for (uint64_t i = 0; i < attr_count; ++i) {
-        HIREL_ASSIGN_OR_RETURN(uint32_t node, decoder.GetVarint32());
-        item[i] = node;
+    StorageKind storage = DefaultStorageKind();
+    if (v2) {
+      HIREL_ASSIGN_OR_RETURN(uint8_t tag, decoder.GetFixed8());
+      if (tag > 1) {
+        return Status::Corruption(StrCat("unknown storage tag ", int{tag}));
       }
-      Result<TupleId> inserted = relation->Insert(
-          std::move(item), truth != 0 ? Truth::kPositive : Truth::kNegative);
+      storage = static_cast<StorageKind>(tag);
+    }
+    HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
+                           db->CreateRelation(name, attributes, storage));
+    HIREL_ASSIGN_OR_RETURN(uint64_t tuple_count, decoder.GetVarint64());
+    auto insert = [&](Item item, Truth truth) -> Status {
+      Result<TupleId> inserted = relation->Insert(std::move(item), truth);
       if (!inserted.ok()) {
         return Status::Corruption(
             StrCat("snapshot tuple rejected: ", inserted.status().ToString()));
+      }
+      return Status::OK();
+    };
+    if (!v2 || storage == StorageKind::kRow) {
+      for (uint64_t t = 0; t < tuple_count; ++t) {
+        HIREL_ASSIGN_OR_RETURN(uint8_t truth, decoder.GetFixed8());
+        Item item(attr_count);
+        for (uint64_t i = 0; i < attr_count; ++i) {
+          HIREL_ASSIGN_OR_RETURN(uint32_t node, decoder.GetVarint32());
+          item[i] = node;
+        }
+        HIREL_RETURN_IF_ERROR(insert(
+            std::move(item),
+            truth != 0 ? Truth::kPositive : Truth::kNegative));
+      }
+    } else {
+      std::vector<uint8_t> bitmap((tuple_count + 7) / 8);
+      for (size_t i = 0; i < bitmap.size(); ++i) {
+        HIREL_ASSIGN_OR_RETURN(bitmap[i], decoder.GetFixed8());
+      }
+      std::vector<std::vector<uint32_t>> columns(attr_count);
+      for (uint64_t attr = 0; attr < attr_count; ++attr) {
+        HIREL_ASSIGN_OR_RETURN(uint64_t dict_size, decoder.GetVarint64());
+        std::vector<NodeId> dict(dict_size);
+        for (uint64_t d = 0; d < dict_size; ++d) {
+          HIREL_ASSIGN_OR_RETURN(dict[d], decoder.GetVarint32());
+        }
+        columns[attr].resize(tuple_count);
+        for (uint64_t t = 0; t < tuple_count; ++t) {
+          HIREL_ASSIGN_OR_RETURN(uint32_t code, decoder.GetVarint32());
+          if (code >= dict_size) {
+            return Status::Corruption("columnar code out of dictionary range");
+          }
+          columns[attr][t] = dict[code];
+        }
+      }
+      for (uint64_t t = 0; t < tuple_count; ++t) {
+        Item item(attr_count);
+        for (uint64_t i = 0; i < attr_count; ++i) item[i] = columns[i][t];
+        Truth truth = (bitmap[t >> 3] >> (t & 7)) & 1 ? Truth::kPositive
+                                                      : Truth::kNegative;
+        HIREL_RETURN_IF_ERROR(insert(std::move(item), truth));
       }
     }
   }

@@ -192,7 +192,18 @@ Status ApplyRecord(Database& db, std::string_view payload) {
                                decoder.GetLengthPrefixedString());
         attributes.emplace_back(std::move(attr), std::move(hierarchy));
       }
-      return db.CreateRelation(name, attributes).status();
+      // Records written before storage kinds existed end here; they replay
+      // with the session default.
+      StorageKind storage = DefaultStorageKind();
+      if (!decoder.done()) {
+        HIREL_ASSIGN_OR_RETURN(uint8_t tag, decoder.GetFixed8());
+        if (tag > 1) {
+          return Status::Corruption(
+              StrCat("unknown storage tag ", int{tag}, " in WAL record"));
+        }
+        storage = static_cast<StorageKind>(tag);
+      }
+      return db.CreateRelation(name, attributes, storage).status();
     }
     case WalOp::kInsertTuple:
     case WalOp::kEraseTuple: {
@@ -486,6 +497,7 @@ Result<HierarchicalRelation*> LoggedDatabase::CreateRelation(
     PutLengthPrefixedString(&record, attr);
     PutLengthPrefixedString(&record, hierarchy);
   }
+  PutFixed8(&record, static_cast<uint8_t>(relation->storage_kind()));
   HIREL_RETURN_IF_ERROR(wal_->Append(record));
   return relation;
 }

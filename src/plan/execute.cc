@@ -130,6 +130,10 @@ class Walker {
       case PlanOp::kScan: {
         HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* rel,
                                std::as_const(db_).GetRelation(node.relation));
+        if (ns != nullptr) {
+          ns->storage = StorageKindToString(rel->storage_kind());
+          ns->chunks = rel->num_chunks();
+        }
         Slot slot;
         slot.rel = rel;
         return slot;

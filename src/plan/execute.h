@@ -64,6 +64,12 @@ struct PlanNodeStats {
   /// Effective worker count the node's kernel may fan out to; 0 or 1 means
   /// it ran serially. EXPLAIN ANALYZE renders values > 1 as `workers=N`.
   size_t workers = 0;
+  /// Storage layout of the relation a Scan node produced ("row" /
+  /// "columnar"); null for non-scan nodes, which keeps the annotation out
+  /// of their EXPLAIN ANALYZE lines.
+  const char* storage = nullptr;
+  /// Fixed-size scan chunks covering that relation's slots.
+  size_t chunks = 0;
 };
 
 struct ExecStats {

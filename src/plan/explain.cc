@@ -71,6 +71,9 @@ void Render(const PlanNode& node, size_t depth, const ExecStats* exec,
       if (ns.workers > 1) {
         out += StrCat(" workers=", ns.workers);
       }
+      if (ns.storage != nullptr) {
+        out += StrCat(" storage=", ns.storage, " chunks=", ns.chunks);
+      }
       out += "]";
     }
   }

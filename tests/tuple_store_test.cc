@@ -1,0 +1,283 @@
+// TupleStore contracts: stable ids across churn, cross-store equivalence
+// (row and columnar must be observationally identical, probe counts
+// included, at any thread count), dictionary promotion, and chunked
+// iteration.
+
+#include "core/tuple_store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algebra/select.h"
+#include "algebra/setops.h"
+#include "common/random.h"
+#include "core/consolidate.h"
+#include "testing/fixtures.h"
+
+namespace hirel {
+namespace {
+
+class TupleStoreKindTest : public ::testing::TestWithParam<StorageKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TupleStoreKindTest,
+                         ::testing::Values(StorageKind::kRow,
+                                           StorageKind::kColumnar),
+                         [](const auto& info) {
+                           return StorageKindToString(info.param);
+                         });
+
+/// Ids are sequential append positions, never reused across erase/insert
+/// churn, and upserts keep the original tuple's id.
+TEST_P(TupleStoreKindTest, TupleIdsAreStableAcrossChurn) {
+  Database db;
+  Hierarchy* h =
+      testing::BuildTreeHierarchy(db, "d", /*depth=*/1, /*fanout=*/1,
+                                  /*instances_per_leaf=*/64);
+  HierarchicalRelation r("r", Schema({{"v", h}}), GetParam());
+  std::vector<NodeId> atoms = h->Instances();
+
+  std::vector<TupleId> ids;
+  for (size_t i = 0; i < 8; ++i) {
+    ids.push_back(r.Insert({atoms[i]}, Truth::kPositive).value());
+    EXPECT_EQ(ids.back(), static_cast<TupleId>(i));
+  }
+  // Erase a middle run; survivors keep their ids.
+  ASSERT_TRUE(r.Erase(ids[2]).ok());
+  ASSERT_TRUE(r.EraseItem({atoms[5]}).ok());
+  EXPECT_EQ(r.TupleIds(), (std::vector<TupleId>{0, 1, 3, 4, 6, 7}));
+  EXPECT_EQ(r.FindItem({atoms[4]}), std::optional<TupleId>(4));
+  EXPECT_FALSE(r.FindItem({atoms[5]}).has_value());
+
+  // New inserts continue the sequence: erased ids are never reused, even
+  // for the very item that was erased.
+  EXPECT_EQ(r.Insert({atoms[5]}, Truth::kNegative).value(), TupleId{8});
+  EXPECT_EQ(r.Insert({atoms[8]}, Truth::kPositive).value(), TupleId{9});
+
+  // Upsert on a live item flips truth in place, keeping the id.
+  EXPECT_EQ(r.Upsert({atoms[0]}, Truth::kNegative).value(), TupleId{0});
+  EXPECT_EQ(r.TruthOf(0), Truth::kNegative);
+  EXPECT_EQ(r.size(), 8u);
+
+  // Clear resets the id space.
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.Insert({atoms[3]}, Truth::kPositive).value(), TupleId{0});
+}
+
+TEST_P(TupleStoreKindTest, DuplicateAndContradictionPolicyHolds) {
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 1, 1, 4);
+  HierarchicalRelation r("r", Schema({{"v", h}}), GetParam());
+  NodeId atom = h->Instances()[0];
+  ASSERT_TRUE(r.Insert({atom}, Truth::kPositive).ok());
+  EXPECT_TRUE(r.Insert({atom}, Truth::kPositive).status().IsAlreadyExists());
+  EXPECT_TRUE(
+      r.Insert({atom}, Truth::kNegative).status().IsIntegrityViolation());
+}
+
+TEST_P(TupleStoreKindTest, CopyPreservesIdsDeadSlotsAndVersion) {
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 1, 1, 8);
+  HierarchicalRelation r("r", Schema({{"v", h}}), GetParam());
+  std::vector<NodeId> atoms = h->Instances();
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(r.Insert({atoms[i]}, Truth::kPositive).ok());
+  }
+  ASSERT_TRUE(r.Erase(1).ok());
+  ASSERT_TRUE(r.Erase(4).ok());
+
+  HierarchicalRelation copy = r;
+  EXPECT_EQ(copy.version(), r.version());
+  EXPECT_EQ(copy.storage_kind(), GetParam());
+  EXPECT_EQ(copy.TupleIds(), r.TupleIds());
+  EXPECT_EQ(copy.ToString(), r.ToString());
+  // The copy's next id continues past the dead slots, like the original's.
+  EXPECT_EQ(copy.Insert({atoms[6]}, Truth::kPositive).value(), TupleId{6});
+}
+
+/// Concatenating chunk scans in chunk order reproduces LiveIds exactly,
+/// with a slot population larger than one chunk and holes punched in it.
+TEST_P(TupleStoreKindTest, ChunkScansCoverExactlyTheLiveIds) {
+  Database db;
+  constexpr size_t kTuples = 3000;  // ~3 chunks of 1024
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 1, 1, kTuples);
+  HierarchicalRelation r("r", Schema({{"v", h}}), GetParam());
+  for (NodeId atom : h->Instances()) {
+    ASSERT_TRUE(r.Insert({atom}, Truth::kPositive).ok());
+  }
+  // Punch deterministic holes, including a fully dead stretch that empties
+  // most of the middle chunk.
+  for (TupleId id = 0; id < kTuples; id += 7) {
+    ASSERT_TRUE(r.Erase(id).ok());
+  }
+  for (TupleId id = 1100; id < 2000; ++id) {
+    if (r.alive(id)) {
+      ASSERT_TRUE(r.Erase(id).ok());
+    }
+  }
+
+  EXPECT_EQ(r.num_chunks(), (kTuples + 1023) / 1024);
+  std::vector<TupleId> chunked;
+  for (size_t c = 0; c < r.num_chunks(); ++c) {
+    r.ForEachLiveInChunk(c, [&](TupleId id) { chunked.push_back(id); });
+  }
+  EXPECT_EQ(chunked, r.TupleIds());
+}
+
+/// Drives row and columnar relations through an identical randomized op
+/// sequence and requires them to be observationally identical: rendering,
+/// subsumption scans, kernel outputs, and exact probe counts at thread
+/// counts 1 and 4.
+TEST(TupleStoreEquivalenceTest, RowAndColumnarAreObservationallyEqual) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Database db;
+    Hierarchy* h =
+        testing::BuildTreeHierarchy(db, "d", /*depth=*/2, /*fanout=*/3,
+                                    /*instances_per_leaf=*/12);
+    Schema schema({{"v", h}});
+    HierarchicalRelation row("r", schema, StorageKind::kRow);
+    HierarchicalRelation col("r", schema, StorageKind::kColumnar);
+
+    std::vector<NodeId> nodes = h->Instances();
+    std::vector<NodeId> classes = h->Classes();
+    nodes.insert(nodes.end(), classes.begin() + 1, classes.end());
+
+    Random rng(seed);
+    for (size_t step = 0; step < 200; ++step) {
+      NodeId node = nodes[rng.Index(nodes.size())];
+      Item item{node};
+      Truth truth = rng.Bernoulli(0.3) ? Truth::kNegative : Truth::kPositive;
+      switch (rng.Uniform(4)) {
+        case 0:
+        case 1: {
+          Result<TupleId> a = row.Insert(item, truth);
+          Result<TupleId> b = col.Insert(item, truth);
+          ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " step " << step;
+          if (a.ok()) {
+            ASSERT_EQ(*a, *b);
+          }
+          break;
+        }
+        case 2: {
+          ASSERT_EQ(row.Upsert(item, truth).value(),
+                    col.Upsert(item, truth).value());
+          break;
+        }
+        case 3: {
+          Status a = row.EraseItem(item);
+          Status b = col.EraseItem(item);
+          ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " step " << step;
+          break;
+        }
+      }
+    }
+
+    ASSERT_EQ(row.size(), col.size()) << "seed " << seed;
+    EXPECT_EQ(row.ToString(), col.ToString()) << "seed " << seed;
+    EXPECT_EQ(row.TupleIds(), col.TupleIds()) << "seed " << seed;
+    for (NodeId probe : nodes) {
+      Item item{probe};
+      EXPECT_EQ(row.TuplesSubsuming(item), col.TuplesSubsuming(item))
+          << "seed " << seed << " node " << probe;
+      EXPECT_EQ(row.TuplesSubsumedBy(item), col.TuplesSubsumedBy(item))
+          << "seed " << seed << " node " << probe;
+    }
+
+    // Kernels must produce identical outputs AND identical probe counts on
+    // both layouts, serial and parallel: probes are counted per binding
+    // computation, which the storage layout may not affect.
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      uint64_t row_probes = 0, col_probes = 0;
+      InferenceOptions row_opts, col_opts;
+      row_opts.threads = col_opts.threads = threads;
+      row_opts.probe_counter = &row_probes;
+      col_opts.probe_counter = &col_probes;
+
+      Result<HierarchicalRelation> row_cons = Consolidated(row, row_opts);
+      Result<HierarchicalRelation> col_cons = Consolidated(col, col_opts);
+      ASSERT_TRUE(row_cons.ok() && col_cons.ok()) << "seed " << seed;
+      EXPECT_EQ(row_cons->ToString(), col_cons->ToString())
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(row_probes, col_probes)
+          << "seed " << seed << " threads " << threads;
+
+      NodeId cls = classes[1 + rng.Index(classes.size() - 1)];
+      Result<HierarchicalRelation> row_sel =
+          SelectEquals(row, 0, cls, row_opts);
+      Result<HierarchicalRelation> col_sel =
+          SelectEquals(col, 0, cls, col_opts);
+      ASSERT_EQ(row_sel.ok(), col_sel.ok()) << "seed " << seed;
+      if (row_sel.ok()) {
+        EXPECT_EQ(row_sel->ToString(), col_sel->ToString())
+            << "seed " << seed << " threads " << threads;
+      }
+      EXPECT_EQ(row_probes, col_probes)
+          << "seed " << seed << " threads " << threads;
+
+      // Cross-layout set operation: mixing layouts in one kernel is fine.
+      Result<HierarchicalRelation> mixed = Union(row, col, {
+          .inference = row_opts});
+      Result<HierarchicalRelation> pure = Union(col, col, {
+          .inference = col_opts});
+      ASSERT_EQ(mixed.ok(), pure.ok()) << "seed " << seed;
+      if (mixed.ok()) {
+        EXPECT_EQ(mixed->ToString(), pure->ToString()) << "seed " << seed;
+      }
+    }
+  }
+}
+
+/// The dictionary starts at one byte per code and is promoted to two once
+/// a column passes 256 distinct values, re-encoding what was packed so far.
+TEST(ColumnarTupleStoreTest, DictionaryPromotesPastByteBoundary) {
+  ColumnarTupleStore store(2);
+  constexpr size_t kDistinct = 700;
+  for (NodeId n = 0; n < kDistinct; ++n) {
+    // First attribute cycles through 3 values; second sees them all.
+    store.Append(Item{n % 3, n + 1000}, Truth::kPositive);
+  }
+  EXPECT_EQ(store.ColumnCodeWidth(0), 1u);
+  EXPECT_EQ(store.ColumnCodeWidth(1), 2u);
+  EXPECT_EQ(store.size(), kDistinct);
+  // Every component survives the mid-stream re-encoding.
+  for (TupleId id = 0; id < kDistinct; ++id) {
+    ASSERT_EQ(store.component(id, 0), id % 3) << id;
+    ASSERT_EQ(store.component(id, 1), id + 1000) << id;
+    ASSERT_TRUE(store.ItemAtEquals(id, Item{id % 3, id + 1000})) << id;
+  }
+  // Find goes through the hash index, which stores no items.
+  EXPECT_EQ(store.Find(Item{1, 1001}), std::optional<TupleId>(1));
+  EXPECT_FALSE(store.Find(Item{2, 1001}).has_value());
+}
+
+/// ApproxBytes must account for index structures, not just payloads: the
+/// reported footprint is the sum of the ColumnInfo breakdown, and that
+/// breakdown includes a nonzero item-index line on both layouts.
+TEST_P(TupleStoreKindTest, ApproxBytesIncludesIndexes) {
+  Database db;
+  Hierarchy* h = testing::BuildTreeHierarchy(db, "d", 1, 1, 512);
+  HierarchicalRelation r("r", Schema({{"v", h}}), GetParam());
+  for (NodeId atom : h->Instances()) {
+    ASSERT_TRUE(r.Insert({atom}, Truth::kPositive).ok());
+  }
+  std::vector<StorageColumnInfo> info = r.ColumnInfo();
+  size_t total = 0;
+  size_t index_bytes = 0;
+  for (const StorageColumnInfo& line : info) {
+    total += line.bytes;
+    if (line.name == "item-index" || line.name == "component-index") {
+      index_bytes += line.bytes;
+    }
+  }
+  EXPECT_EQ(r.ApproxBytes(), total);
+  EXPECT_GT(index_bytes, 0u);
+  // Payload alone underestimates: the full footprint is strictly larger
+  // than the raw per-tuple data.
+  EXPECT_GT(r.ApproxBytes(), r.size() * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace hirel

@@ -233,6 +233,42 @@ TEST_F(WalTest, PreferenceEdgesAndMultiParentsSurviveReplay) {
   EXPECT_TRUE(h->BindsBelow(a, b));
 }
 
+TEST_F(WalTest, StorageKindSurvivesReplayAndCheckpoint) {
+  const StorageKind session_default = DefaultStorageKind();
+  {
+    std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir_).value();
+    ASSERT_TRUE(ldb->CreateHierarchy("animal").ok());
+    ASSERT_TRUE(ldb->AddClass("animal", "bird").ok());
+    SetDefaultStorageKind(StorageKind::kColumnar);
+    ASSERT_TRUE(ldb->CreateRelation("col_rel", {{"who", "animal"}}).ok());
+    SetDefaultStorageKind(StorageKind::kRow);
+    ASSERT_TRUE(ldb->CreateRelation("row_rel", {{"who", "animal"}}).ok());
+    Hierarchy* animal = ldb->db().GetHierarchy("animal").value();
+    NodeId bird = animal->FindClass("bird").value();
+    ASSERT_TRUE(ldb->Insert("col_rel", {bird}, Truth::kPositive).ok());
+  }
+  SetDefaultStorageKind(session_default);
+  // Replay from the log alone: each relation keeps its creation-time kind,
+  // independent of the session default at replay time.
+  {
+    std::unique_ptr<LoggedDatabase> reopened =
+        LoggedDatabase::Open(dir_).value();
+    EXPECT_EQ(reopened->db().GetRelation("col_rel").value()->storage_kind(),
+              StorageKind::kColumnar);
+    EXPECT_EQ(reopened->db().GetRelation("row_rel").value()->storage_kind(),
+              StorageKind::kRow);
+    EXPECT_EQ(reopened->db().GetRelation("col_rel").value()->size(), 1u);
+    ASSERT_TRUE(reopened->Checkpoint().ok());
+  }
+  // And through the snapshot a checkpoint writes.
+  std::unique_ptr<LoggedDatabase> again = LoggedDatabase::Open(dir_).value();
+  EXPECT_EQ(again->replayed_records(), 0u);
+  EXPECT_EQ(again->db().GetRelation("col_rel").value()->storage_kind(),
+            StorageKind::kColumnar);
+  EXPECT_EQ(again->db().GetRelation("row_rel").value()->storage_kind(),
+            StorageKind::kRow);
+}
+
 TEST_F(WalTest, IntValuesRoundTripThroughLog) {
   {
     std::unique_ptr<LoggedDatabase> ldb = LoggedDatabase::Open(dir_).value();
