@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "core/inference.h"
+#include "obs/query_stats.h"
 
 namespace hirel {
 
@@ -68,6 +69,8 @@ Result<HierarchicalRelation> JoinOn(
   for (TupleId rid : right.TupleIds()) {
     right_items.push_back(right.ItemAt(rid));
   }
+  obs::ScopedAllocTracking tracked(
+      right_items.size() * (sizeof(Item) + rs.size() * sizeof(NodeId)));
 
   // Left tuples are scanned chunk by chunk in parallel; per-chunk candidate
   // vectors are concatenated in chunk order below, reproducing the serial
@@ -143,6 +146,7 @@ Result<HierarchicalRelation> JoinOn(
                       std::make_move_iterator(chunk.begin()),
                       std::make_move_iterator(chunk.end()));
   }
+  tracked.Grow(total * (sizeof(Item) + schema.size() * sizeof(NodeId)));
 
   Result<HierarchicalRelation> derived = DeriveRelation(
       StrCat(left.name(), "_join_", right.name()), schema,

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/explicate.h"
 #include "core/inference.h"
+#include "obs/query_stats.h"
 
 namespace hirel {
 
@@ -53,6 +54,8 @@ Result<HierarchicalRelation> SelectEquals(const HierarchicalRelation& relation,
                       std::make_move_iterator(chunk.begin()),
                       std::make_move_iterator(chunk.end()));
   }
+  obs::ScopedAllocTracking tracked(
+      candidates.size() * (sizeof(Item) + schema.size() * sizeof(NodeId)));
 
   return DeriveRelation(
       StrCat(relation.name(), "_select_", h->NodeName(node)), schema,

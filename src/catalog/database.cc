@@ -10,6 +10,11 @@ Result<Hierarchy*> Database::CreateHierarchy(std::string_view name,
   if (name.empty()) {
     return Status::InvalidArgument("hierarchy name must not be empty");
   }
+  if (IsSysName(name)) {
+    return Status::InvalidArgument(
+        StrCat("'", name, "': the sys. namespace is reserved for the "
+               "system catalog"));
+  }
   if (hierarchies_.find(name) != hierarchies_.end()) {
     return Status::AlreadyExists(StrCat("hierarchy '", name, "'"));
   }
@@ -105,6 +110,11 @@ Result<HierarchicalRelation*> Database::CreateRelation(
   if (name.empty()) {
     return Status::InvalidArgument("relation name must not be empty");
   }
+  if (IsSysName(name)) {
+    return Status::InvalidArgument(
+        StrCat("'", name, "': the sys. namespace is reserved for the "
+               "system catalog"));
+  }
   if (relations_.find(name) != relations_.end()) {
     return Status::AlreadyExists(StrCat("relation '", name, "'"));
   }
@@ -126,16 +136,26 @@ Result<HierarchicalRelation*> Database::CreateRelation(
 
 Result<HierarchicalRelation*> Database::AdoptRelation(
     HierarchicalRelation relation) {
+  if (IsSysName(relation.name())) {
+    return Status::InvalidArgument(
+        StrCat("'", relation.name(), "': the sys. namespace is reserved "
+               "for the system catalog"));
+  }
   if (relations_.find(relation.name()) != relations_.end()) {
     return Status::AlreadyExists(StrCat("relation '", relation.name(), "'"));
   }
   const Schema& schema = relation.schema();
   for (size_t i = 0; i < schema.size(); ++i) {
     if (!OwnsHierarchy(schema.hierarchy(i))) {
+      // System hierarchies are intentionally "not owned": a result derived
+      // from sys.* relations cannot be adopted (SAVE could not serialize
+      // its hidden domains).
       return Status::InvalidArgument(
           StrCat("relation '", relation.name(), "' references hierarchy '",
                  schema.hierarchy(i)->name(),
-                 "' not owned by this database"));
+                 IsSysName(schema.hierarchy(i)->name())
+                     ? "': results over sys. relations cannot be stored"
+                     : "' not owned by this database"));
     }
   }
   std::string name = relation.name();
@@ -167,6 +187,10 @@ Result<const HierarchicalRelation*> Database::GetRelation(
 }
 
 Status Database::DropRelation(std::string_view name) {
+  if (IsSysName(name)) {
+    return Status::InvalidArgument(
+        StrCat("system relation '", name, "' cannot be dropped"));
+  }
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("relation '", name, "'"));
@@ -190,6 +214,40 @@ bool Database::OwnsHierarchy(const Hierarchy* hierarchy) const {
     if (owned.get() == hierarchy) return true;
   }
   return false;
+}
+
+Status Database::RegisterVirtualRelation(
+    std::unique_ptr<VirtualRelationProvider> p) {
+  if (p == nullptr) {
+    return Status::InvalidArgument("null virtual-relation provider");
+  }
+  if (!IsSysName(p->name())) {
+    return Status::InvalidArgument(
+        StrCat("virtual relation '", p->name(),
+               "' must live in the sys. namespace"));
+  }
+  std::string name = p->name();
+  virtual_relations_[std::move(name)] = std::move(p);
+  return Status::OK();
+}
+
+VirtualRelationProvider* Database::FindVirtualRelation(
+    std::string_view name) const {
+  auto it = virtual_relations_.find(name);
+  if (it == virtual_relations_.end()) return nullptr;
+  return it->second.get();
+}
+
+std::vector<std::string> Database::VirtualRelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(virtual_relations_.size());
+  for (const auto& [name, _] : virtual_relations_) names.push_back(name);
+  return names;
+}
+
+Hierarchy* Database::AddSysHierarchy(std::string name) {
+  sys_hierarchies_.push_back(std::make_unique<Hierarchy>(std::move(name)));
+  return sys_hierarchies_.back().get();
 }
 
 }  // namespace hirel

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "catalog/virtual_relation.h"
 #include "common/result.h"
 #include "core/hierarchical_relation.h"
 #include "core/subsumption_cache.h"
@@ -24,6 +25,13 @@ namespace hirel {
 class Database {
  public:
   Database() = default;
+
+  /// True iff `name` lies in the reserved system-catalog namespace. Such
+  /// names resolve to virtual relations (or hidden system hierarchies) and
+  /// are rejected by every DDL entry point.
+  static bool IsSysName(std::string_view name) {
+    return name.substr(0, 4) == "sys.";
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -87,6 +95,32 @@ class Database {
   /// eagerly to bound memory. Dropping the whole Database (e.g. on LOAD)
   /// drops the cache with it.
   SubsumptionCache& subsumption_cache() { return subsumption_cache_; }
+  const SubsumptionCache& subsumption_cache() const {
+    return subsumption_cache_;
+  }
+
+  // ----- Virtual relations (system catalog) ---------------------------------
+
+  /// Registers a provider under its own (reserved, "sys."-prefixed) name,
+  /// replacing any previous provider of that name. The provider's schema
+  /// hierarchies must be registered via AddSysHierarchy (or owned by this
+  /// database). The Database must not be moved after registration.
+  Status RegisterVirtualRelation(std::unique_ptr<VirtualRelationProvider> p);
+
+  /// The provider registered under `name`, or null. Non-const pointer from
+  /// const access for the same reason as metrics(): materializing a system
+  /// relation never changes observable catalog state.
+  VirtualRelationProvider* FindVirtualRelation(std::string_view name) const;
+
+  /// Names of all registered virtual relations, sorted.
+  std::vector<std::string> VirtualRelationNames() const;
+
+  /// Registers a hidden hierarchy backing virtual-relation schemas. It is
+  /// excluded from HierarchyNames() / GetHierarchy() — and therefore from
+  /// snapshots — and deliberately from OwnsHierarchy too: adopting an
+  /// operator result over system relations (CREATE ... AS sys.x JOIN ...)
+  /// is refused, because SAVE could not serialize its hidden domains.
+  Hierarchy* AddSysHierarchy(std::string name);
 
   // ----- Observability ------------------------------------------------------
 
@@ -102,6 +136,11 @@ class Database {
   std::map<std::string, std::unique_ptr<Hierarchy>, std::less<>> hierarchies_;
   std::map<std::string, std::unique_ptr<HierarchicalRelation>, std::less<>>
       relations_;
+  /// Hidden hierarchies backing virtual-relation schemas (stable pointers;
+  /// never serialized, never listed).
+  std::vector<std::unique_ptr<Hierarchy>> sys_hierarchies_;
+  std::map<std::string, std::unique_ptr<VirtualRelationProvider>, std::less<>>
+      virtual_relations_;
   SubsumptionCache subsumption_cache_;
   mutable obs::MetricsRegistry metrics_;
 };

@@ -1,0 +1,55 @@
+// VirtualRelationProvider: read-only relations materialized on scan.
+//
+// A provider is registered on a Database under a reserved "sys."-prefixed
+// name and produces a HierarchicalRelation on demand — the engine's own
+// telemetry (metrics, log events, catalog state, query history) exposed
+// through the same hierarchical model it implements, so selection,
+// projection, join, and subsumption-aware queries work on it unchanged
+// ("Stored and Inherited Relations"-style virtual relations; see
+// obs/sys_catalog.h for the concrete providers).
+//
+// Contract:
+//  * schema() must return a schema whose hierarchies are owned by (or
+//    registered on) the same Database and must *refresh* the hierarchy
+//    domains — interning any value a materialization would produce — so
+//    WHERE terms resolve at plan-compile time, before Materialize runs.
+//  * Materialize() builds a fresh relation over exactly that schema; the
+//    plan executor owns the result, so nothing is cached and the
+//    subsumption-graph cache is bypassed automatically.
+//  * EstimatedRows() is a row-count hint for the plan annotator.
+//
+// Providers registered on a Database must outlive every scan; the Database
+// owns them and must not be moved afterwards (providers keep back-pointers).
+
+#ifndef HIREL_CATALOG_VIRTUAL_RELATION_H_
+#define HIREL_CATALOG_VIRTUAL_RELATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/hierarchical_relation.h"
+#include "types/schema.h"
+
+namespace hirel {
+
+class VirtualRelationProvider {
+ public:
+  virtual ~VirtualRelationProvider() = default;
+
+  /// The reserved catalog name ("sys.metrics", "sys.queries", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The relation's schema, with hierarchy domains refreshed (see file
+  /// comment). Non-const because refreshing interns instances.
+  virtual const Schema& schema() = 0;
+
+  /// Row-count hint for plan annotation; need not be exact.
+  virtual size_t EstimatedRows() = 0;
+
+  /// Builds the relation's current contents.
+  virtual Result<HierarchicalRelation> Materialize() = 0;
+};
+
+}  // namespace hirel
+
+#endif  // HIREL_CATALOG_VIRTUAL_RELATION_H_

@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "core/subsumption.h"
+#include "obs/query_stats.h"
 
 namespace hirel {
 
@@ -80,6 +81,8 @@ Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
   }
   std::vector<bool> removed(capacity, false);
   std::vector<TupleId> to_erase;
+  obs::ScopedAllocTracking tracked(
+      capacity / 8 + graph.nodes.size() * sizeof(TupleId));
 
   if (options.threads == 1) {
     for (TupleId id : graph.nodes) {

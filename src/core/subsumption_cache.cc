@@ -1,5 +1,7 @@
 #include "core/subsumption_cache.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 #include "obs/log.h"
 
@@ -95,6 +97,29 @@ size_t SubsumptionCache::size() const {
 SubsumptionCache::Stats SubsumptionCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<SubsumptionCache::EntryInfo> SubsumptionCache::Entries() const {
+  std::vector<std::pair<std::string, Entry*>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) {
+      snapshot.emplace_back(name, entry.get());
+    }
+  }
+  std::sort(snapshot.begin(), snapshot.end());
+  std::vector<EntryInfo> out;
+  out.reserve(snapshot.size());
+  for (auto& [name, entry] : snapshot) {
+    std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+    EntryInfo info;
+    info.relation = std::move(name);
+    info.relation_version = entry->relation_version;
+    info.graph_nodes = entry->graph.nodes.size();
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 void SubsumptionCache::ResetStats() {

@@ -48,6 +48,15 @@ class SubsumptionCache {
     size_t invalidations = 0;
   };
 
+  /// Snapshot of one cached entry, for introspection (sys.cache).
+  struct EntryInfo {
+    std::string relation;
+    uint64_t relation_version = 0;
+    /// Tuples in the cached graph (0 for an entry allocated but never
+    /// built).
+    size_t graph_nodes = 0;
+  };
+
   /// Returns the subsumption graph of `relation`, building it only if no
   /// entry exists for `relation.name()` at the current version stamps.
   /// `threads` is forwarded to BuildSubsumptionGraph on a miss.
@@ -67,6 +76,11 @@ class SubsumptionCache {
   size_t size() const;
   Stats stats() const;
   void ResetStats();
+
+  /// Per-entry snapshots, sorted by relation name. Safe concurrently with
+  /// Get/Fresh (takes each entry's build latch briefly); follows the
+  /// single-writer rule w.r.t. Invalidate/Clear like every other reader.
+  std::vector<EntryInfo> Entries() const;
 
  private:
   struct Entry {

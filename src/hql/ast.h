@@ -131,6 +131,7 @@ struct ShowStmt {
     kTrace,        // SHOW TRACE [JSON]: the last query's span tree
     kLog,          // SHOW LOG [JSON]: the in-memory event-log ring
     kStorage,      // SHOW STORAGE: per-relation layout and byte breakdown
+    kQueries,      // SHOW QUERIES [JSON]: the query-history ring, newest first
   };
   What what = What::kRelations;
   std::string name;

@@ -29,7 +29,10 @@
 #include "io/snapshot.h"
 #include "io/text_dump.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/log.h"
+#include "obs/query_stats.h"
+#include "obs/sys_catalog.h"
 
 namespace hirel {
 namespace hql {
@@ -123,7 +126,8 @@ bool TraceWorthy(const Statement& statement) {
   if (const auto* show = std::get_if<ShowStmt>(&statement)) {
     return show->what != ShowStmt::What::kMetrics &&
            show->what != ShowStmt::What::kTrace &&
-           show->what != ShowStmt::What::kLog;
+           show->what != ShowStmt::What::kLog &&
+           show->what != ShowStmt::What::kQueries;
   }
   return true;
 }
@@ -210,7 +214,7 @@ Result<std::string> Executor::Execute(std::string_view source) {
     current_statement_text_ = i < texts.size() ? texts[i] : std::string();
     Result<std::string> part = [&]() {
       obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
-      return ExecuteStatementImpl(statement);
+      return ExecuteTracked(statement);
     }();
     if (!part.ok()) {
       db_->metrics().counter("query.errors").Add();
@@ -232,14 +236,14 @@ Result<std::string> Executor::Execute(std::string_view source) {
 }
 
 Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
-  if (active_trace_ != nullptr) return ExecuteStatementImpl(statement);
+  if (active_trace_ != nullptr) return ExecuteTracked(statement);
   obs::Trace trace;
   active_trace_ = &trace;
   ThreadPool::Shared().StartChunkCapture();
   db_->metrics().counter("query.statements").Add();
   Result<std::string> result = [&]() {
     obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
-    return ExecuteStatementImpl(statement);
+    return ExecuteTracked(statement);
   }();
   active_trace_ = nullptr;
   std::vector<ThreadPool::ChunkSpan> chunks =
@@ -252,11 +256,48 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
   return result;
 }
 
+void Executor::InstallSystemCatalog() {
+  obs::RegisterSystemCatalog(*db_, &history_);
+}
+
+Result<std::string> Executor::ExecuteTracked(const Statement& statement) {
+  pending_ = PendingPlanStats{};
+  obs::ResetTrackedPeak();
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> result = ExecuteStatementImpl(statement);
+  uint64_t ns = ElapsedNs(start);
+  obs::QueryStats stats;
+  stats.id = next_query_id_++;
+  stats.kind = std::visit(TraceName{}, statement);
+  stats.statement =
+      current_statement_text_.empty() ? stats.kind : current_statement_text_;
+  stats.ok = result.ok();
+  stats.wall_ns = ns == 0 ? 1 : ns;
+  stats.rows_in = pending_.rows_in;
+  stats.rows_out = pending_.rows_out;
+  stats.subsumption_probes = pending_.subsumption_probes;
+  stats.peak_tracked_bytes = obs::TrackedPeakBytes();
+  stats.plan_digest = pending_.digest;
+  stats.storage = StorageKindToString(DefaultStorageKind());
+  stats.threads = ThreadPool::EffectiveThreads(options_.threads);
+  history_.Append(std::move(stats));
+  return result;
+}
+
 Result<std::string> Executor::ExecuteStatementImpl(
     const Statement& statement) {
   struct Visitor {
     Executor& self;
     Database& db;
+
+    /// Update statements name a stored relation; a sys.* name gets this
+    /// clearer refusal instead of the NotFound a catalog lookup would give.
+    static Status RejectSysWrite(const std::string& relation) {
+      if (!Database::IsSysName(relation)) return Status::OK();
+      return Status::InvalidArgument(
+          StrCat("relation '", relation,
+                 "' is a read-only system relation"));
+    }
 
     /// Folds one plan execution's stats into the engine metrics.
     void RecordPlanMetrics(const plan::ExecStats& stats, uint64_t ns) {
@@ -295,6 +336,18 @@ Result<std::string> Executor::ExecuteStatementImpl(
       span.Note("nodes", stats.nodes_executed);
       span.Note("probes", stats.subsumption_probes);
       RecordPlanMetrics(stats, ns);
+      self.pending_.subsumption_probes += stats.subsumption_probes;
+      self.pending_.rows_in += stats.rows_scanned;
+      self.pending_.digest = plan::PlanDigest(*compiled);
+      if (out.ok()) {
+        if (out->relation.has_value()) {
+          self.pending_.rows_out += out->relation->size();
+        } else if (out->rollup.has_value()) {
+          self.pending_.rows_out += out->rollup->size();
+        } else if (out->count.has_value()) {
+          self.pending_.rows_out += 1;
+        }
+      }
       if (out.ok() && slow_log_armed &&
           ns >= static_cast<uint64_t>(self.slow_query_ms_) * 1'000'000) {
         LogSlowQuery(db, self.current_statement_text_, *compiled, stats, ns);
@@ -398,6 +451,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
     }
 
     Result<std::string> operator()(const FactStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(RejectSysWrite(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       bool interning = stmt.kind != FactStmt::Kind::kRetract;
@@ -489,6 +543,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
         span.Note("nodes", exec_stats.nodes_executed);
         span.Note("probes", exec_stats.subsumption_probes);
         RecordPlanMetrics(exec_stats, ns);
+        self.pending_.subsumption_probes += exec_stats.subsumption_probes;
+        self.pending_.rows_in += exec_stats.rows_scanned;
+        self.pending_.digest = plan::PlanDigest(*compiled);
         if (self.slow_query_ms_ >= 0 &&
             ns >= static_cast<uint64_t>(self.slow_query_ms_) * 1'000'000) {
           LogSlowQuery(db, self.current_statement_text_, *compiled,
@@ -511,6 +568,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
     }
 
     Result<std::string> operator()(const ConsolidateStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(RejectSysWrite(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(size_t removed,
@@ -553,9 +611,15 @@ Result<std::string> Executor::ExecuteStatementImpl(
           return FormatHierarchy(*h);
         }
         case ShowStmt::What::kRelation: {
-          HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
-                                 std::as_const(db).GetRelation(stmt.name));
-          return FormatRelation(*relation);
+          Result<const HierarchicalRelation*> relation =
+              std::as_const(db).GetRelation(stmt.name);
+          if (relation.ok()) return FormatRelation(**relation);
+          VirtualRelationProvider* provider =
+              db.FindVirtualRelation(stmt.name);
+          if (provider == nullptr) return relation.status();
+          HIREL_ASSIGN_OR_RETURN(HierarchicalRelation materialized,
+                                 provider->Materialize());
+          return FormatRelation(materialized);
         }
         case ShowStmt::What::kHierarchies: {
           std::string out = "hierarchies:\n";
@@ -568,6 +632,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
           std::string out = "relations:\n";
           for (const std::string& name : db.RelationNames()) {
             out += StrCat("  ", name, "\n");
+          }
+          for (const std::string& name : db.VirtualRelationNames()) {
+            out += StrCat("  ", name, " (virtual)\n");
           }
           return out;
         }
@@ -586,57 +653,13 @@ Result<std::string> Executor::ExecuteStatementImpl(
           return out;
         }
         case ShowStmt::What::kMetrics: {
-          // Sync the subsumption cache's own stats into gauges so one
-          // rendering covers the whole engine.
+          // Sync engine-internal stats (cache, pool, storage, process)
+          // into gauges so one rendering covers the whole engine; the
+          // sys.metrics provider runs the same sync, so both views agree.
+          obs::SyncEngineGauges(db);
           obs::MetricsRegistry& m = db.metrics();
-          const SubsumptionCache& cache = db.subsumption_cache();
-          m.gauge("subsumption_cache.hits")
-              .Set(static_cast<int64_t>(cache.stats().hits));
-          m.gauge("subsumption_cache.misses")
-              .Set(static_cast<int64_t>(cache.stats().misses));
-          m.gauge("subsumption_cache.invalidations")
-              .Set(static_cast<int64_t>(cache.stats().invalidations));
-          m.gauge("subsumption_cache.entries")
-              .Set(static_cast<int64_t>(cache.size()));
           m.gauge("exec.threads")
               .Set(static_cast<int64_t>(self.options_.threads));
-          ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
-          m.gauge("pool.workers").Set(static_cast<int64_t>(pool.workers));
-          m.gauge("pool.regions").Set(static_cast<int64_t>(pool.regions));
-          m.gauge("pool.tasks_run").Set(static_cast<int64_t>(pool.tasks_run));
-          m.gauge("pool.steals").Set(static_cast<int64_t>(pool.steals));
-          m.gauge("pool.max_queue_depth")
-              .Set(static_cast<int64_t>(pool.max_queue_depth));
-          m.gauge("pool.busy_ms")
-              .Set(static_cast<int64_t>(pool.busy_ns / 1'000'000));
-          m.gauge("pool.queue_depth")
-              .Set(static_cast<int64_t>(pool.queue_depth));
-          for (size_t i = 0; i < pool.per_thread_busy_ns.size(); ++i) {
-            m.gauge(StrCat("pool.thread", i, ".busy_ms"))
-                .Set(static_cast<int64_t>(pool.per_thread_busy_ns[i] /
-                                          1'000'000));
-          }
-          size_t row_relations = 0, columnar_relations = 0;
-          size_t row_bytes = 0, columnar_bytes = 0;
-          for (const std::string& name : db.RelationNames()) {
-            Result<const HierarchicalRelation*> r =
-                std::as_const(db).GetRelation(name);
-            if (!r.ok()) continue;
-            if ((*r)->storage_kind() == StorageKind::kRow) {
-              ++row_relations;
-              row_bytes += (*r)->ApproxBytes();
-            } else {
-              ++columnar_relations;
-              columnar_bytes += (*r)->ApproxBytes();
-            }
-          }
-          m.gauge("storage.row_relations")
-              .Set(static_cast<int64_t>(row_relations));
-          m.gauge("storage.columnar_relations")
-              .Set(static_cast<int64_t>(columnar_relations));
-          m.gauge("storage.row_bytes").Set(static_cast<int64_t>(row_bytes));
-          m.gauge("storage.columnar_bytes")
-              .Set(static_cast<int64_t>(columnar_bytes));
           if (stmt.json) return StrCat(m.RenderJson(), "\n");
           if (stmt.prometheus) return obs::PrometheusText(m);
           return m.Render();
@@ -667,6 +690,51 @@ Result<std::string> Executor::ExecuteStatementImpl(
           out += "):\n";
           for (const obs::LogEvent& event : events) {
             out += StrCat("  ", event.ToText(), "\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kQueries: {
+          std::vector<std::shared_ptr<const obs::QueryStats>> entries =
+              self.history_.Snapshot();
+          // Newest first: the most recent statement is the one being
+          // debugged.
+          std::reverse(entries.begin(), entries.end());
+          if (stmt.json) {
+            std::string out = "[";
+            for (size_t i = 0; i < entries.size(); ++i) {
+              const obs::QueryStats& q = *entries[i];
+              if (i > 0) out += ",";
+              out += StrCat(
+                  "{\"id\":", q.id, ",\"kind\":\"", obs::JsonEscape(q.kind),
+                  "\",\"statement\":\"", obs::JsonEscape(q.statement),
+                  "\",\"ok\":", q.ok ? "true" : "false",
+                  ",\"wall_us\":", q.wall_ns / 1000,
+                  ",\"rows_in\":", q.rows_in, ",\"rows_out\":", q.rows_out,
+                  ",\"probes\":", q.subsumption_probes,
+                  ",\"peak_bytes\":", q.peak_tracked_bytes,
+                  ",\"digest\":\"", obs::JsonEscape(q.plan_digest),
+                  "\",\"storage\":\"", obs::JsonEscape(q.storage),
+                  "\",\"threads\":", q.threads, "}");
+            }
+            out += "]\n";
+            return out;
+          }
+          std::string out =
+              StrCat("queries (", entries.size(), " of ",
+                     self.history_.total_recorded(), " recorded, newest first):\n");
+          for (const std::shared_ptr<const obs::QueryStats>& entry :
+               entries) {
+            const obs::QueryStats& q = *entry;
+            out += StrCat("  #", q.id, " [", q.kind, "] ",
+                          NsToMs(q.wall_ns), "ms rows=", q.rows_in, "->",
+                          q.rows_out, " probes=", q.subsumption_probes,
+                          " peak=", q.peak_tracked_bytes, "B");
+            if (!q.plan_digest.empty()) {
+              out += StrCat(" digest=", q.plan_digest);
+            }
+            out += StrCat(" storage=", q.storage, " threads=", q.threads);
+            if (!q.ok) out += " FAILED";
+            out += StrCat("  ", q.statement, "\n");
           }
           return out;
         }
@@ -713,6 +781,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
     }
 
     Result<std::string> operator()(const CompressStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(RejectSysWrite(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(size_t saved, CompressInPlace(*relation));
@@ -726,6 +795,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
             StrCat("a transaction on '", self.txn_relation_,
                    "' is already open"));
       }
+      HIREL_RETURN_IF_ERROR(RejectSysWrite(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       self.txn_ = std::make_unique<Transaction>(relation, self.options_,
@@ -875,6 +945,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
       HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> loaded,
                              LoadDatabase(stmt.path));
       self.db_ = std::move(loaded);
+      // The loaded database has no providers; re-register them so sys.*
+      // keeps answering (the history ring itself survives the swap).
+      self.InstallSystemCatalog();
       return StrCat("loaded '", stmt.path, "'\n");
     }
 

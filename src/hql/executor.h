@@ -14,6 +14,7 @@
 #include "core/binding.h"
 #include "core/transaction.h"
 #include "hql/ast.h"
+#include "obs/query_stats.h"
 #include "obs/trace.h"
 
 namespace hirel {
@@ -25,10 +26,12 @@ namespace hql {
 /// the ordering discipline Section 3.1 demands of transactions).
 class Executor {
  public:
-  Executor() : db_(std::make_unique<Database>()) {}
+  Executor() : db_(std::make_unique<Database>()) { InstallSystemCatalog(); }
 
   /// Takes ownership of an existing database.
-  explicit Executor(std::unique_ptr<Database> db) : db_(std::move(db)) {}
+  explicit Executor(std::unique_ptr<Database> db) : db_(std::move(db)) {
+    InstallSystemCatalog();
+  }
 
   Database& database() { return *db_; }
   const Database& database() const { return *db_; }
@@ -51,11 +54,43 @@ class Executor {
     return pool_spans_;
   }
 
+  /// The per-query resource-accounting ring (what sys.queries and SHOW
+  /// QUERIES expose). Every executed statement is recorded, pass or fail.
+  const obs::QueryHistoryRing& query_history() const { return history_; }
+
  private:
+  /// Plan-level figures accumulated while one statement executes, folded
+  /// into its QueryStats record afterwards. A statement may run more than
+  /// one plan (none for DDL), so probes / rows accumulate.
+  struct PendingPlanStats {
+    uint64_t subsumption_probes = 0;
+    uint64_t rows_in = 0;
+    uint64_t rows_out = 0;
+    std::string digest;  // last plan's digest
+  };
+
+  /// Registers the sys.* virtual-relation providers on db_. Called from
+  /// both constructors and again after LOAD replaces the database.
+  void InstallSystemCatalog();
+
+  /// Runs one statement with per-query resource accounting: times it,
+  /// tracks peak kernel allocations, and appends a QueryStats record to
+  /// the history ring (after execution, so a query over sys.queries does
+  /// not observe itself).
+  Result<std::string> ExecuteTracked(const Statement& statement);
+
   Result<std::string> ExecuteStatementImpl(const Statement& statement);
 
   std::unique_ptr<Database> db_;
   InferenceOptions options_;
+
+  // Query-history ring behind sys.queries / SHOW QUERIES. Declared after
+  // db_ so it outlives no provider that reads it: members destroy in
+  // reverse order, and the sys.queries provider (owned by db_) never
+  // touches the ring during destruction.
+  obs::QueryHistoryRing history_;
+  uint64_t next_query_id_ = 1;
+  PendingPlanStats pending_;
 
   // SET SLOW_QUERY_MS threshold: statements whose plan execution takes at
   // least this many milliseconds are written to the event log with text,

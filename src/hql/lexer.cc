@@ -55,7 +55,15 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
 
     if (IsIdentStart(c)) {
       size_t start = pos;
-      while (pos < source.size() && IsIdentBody(source[pos])) advance(1);
+      // Dots join qualified names (sys.metrics, pool.thread0) into one
+      // identifier, but only when another identifier character follows, so
+      // a sentence-ending dot is left to the punctuation error path.
+      while (pos < source.size() &&
+             (IsIdentBody(source[pos]) ||
+              (source[pos] == '.' && pos + 1 < source.size() &&
+               IsIdentBody(source[pos + 1])))) {
+        advance(1);
+      }
       std::string word(source.substr(start, pos - start));
       if (IsReservedWord(word)) {
         token.type = TokenType::kKeyword;

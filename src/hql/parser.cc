@@ -386,6 +386,9 @@ class Parser {
         stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("STORAGE")) {
         stmt.what = ShowStmt::What::kStorage;
+      } else if (AcceptKeyword("QUERIES")) {
+        stmt.what = ShowStmt::What::kQueries;
+        stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
         HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
@@ -394,7 +397,7 @@ class Parser {
       } else {
         return Error(
             "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
-            "METRICS, TRACE, LOG, or STORAGE");
+            "METRICS, TRACE, LOG, STORAGE, or QUERIES");
       }
       return Statement(std::move(stmt));
     }

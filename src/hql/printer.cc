@@ -59,12 +59,23 @@ std::string HelpText() {
 
   observability
     SHOW METRICS [JSON | PROMETHEUS];            -- engine counters/histograms
+    SHOW QUERIES [JSON];                         -- per-query history ring, newest first
     SHOW TRACE [JSON];                           -- last query's span tree
     SHOW LOG [JSON];                             -- in-memory event log
     SET LOG debug|info|warn|error|off;           -- logger minimum level
     SET SLOW_QUERY_MS n;                         -- log statements >= n ms (OFF to disable)
     EXPORT TRACE 'file.json';                    -- Chrome trace-event JSON
     RESET METRICS;                               -- zero every metric
+
+  system catalog (read-only virtual relations; SELECT/JOIN like any other)
+    sys.metrics    -- every counter/gauge/histogram; name is hierarchical,
+                   -- so SELECT ... WHERE name = ALL pool covers the subtree
+    sys.log        -- event-log ring; severity hierarchy debug>info>warn>error
+    sys.relations  -- stored + virtual relations with storage kind and bytes
+    sys.columns    -- per-column byte and dictionary breakdown
+    sys.cache      -- subsumption-cache entries with version stamps
+    sys.pool       -- per-thread busy time
+    sys.queries    -- per-query accounting (wall, rows, probes, peak bytes)
 )";
 }
 

@@ -1,10 +1,44 @@
 #include "obs/metrics.h"
 
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "common/str_util.h"
 #include "obs/json.h"
 
 namespace hirel {
 namespace obs {
+
+namespace {
+
+// Anchored once at static initialization, close enough to process start
+// for a liveness gauge.
+const std::chrono::steady_clock::time_point kProcessStart =
+    std::chrono::steady_clock::now();
+
+/// Resident set size in bytes, or 0 where unavailable.
+uint64_t ResidentBytes() {
+#if defined(__linux__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long total_pages = 0, resident_pages = 0;
+  int fields = std::fscanf(statm, "%lu %lu", &total_pages, &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) page = 4096;
+  return static_cast<uint64_t>(resident_pages) *
+         static_cast<uint64_t>(page);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
 
 void Histogram::Reset() {
   count_ = 0;
@@ -103,6 +137,17 @@ std::string MetricsRegistry::RenderJson() const {
   }
   out += "}}";
   return out;
+}
+
+void UpdateProcessGauges(MetricsRegistry& registry) {
+  auto uptime = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - kProcessStart);
+  registry.gauge("process.uptime_ms")
+      .Set(static_cast<int64_t>(uptime.count()));
+  uint64_t rss = ResidentBytes();
+  if (rss > 0) {
+    registry.gauge("process.rss_bytes").Set(static_cast<int64_t>(rss));
+  }
 }
 
 }  // namespace obs

@@ -171,6 +171,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Refreshes the process-level liveness gauges on `registry`:
+/// `process.uptime_ms` (monotonic, since process start) always, and
+/// `process.rss_bytes` where the platform exposes it (/proc/self/statm).
+/// Called by SHOW METRICS and the sys.metrics provider so scrapes and
+/// queries both see current values.
+void UpdateProcessGauges(MetricsRegistry& registry);
+
 }  // namespace obs
 }  // namespace hirel
 

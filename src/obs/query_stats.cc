@@ -1,0 +1,73 @@
+#include "obs/query_stats.h"
+
+#include <mutex>
+
+namespace hirel {
+namespace obs {
+
+QueryHistoryRing::QueryHistoryRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(capacity_) {}
+
+void QueryHistoryRing::Append(QueryStats stats) {
+  // The record is built before the lock; the critical section is two
+  // pointer stores.
+  std::shared_ptr<const QueryStats> record =
+      std::make_shared<const QueryStats>(std::move(stats));
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  slots_[head % capacity_] = std::move(record);
+  head_.store(head + 1, std::memory_order_release);
+}
+
+std::vector<std::shared_ptr<const QueryStats>> QueryHistoryRing::Snapshot()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  std::vector<std::shared_ptr<const QueryStats>> out;
+  out.reserve(head - first);
+  for (uint64_t i = first; i < head; ++i) {
+    out.push_back(slots_[i % capacity_]);
+  }
+  return out;
+}
+
+namespace {
+
+std::atomic<uint64_t> g_tracked_current{0};
+std::atomic<uint64_t> g_tracked_peak{0};
+
+}  // namespace
+
+void AddTrackedBytes(uint64_t bytes) {
+  if (bytes == 0) return;
+  uint64_t now =
+      g_tracked_current.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = g_tracked_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_tracked_peak.compare_exchange_weak(peak, now,
+                                               std::memory_order_relaxed)) {
+  }
+}
+
+void SubTrackedBytes(uint64_t bytes) {
+  if (bytes == 0) return;
+  g_tracked_current.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void ResetTrackedPeak() {
+  g_tracked_peak.store(g_tracked_current.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+uint64_t TrackedPeakBytes() {
+  return g_tracked_peak.load(std::memory_order_relaxed);
+}
+
+uint64_t TrackedCurrentBytes() {
+  return g_tracked_current.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace hirel

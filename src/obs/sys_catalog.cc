@@ -1,0 +1,577 @@
+#include "obs/sys_catalog.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/str_util.h"
+#include "common/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace hirel {
+namespace obs {
+namespace {
+
+/// The hidden hierarchies shared by every provider: one per semantic
+/// domain, so attributes with the same name across sys relations range
+/// over the same hierarchy and natural joins stay well-typed.
+struct SysDomains {
+  Hierarchy* label = nullptr;     // sys.label: names, kinds, buckets, ...
+  Hierarchy* metric = nullptr;    // sys.metric: dotted metric-name tree
+  Hierarchy* severity = nullptr;  // sys.severity: debug ⊃ info ⊃ warn ⊃ error
+  Hierarchy* num = nullptr;       // sys.num: interned integer measures
+  Hierarchy* text = nullptr;      // sys.text: free-form strings
+};
+
+/// Interns a metric name into the metric-name hierarchy: one class per
+/// dotted prefix ("pool", "pool.thread0"), the full name as an instance
+/// under the deepest prefix. `ALL pool` then covers the pool.* subtree.
+NodeId InternMetricName(Hierarchy& h, const std::string& name) {
+  NodeId parent = h.root();
+  size_t pos = 0;
+  for (size_t dot = name.find('.'); dot != std::string::npos;
+       dot = name.find('.', pos)) {
+    std::string prefix = name.substr(0, dot);
+    Result<NodeId> cls = h.FindClass(prefix);
+    if (cls.ok()) {
+      parent = *cls;
+    } else {
+      Result<NodeId> added = h.AddClass(prefix, parent);
+      if (!added.ok()) break;  // unreachable: names are prefix-unique
+      parent = *added;
+    }
+    pos = dot + 1;
+  }
+  Result<NodeId> instance = h.FindInstance(Value::String(name));
+  if (instance.ok()) return *instance;
+  Result<NodeId> added = h.AddInstance(Value::String(name), parent);
+  return added.ok() ? *added : h.Intern(Value::String(name));
+}
+
+/// Common shape of a provider: fixed name + schema, rows built fresh on
+/// every Materialize. schema() refreshes the hierarchy domains first so
+/// WHERE terms resolve at plan-compile time.
+class SysProviderBase : public VirtualRelationProvider {
+ public:
+  SysProviderBase(std::string name, Schema schema, SysDomains domains)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        domains_(domains) {}
+
+  const std::string& name() const override { return name_; }
+
+  const Schema& schema() override {
+    RefreshDomains();
+    return schema_;
+  }
+
+ protected:
+  virtual void RefreshDomains() {}
+
+  HierarchicalRelation NewRelation() const {
+    return HierarchicalRelation(name_, schema_);
+  }
+
+  static Status AddRow(HierarchicalRelation& rel, Item item) {
+    return rel.Upsert(std::move(item), Truth::kPositive).status();
+  }
+
+  NodeId Label(const std::string& s) {
+    return domains_.label->Intern(Value::String(s));
+  }
+  NodeId Num(uint64_t v) {
+    return domains_.num->Intern(Value::Int(static_cast<int64_t>(v)));
+  }
+  NodeId Text(const std::string& s) {
+    return domains_.text->Intern(Value::String(s));
+  }
+
+  std::string name_;
+  Schema schema_;
+  SysDomains domains_;
+};
+
+// ----- sys.metrics ----------------------------------------------------------
+
+class SysMetricsProvider : public SysProviderBase {
+ public:
+  SysMetricsProvider(std::string name, Schema schema, SysDomains domains,
+                     const Database* db)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        db_(db) {}
+
+  size_t EstimatedRows() override {
+    const MetricsRegistry& m = db_->metrics();
+    return m.counters().size() + m.gauges().size() +
+           4 * m.histograms().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    RefreshDomains();
+    HierarchicalRelation rel = NewRelation();
+    const MetricsRegistry& m = db_->metrics();
+    NodeId counter_kind = Label("counter");
+    NodeId gauge_kind = Label("gauge");
+    NodeId histogram_kind = Label("histogram");
+    NodeId no_bucket = Label("-");
+    for (const auto& [metric, c] : m.counters()) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{InternMetricName(*domains_.metric, metric), counter_kind,
+                    Num(c->value()), no_bucket}));
+    }
+    for (const auto& [metric, g] : m.gauges()) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{InternMetricName(*domains_.metric, metric), gauge_kind,
+                    Num(static_cast<uint64_t>(g->value())), no_bucket}));
+    }
+    for (const auto& [metric, h] : m.histograms()) {
+      NodeId metric_node = InternMetricName(*domains_.metric, metric);
+      HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                             Num(h->count()),
+                                             Label("count")}));
+      HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                             Num(h->sum_ns()),
+                                             Label("sum_ns")}));
+      HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                             Num(h->max_ns()),
+                                             Label("max_ns")}));
+      for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+        if (h->buckets()[i] == 0) continue;
+        uint64_t bound = Histogram::BucketBound(i);
+        NodeId bucket = bound > 0 ? Label(StrCat("le_", bound, "_ns"))
+                                  : Label("overflow");
+        HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                               Num(h->buckets()[i]),
+                                               bucket}));
+      }
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    SyncEngineGauges(*db_);
+    const MetricsRegistry& m = db_->metrics();
+    for (const auto& [metric, c] : m.counters()) {
+      InternMetricName(*domains_.metric, metric);
+      Num(c->value());
+    }
+    for (const auto& [metric, g] : m.gauges()) {
+      InternMetricName(*domains_.metric, metric);
+      Num(static_cast<uint64_t>(g->value()));
+    }
+    for (const auto& [metric, _] : m.histograms()) {
+      InternMetricName(*domains_.metric, metric);
+    }
+  }
+
+ private:
+  const Database* db_;
+};
+
+// ----- sys.log --------------------------------------------------------------
+
+class SysLogProvider : public SysProviderBase {
+ public:
+  using SysProviderBase::SysProviderBase;
+
+  size_t EstimatedRows() override {
+    return Logger::Global().ring().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    for (const LogEvent& event : Logger::Global().ring().Snapshot()) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{Num(event.seq), Num(event.unix_micros),
+                    domains_.severity->Intern(
+                        Value::String(LogLevelName(event.level))),
+                    Label(event.component),
+                    Text(StrCat(event.event, FieldsSuffix(event)))}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    // Interning grows with the ring contents, which are bounded by the
+    // ring capacity; severity instances were added at registration.
+    for (const LogEvent& event : Logger::Global().ring().Snapshot()) {
+      Num(event.seq);
+      Num(event.unix_micros);
+      Label(event.component);
+      Text(StrCat(event.event, FieldsSuffix(event)));
+    }
+  }
+
+ private:
+  static std::string FieldsSuffix(const LogEvent& event) {
+    std::string out;
+    for (const auto& [key, value] : event.fields) {
+      out += StrCat(" ", key, "=", value);
+    }
+    return out;
+  }
+};
+
+// ----- sys.relations --------------------------------------------------------
+
+class SysRelationsProvider : public SysProviderBase {
+ public:
+  SysRelationsProvider(std::string name, Schema schema, SysDomains domains,
+                       const Database* db)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        db_(db) {}
+
+  size_t EstimatedRows() override {
+    return db_->RelationNames().size() + db_->VirtualRelationNames().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    RefreshDomains();
+    HierarchicalRelation rel = NewRelation();
+    for (const std::string& stored : db_->RelationNames()) {
+      Result<const HierarchicalRelation*> r = db_->GetRelation(stored);
+      if (!r.ok()) continue;
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{Label(stored),
+                    Label(StorageKindToString((*r)->storage_kind())),
+                    Num((*r)->size()), Num((*r)->num_chunks()),
+                    Num((*r)->ApproxBytes())}));
+    }
+    NodeId virt = Label("virtual");
+    for (const std::string& name : db_->VirtualRelationNames()) {
+      VirtualRelationProvider* provider = db_->FindVirtualRelation(name);
+      if (provider == nullptr) continue;
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{Label(name), virt, Num(provider->EstimatedRows()),
+                    Num(0), Num(0)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    for (const std::string& stored : db_->RelationNames()) Label(stored);
+    for (const std::string& name : db_->VirtualRelationNames()) Label(name);
+    Label("virtual");
+  }
+
+ private:
+  const Database* db_;
+};
+
+// ----- sys.columns ----------------------------------------------------------
+
+class SysColumnsProvider : public SysProviderBase {
+ public:
+  SysColumnsProvider(std::string name, Schema schema, SysDomains domains,
+                     const Database* db)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        db_(db) {}
+
+  size_t EstimatedRows() override {
+    size_t rows = 0;
+    for (const std::string& stored : db_->RelationNames()) {
+      Result<const HierarchicalRelation*> r = db_->GetRelation(stored);
+      if (r.ok()) rows += (*r)->ColumnInfo().size();
+    }
+    return rows;
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    for (const std::string& stored : db_->RelationNames()) {
+      Result<const HierarchicalRelation*> r = db_->GetRelation(stored);
+      if (!r.ok()) continue;
+      for (const StorageColumnInfo& col : (*r)->ColumnInfo()) {
+        HIREL_RETURN_IF_ERROR(AddRow(
+            rel, Item{Label(stored), Label(col.name), Num(col.bytes),
+                      Num(col.dict_entries)}));
+      }
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    for (const std::string& stored : db_->RelationNames()) {
+      Label(stored);
+      Result<const HierarchicalRelation*> r = db_->GetRelation(stored);
+      if (!r.ok()) continue;
+      for (const StorageColumnInfo& col : (*r)->ColumnInfo()) {
+        Label(col.name);
+      }
+    }
+  }
+
+ private:
+  const Database* db_;
+};
+
+// ----- sys.cache ------------------------------------------------------------
+
+class SysCacheProvider : public SysProviderBase {
+ public:
+  SysCacheProvider(std::string name, Schema schema, SysDomains domains,
+                   const Database* db)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        db_(db) {}
+
+  size_t EstimatedRows() override {
+    return db_->subsumption_cache().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    for (const SubsumptionCache::EntryInfo& entry : Entries()) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{Label(entry.relation), Num(entry.relation_version),
+                    Num(entry.graph_nodes)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    for (const SubsumptionCache::EntryInfo& entry : Entries()) {
+      Label(entry.relation);
+      Num(entry.relation_version);
+      Num(entry.graph_nodes);
+    }
+  }
+
+ private:
+  std::vector<SubsumptionCache::EntryInfo> Entries() const {
+    return db_->subsumption_cache().Entries();
+  }
+
+  const Database* db_;
+};
+
+// ----- sys.pool -------------------------------------------------------------
+
+class SysPoolProvider : public SysProviderBase {
+ public:
+  using SysProviderBase::SysProviderBase;
+
+  size_t EstimatedRows() override {
+    return ThreadPool::Shared().GetStats().per_thread_busy_ns.size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    ThreadPool::Stats stats = ThreadPool::Shared().GetStats();
+    for (size_t i = 0; i < stats.per_thread_busy_ns.size(); ++i) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{Label(ThreadName(i)),
+                    Num(stats.per_thread_busy_ns[i] / 1'000'000)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    ThreadPool::Stats stats = ThreadPool::Shared().GetStats();
+    for (size_t i = 0; i < stats.per_thread_busy_ns.size(); ++i) {
+      Label(ThreadName(i));
+      Num(stats.per_thread_busy_ns[i] / 1'000'000);
+    }
+  }
+
+ private:
+  static std::string ThreadName(size_t i) {
+    return i == 0 ? std::string("caller") : StrCat("worker", i - 1);
+  }
+};
+
+// ----- sys.queries ----------------------------------------------------------
+
+class SysQueriesProvider : public SysProviderBase {
+ public:
+  SysQueriesProvider(std::string name, Schema schema, SysDomains domains,
+                     const QueryHistoryRing* history)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        history_(history) {}
+
+  size_t EstimatedRows() override {
+    if (history_ == nullptr) return 0;
+    uint64_t total = history_->total_recorded();
+    return total < history_->capacity() ? total : history_->capacity();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    if (history_ == nullptr) return rel;
+    for (const auto& q : history_->Snapshot()) {
+      HIREL_RETURN_IF_ERROR(AddRow(rel, RowFor(*q)));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    if (history_ == nullptr) return;
+    for (const auto& q : history_->Snapshot()) RowFor(*q);
+  }
+
+ private:
+  Item RowFor(const QueryStats& q) {
+    uint64_t wall_us = q.wall_ns / 1000;
+    if (wall_us == 0) wall_us = 1;
+    return Item{Num(q.id),
+                Label(q.kind),
+                Text(q.statement),
+                Num(wall_us),
+                Num(q.rows_in),
+                Num(q.rows_out),
+                Num(q.subsumption_probes),
+                Num(q.peak_tracked_bytes),
+                Label(q.plan_digest.empty() ? "-" : q.plan_digest),
+                Label(q.storage),
+                Num(q.threads)};
+  }
+
+  const QueryHistoryRing* history_;
+};
+
+Schema MakeSchema(
+    std::initializer_list<std::pair<const char*, Hierarchy*>> attrs) {
+  Schema schema;
+  for (const auto& [attr, hierarchy] : attrs) {
+    // Append only fails on duplicate names, which the literals below never
+    // produce.
+    (void)schema.Append(attr, hierarchy);
+  }
+  return schema;
+}
+
+}  // namespace
+
+void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
+  SysDomains domains;
+  domains.label = db.AddSysHierarchy("sys.label");
+  domains.metric = db.AddSysHierarchy("sys.metric");
+  domains.severity = db.AddSysHierarchy("sys.severity");
+  domains.num = db.AddSysHierarchy("sys.num");
+  domains.text = db.AddSysHierarchy("sys.text");
+
+  // Severity: a chain of classes from general (debug: every event) to
+  // specific (error), each holding its level's events as an instance, so
+  // `ALL warn` covers warn and error.
+  NodeId parent = domains.severity->root();
+  for (const char* level : {"debug", "info", "warn", "error"}) {
+    Result<NodeId> cls = domains.severity->AddClass(level, parent);
+    if (!cls.ok()) break;  // unreachable: fresh hierarchy
+    (void)domains.severity->AddInstance(Value::String(level), *cls);
+    parent = *cls;
+  }
+
+  (void)db.RegisterVirtualRelation(std::make_unique<SysMetricsProvider>(
+      "sys.metrics",
+      MakeSchema({{"name", domains.metric},
+                  {"kind", domains.label},
+                  {"value", domains.num},
+                  {"bucket", domains.label}}),
+      domains, &db));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysLogProvider>(
+      "sys.log",
+      MakeSchema({{"seq", domains.num},
+                  {"ts_us", domains.num},
+                  {"level", domains.severity},
+                  {"component", domains.label},
+                  {"message", domains.text}}),
+      domains));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysRelationsProvider>(
+      "sys.relations",
+      MakeSchema({{"relation", domains.label},
+                  {"storage", domains.label},
+                  {"tuples", domains.num},
+                  {"chunks", domains.num},
+                  {"bytes", domains.num}}),
+      domains, &db));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysColumnsProvider>(
+      "sys.columns",
+      MakeSchema({{"relation", domains.label},
+                  {"column", domains.label},
+                  {"col_bytes", domains.num},
+                  {"dict_entries", domains.num}}),
+      domains, &db));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysCacheProvider>(
+      "sys.cache",
+      MakeSchema({{"relation", domains.label},
+                  {"version", domains.num},
+                  {"graph_nodes", domains.num}}),
+      domains, &db));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysPoolProvider>(
+      "sys.pool",
+      MakeSchema({{"thread", domains.label}, {"busy_ms", domains.num}}),
+      domains));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysQueriesProvider>(
+      "sys.queries",
+      MakeSchema({{"id", domains.num},
+                  {"kind", domains.label},
+                  {"statement", domains.text},
+                  {"wall_us", domains.num},
+                  {"rows_in", domains.num},
+                  {"rows_out", domains.num},
+                  {"probes", domains.num},
+                  {"peak_bytes", domains.num},
+                  {"digest", domains.label},
+                  {"storage", domains.label},
+                  {"threads", domains.num}}),
+      domains, history));
+}
+
+void SyncEngineGauges(const Database& db) {
+  MetricsRegistry& m = db.metrics();
+  const SubsumptionCache& cache = db.subsumption_cache();
+  m.gauge("subsumption_cache.hits")
+      .Set(static_cast<int64_t>(cache.stats().hits));
+  m.gauge("subsumption_cache.misses")
+      .Set(static_cast<int64_t>(cache.stats().misses));
+  m.gauge("subsumption_cache.invalidations")
+      .Set(static_cast<int64_t>(cache.stats().invalidations));
+  m.gauge("subsumption_cache.entries")
+      .Set(static_cast<int64_t>(cache.size()));
+  ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
+  m.gauge("pool.workers").Set(static_cast<int64_t>(pool.workers));
+  m.gauge("pool.regions").Set(static_cast<int64_t>(pool.regions));
+  m.gauge("pool.tasks_run").Set(static_cast<int64_t>(pool.tasks_run));
+  m.gauge("pool.steals").Set(static_cast<int64_t>(pool.steals));
+  m.gauge("pool.max_queue_depth")
+      .Set(static_cast<int64_t>(pool.max_queue_depth));
+  m.gauge("pool.busy_ms")
+      .Set(static_cast<int64_t>(pool.busy_ns / 1'000'000));
+  m.gauge("pool.queue_depth")
+      .Set(static_cast<int64_t>(pool.queue_depth));
+  for (size_t i = 0; i < pool.per_thread_busy_ns.size(); ++i) {
+    m.gauge(StrCat("pool.thread", i, ".busy_ms"))
+        .Set(static_cast<int64_t>(pool.per_thread_busy_ns[i] / 1'000'000));
+  }
+  size_t row_relations = 0, columnar_relations = 0;
+  size_t row_bytes = 0, columnar_bytes = 0;
+  for (const std::string& name : db.RelationNames()) {
+    Result<const HierarchicalRelation*> r = db.GetRelation(name);
+    if (!r.ok()) continue;
+    if ((*r)->storage_kind() == StorageKind::kRow) {
+      ++row_relations;
+      row_bytes += (*r)->ApproxBytes();
+    } else {
+      ++columnar_relations;
+      columnar_bytes += (*r)->ApproxBytes();
+    }
+  }
+  m.gauge("storage.row_relations").Set(static_cast<int64_t>(row_relations));
+  m.gauge("storage.columnar_relations")
+      .Set(static_cast<int64_t>(columnar_relations));
+  m.gauge("storage.row_bytes").Set(static_cast<int64_t>(row_bytes));
+  m.gauge("storage.columnar_bytes")
+      .Set(static_cast<int64_t>(columnar_bytes));
+  UpdateProcessGauges(m);
+}
+
+}  // namespace obs
+}  // namespace hirel

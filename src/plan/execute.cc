@@ -128,14 +128,31 @@ class Walker {
   Result<Slot> ExecNode(const PlanNode& node, PlanNodeStats* ns) {
     switch (node.op) {
       case PlanOp::kScan: {
-        HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* rel,
-                               std::as_const(db_).GetRelation(node.relation));
-        if (ns != nullptr) {
-          ns->storage = StorageKindToString(rel->storage_kind());
-          ns->chunks = rel->num_chunks();
+        Result<const HierarchicalRelation*> rel =
+            std::as_const(db_).GetRelation(node.relation);
+        if (rel.ok()) {
+          if (ns != nullptr) {
+            ns->storage = StorageKindToString((*rel)->storage_kind());
+            ns->chunks = (*rel)->num_chunks();
+          }
+          if (stats_ != nullptr) stats_->rows_scanned += (*rel)->size();
+          Slot slot;
+          slot.rel = *rel;
+          return slot;
         }
-        Slot slot;
-        slot.rel = rel;
+        // Virtual relations materialize into an owned slot, so the
+        // subsumption-graph cache is bypassed (is_base() is false) and the
+        // result dies with this execution.
+        VirtualRelationProvider* provider =
+            db_.FindVirtualRelation(node.relation);
+        if (provider == nullptr) return rel.status();
+        HIREL_ASSIGN_OR_RETURN(Slot slot, Own(provider->Materialize()));
+        if (ns != nullptr) {
+          ns->storage = StorageKindToString(slot.rel->storage_kind());
+          ns->chunks = slot.rel->num_chunks();
+          ns->virtual_scan = true;
+        }
+        if (stats_ != nullptr) stats_->rows_scanned += slot.rel->size();
         return slot;
       }
       case PlanOp::kSelect: {

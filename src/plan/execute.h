@@ -70,6 +70,9 @@ struct PlanNodeStats {
   const char* storage = nullptr;
   /// Fixed-size scan chunks covering that relation's slots.
   size_t chunks = 0;
+  /// True for a Scan of a virtual (sys.*) relation, materialized by its
+  /// provider for this execution; EXPLAIN ANALYZE renders `virtual=true`.
+  bool virtual_scan = false;
 };
 
 struct ExecStats {
@@ -78,6 +81,9 @@ struct ExecStats {
   size_t graph_cache_misses = 0;
   /// Total strongest-binding computations across the plan.
   uint64_t subsumption_probes = 0;
+  /// Tuples read by the plan's Scan nodes (stored or virtual): the
+  /// "rows in" of per-query accounting.
+  uint64_t rows_scanned = 0;
   /// Per-node runtime stats; populated only when
   /// ExecOptions::collect_node_stats is set.
   std::unordered_map<const PlanNode*, PlanNodeStats> per_node;

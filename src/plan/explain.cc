@@ -74,6 +74,9 @@ void Render(const PlanNode& node, size_t depth, const ExecStats* exec,
       if (ns.storage != nullptr) {
         out += StrCat(" storage=", ns.storage, " chunks=", ns.chunks);
       }
+      if (ns.virtual_scan) {
+        out += " virtual=true";
+      }
       out += "]";
     }
   }

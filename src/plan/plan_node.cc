@@ -214,11 +214,23 @@ Status Annotate(PlanNode& node, const Database& db) {
   switch (node.op) {
     case PlanOp::kScan: {
       HIREL_RETURN_IF_ERROR(ExpectChildren(node, 0));
-      HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* rel,
-                             db.GetRelation(node.relation));
-      node.schema = rel->schema();
-      node.out_name = rel->name();
-      node.est_rows = static_cast<double>(rel->size());
+      Result<const HierarchicalRelation*> rel = db.GetRelation(node.relation);
+      if (rel.ok()) {
+        node.schema = (*rel)->schema();
+        node.out_name = (*rel)->name();
+        node.est_rows = static_cast<double>((*rel)->size());
+        node.est_cost = node.est_rows;
+        break;
+      }
+      // Virtual (sys.*) relations: schema from the provider, which also
+      // refreshes its hierarchy domains so WHERE terms over this scan
+      // resolve before anything is materialized.
+      VirtualRelationProvider* provider =
+          db.FindVirtualRelation(node.relation);
+      if (provider == nullptr) return rel.status();
+      node.schema = provider->schema();
+      node.out_name = provider->name();
+      node.est_rows = static_cast<double>(provider->EstimatedRows());
       node.est_cost = node.est_rows;
       break;
     }

@@ -9,6 +9,22 @@
 namespace hirel {
 namespace plan {
 
+namespace {
+
+/// Schema of a scannable name: a stored relation's, or a virtual (sys.*)
+/// provider's — the provider refreshes its hierarchy domains so terms
+/// against the schema resolve at compile time.
+Result<const Schema*> ScanSchema(const Database& db,
+                                 const std::string& name) {
+  Result<const HierarchicalRelation*> rel = db.GetRelation(name);
+  if (rel.ok()) return &(*rel)->schema();
+  VirtualRelationProvider* provider = db.FindVirtualRelation(name);
+  if (provider == nullptr) return rel.status();
+  return &provider->schema();
+}
+
+}  // namespace
+
 Result<PlanPtr> CompileSelect(const Database& db,
                               const hql::SelectStmt& stmt) {
   PlanPtr source = MakeScan(stmt.relation);
@@ -47,8 +63,8 @@ Result<PlanPtr> CompileSelect(const Database& db,
 
 Result<PlanPtr> CompileCreateAs(const Database& db,
                                 const hql::CreateAsStmt& stmt) {
-  HIREL_RETURN_IF_ERROR(db.GetRelation(stmt.left).status());
-  HIREL_RETURN_IF_ERROR(db.GetRelation(stmt.right).status());
+  HIREL_RETURN_IF_ERROR(ScanSchema(db, stmt.left).status());
+  HIREL_RETURN_IF_ERROR(ScanSchema(db, stmt.right).status());
   PlanPtr left = MakeScan(stmt.left);
   PlanPtr right = MakeScan(stmt.right);
   switch (stmt.op) {
@@ -67,12 +83,11 @@ Result<PlanPtr> CompileCreateAs(const Database& db,
 
 Result<PlanPtr> CompileCreateProject(const Database& db,
                                      const hql::CreateProjectStmt& stmt) {
-  HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* source,
-                         db.GetRelation(stmt.source));
+  HIREL_ASSIGN_OR_RETURN(const Schema* schema, ScanSchema(db, stmt.source));
   std::vector<size_t> positions;
   positions.reserve(stmt.attributes.size());
   for (const std::string& name : stmt.attributes) {
-    HIREL_ASSIGN_OR_RETURN(size_t p, source->schema().IndexOf(name));
+    HIREL_ASSIGN_OR_RETURN(size_t p, schema->IndexOf(name));
     positions.push_back(p);
   }
   return MakeProject(MakeScan(stmt.source), std::move(positions));
@@ -80,12 +95,11 @@ Result<PlanPtr> CompileCreateProject(const Database& db,
 
 Result<PlanPtr> CompileExplicate(const Database& db,
                                  const hql::ExplicateStmt& stmt) {
-  HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
-                         db.GetRelation(stmt.relation));
+  HIREL_ASSIGN_OR_RETURN(const Schema* schema, ScanSchema(db, stmt.relation));
   std::vector<size_t> positions;
   positions.reserve(stmt.attributes.size());
   for (const std::string& name : stmt.attributes) {
-    HIREL_ASSIGN_OR_RETURN(size_t p, relation->schema().IndexOf(name));
+    HIREL_ASSIGN_OR_RETURN(size_t p, schema->IndexOf(name));
     positions.push_back(p);
   }
   // The EXPLICATE statement shows the raw explication, negated tuples
@@ -96,19 +110,17 @@ Result<PlanPtr> CompileExplicate(const Database& db,
 
 Result<PlanPtr> CompileExtension(const Database& db,
                                  const hql::ExtensionStmt& stmt) {
-  HIREL_RETURN_IF_ERROR(db.GetRelation(stmt.relation).status());
+  HIREL_RETURN_IF_ERROR(ScanSchema(db, stmt.relation).status());
   return MakeExplicate(MakeScan(stmt.relation), {},
                        /*consolidate_after=*/true);
 }
 
 Result<PlanPtr> CompileCount(const Database& db, const hql::CountStmt& stmt) {
-  HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
-                         db.GetRelation(stmt.relation));
+  HIREL_ASSIGN_OR_RETURN(const Schema* schema, ScanSchema(db, stmt.relation));
   if (!stmt.by_attribute) {
     return MakeAggregate(MakeScan(stmt.relation), AggregateOp::kCount);
   }
-  HIREL_ASSIGN_OR_RETURN(size_t attr,
-                         relation->schema().IndexOf(stmt.attribute));
+  HIREL_ASSIGN_OR_RETURN(size_t attr, schema->IndexOf(stmt.attribute));
   return MakeAggregate(MakeScan(stmt.relation), AggregateOp::kCountBy, attr,
                        stmt.attribute);
 }

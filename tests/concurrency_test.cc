@@ -14,6 +14,7 @@
 #include "core/explicate.h"
 #include "core/inference.h"
 #include "core/subsumption_cache.h"
+#include "obs/query_stats.h"
 #include "testing/fixtures.h"
 
 namespace hirel {
@@ -162,6 +163,47 @@ TEST(ConcurrencyTest, ReachabilitySnapshotColdBuildAndPinnedQueries) {
               ReachabilitySnapshot::Answer::kYes);
     EXPECT_TRUE(h->Subsumes(root, probe));
   }
+}
+
+TEST(ConcurrencyTest, QueryHistoryRingWriterWithConcurrentReaders) {
+  // Single writer (the executor), concurrent snapshot readers under the
+  // ring's shared lock. A snapshot is a consistent window: complete
+  // records, consecutive ids oldest-first, never more than capacity.
+  obs::QueryHistoryRing ring(16);
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        std::vector<std::shared_ptr<const obs::QueryStats>> entries =
+            ring.Snapshot();
+        if (entries.size() > ring.capacity()) ++failures;
+        for (size_t i = 0; i < entries.size(); ++i) {
+          // wall_ns mirrors id so a torn record would be detectable.
+          if (entries[i]->wall_ns != entries[i]->id * 3) ++failures;
+          if (entries[i]->kind != "select") ++failures;
+          if (i > 0 && entries[i]->id != entries[i - 1]->id + 1) ++failures;
+        }
+      }
+    });
+  }
+
+  for (uint64_t i = 1; i <= 10'000; ++i) {
+    obs::QueryStats stats;
+    stats.id = i;
+    stats.wall_ns = i * 3;
+    stats.kind = "select";
+    stats.statement = "SELECT * FROM r;";
+    ring.Append(std::move(stats));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ring.total_recorded(), 10'000u);
+  EXPECT_EQ(ring.Snapshot().size(), 16u);
 }
 
 }  // namespace

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/str_util.h"
 #include "core/conflict.h"
 #include "core/explicate.h"
+#include "core/tuple_store.h"
+#include "hql/executor.h"
 #include "plan/execute.h"
 #include "plan/explain.h"
 #include "plan/plan_node.h"
@@ -186,6 +189,56 @@ TEST_P(PlanProperty, CachedExecutionMatchesUncached) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanProperty, ::testing::Range<uint64_t>(0, 8));
+
+TEST(PlanDigestTest, IdenticalShapesDigestEqually) {
+  PlanPtr a = MakeConsolidate(MakeSelect(MakeScan("r"), 0, 3, "a0", "n"));
+  PlanPtr b = MakeConsolidate(MakeSelect(MakeScan("r"), 0, 3, "a0", "n"));
+  EXPECT_EQ(PlanDigest(*a), PlanDigest(*b));
+  EXPECT_EQ(PlanDigest(*a).size(), 16u);  // 16 hex chars
+}
+
+TEST(PlanDigestTest, DistinctShapesDigestDistinctly) {
+  std::vector<PlanPtr> shapes;
+  shapes.push_back(MakeScan("r"));
+  shapes.push_back(MakeScan("s"));
+  shapes.push_back(MakeSelect(MakeScan("r"), 0, 3, "a0", "n"));
+  shapes.push_back(MakeConsolidate(MakeScan("r")));
+  shapes.push_back(MakeNaturalJoin(MakeScan("r"), MakeScan("s")));
+  shapes.push_back(MakeProject(MakeScan("r"), {0}));
+  std::vector<std::string> digests;
+  for (const PlanPtr& shape : shapes) digests.push_back(PlanDigest(*shape));
+  std::sort(digests.begin(), digests.end());
+  EXPECT_EQ(std::unique(digests.begin(), digests.end()), digests.end());
+}
+
+TEST(PlanDigestTest, StableAcrossStorageAndThreadCount) {
+  // The digest hashes plan structure only, so the same statement compiled
+  // under either storage layout and any worker count identifies the same
+  // plan — slow-query log and sys.queries entries stay correlatable.
+  const StorageKind saved = DefaultStorageKind();
+  std::vector<std::string> digests;
+  for (const char* storage : {"row", "columnar"}) {
+    for (const char* threads : {"1", "4"}) {
+      hql::Executor exec;
+      ASSERT_TRUE(exec.Execute(StrCat("SET STORAGE ", storage, ";")).ok());
+      ASSERT_TRUE(exec.Execute(StrCat("SET THREADS ", threads, ";")).ok());
+      ASSERT_TRUE(exec.Execute(R"(
+        CREATE HIERARCHY h;
+        CREATE CLASS c IN h;
+        CREATE INSTANCE i IN h UNDER c;
+        CREATE RELATION r (a: h);
+        ASSERT r(ALL c);
+      )").ok());
+      ASSERT_TRUE(exec.Execute("SELECT * FROM r WHERE a = ALL c;").ok());
+      digests.push_back(
+          exec.query_history().Snapshot().back()->plan_digest);
+    }
+  }
+  SetDefaultStorageKind(saved);
+  ASSERT_EQ(digests.size(), 4u);
+  EXPECT_FALSE(digests[0].empty());
+  for (const std::string& digest : digests) EXPECT_EQ(digest, digests[0]);
+}
 
 }  // namespace
 }  // namespace plan

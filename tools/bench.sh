@@ -51,6 +51,32 @@ done
 
 echo "wrote $(wc -l < "${summary}") benchmark results to ${summary}"
 
+baselines=( BENCH_*.json )
+
+# The committed baselines embed the recording host's context. If this
+# machine has a different core count, per-op times (especially the
+# parallel suites) are not comparable — warn loudly so nobody reads the
+# diff below as a regression. num_cpus is extracted with sed, not
+# python3, so the warning fires on minimal hosts too.
+if [ -e "${baselines[0]}" ]; then
+  host_cores=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 0)
+  for baseline in "${baselines[@]}"; do
+    base_cores=$(sed -n 's/^[[:space:]]*"num_cpus":[[:space:]]*\([0-9]*\).*/\1/p' \
+        "${baseline}" | head -n 1)
+    [ -n "${base_cores}" ] || continue
+    if [ "${host_cores}" != "0" ] && [ "${host_cores}" != "${base_cores}" ]; then
+      echo "" >&2
+      echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+      echo "!! WARNING: ${baseline} was recorded on a ${base_cores}-core host," >&2
+      echo "!! but this machine has ${host_cores} cores. The baseline diff" >&2
+      echo "!! below is NOT comparable — re-record the baseline on this" >&2
+      echo "!! hardware before treating any delta as a regression." >&2
+      echo "!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!!" >&2
+      echo "" >&2
+    fi
+  done
+fi
+
 # Diff this run against the committed BENCH_<name>.json baselines (native
 # google-benchmark JSON, recorded with --benchmark_out). Matching is by
 # benchmark name within the corresponding bench_<name> binary; baselines
@@ -60,7 +86,6 @@ if ! command -v python3 >/dev/null 2>&1; then
   echo "python3 not found; skipping baseline diff"
   exit 0
 fi
-baselines=( BENCH_*.json )
 if [ ! -e "${baselines[0]}" ]; then
   echo "no committed BENCH_*.json baselines; skipping baseline diff"
   exit 0

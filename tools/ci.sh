@@ -68,23 +68,29 @@ for preset in "${presets[@]}"; do
     echo "FAIL: no '# TYPE' lines in SHOW METRICS PROMETHEUS" >&2
     exit 1
   }
-  if command -v python3 > /dev/null 2>&1; then
-    # Every JSON-producing statement emits a line starting with [ or {;
-    # each must parse, as must the exported Chrome trace file.
-    echo "${obs_out}" | grep '^[[{]' | while IFS= read -r json_line; do
-      printf '%s\n' "${json_line}" | python3 -m json.tool > /dev/null || {
-        echo "FAIL: invalid JSON output: ${json_line:0:80}..." >&2
-        exit 1
-      }
-    done
-    python3 -m json.tool "${trace_json}" > /dev/null || {
-      echo "FAIL: exported trace is not valid JSON" >&2
+  # Every JSON-producing statement emits a line starting with [ or {; each
+  # must parse, as must the exported Chrome trace file. Validation uses the
+  # in-tree hirel_check binary so this lane always runs — no host python3
+  # required (and no silent skip when it is absent).
+  check="build/${preset}/tools/hirel_check"
+  json_lines=0
+  while IFS= read -r json_line; do
+    [ -n "${json_line}" ] || continue
+    json_lines=$(( json_lines + 1 ))
+    printf '%s\n' "${json_line}" | "${check}" json - > /dev/null || {
+      echo "FAIL: invalid JSON output: ${json_line:0:80}..." >&2
       exit 1
     }
-    echo "observability JSON validated (including exported trace)"
-  else
-    echo "NOTICE: python3 not found; skipping JSON validation"
+  done < <(echo "${obs_out}" | grep '^[[{]' || true)
+  if [ "${json_lines}" -eq 0 ]; then
+    echo "FAIL: observability smoke produced no JSON lines to validate" >&2
+    exit 1
   fi
+  "${check}" json "${trace_json}" > /dev/null || {
+    echo "FAIL: exported trace is not valid JSON" >&2
+    exit 1
+  }
+  echo "observability JSON validated (${json_lines} lines + exported trace)"
   rm -f "${trace_json}"
 done
 

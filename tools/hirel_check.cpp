@@ -5,10 +5,15 @@
 //   hirel_check durable <dir>          open a WAL directory, report replay
 //   hirel_check consistency <file>     run the ambiguity checker on every
 //                                      relation of a snapshot
+//   hirel_check json <file|->          validate a JSON document (strict
+//                                      RFC 8259 grammar; '-' reads stdin)
 //
 // Exit code 0 = healthy, 1 = problems found, 2 = usage/IO errors.
 
+#include <cctype>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/conflict.h"
@@ -80,11 +85,227 @@ int CheckDurable(const std::string& dir) {
   return 0;
 }
 
+// A strict RFC 8259 validator, so CI can check the engine's JSON output
+// (SHOW ... JSON, EXPORT TRACE) without depending on a host python3. It
+// accepts exactly one top-level value and rejects trailing garbage.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  // Returns true on success; on failure fills `error` with a message that
+  // includes the byte offset of the first problem.
+  bool Validate(std::string& error) {
+    SkipSpace();
+    if (!ParseValue(error)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      error = Fail("trailing characters after top-level value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string Fail(const std::string& what) {
+    std::ostringstream out;
+    out << what << " at byte " << pos_;
+    return out.str();
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipSpace() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                      Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, std::string& error) {
+    for (const char* c = word; *c != '\0'; ++c, ++pos_) {
+      if (Eof() || Peek() != *c) {
+        error = Fail(std::string("invalid literal (expected '") + word + "')");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseValue(std::string& error) {
+    if (++depth_ > kMaxDepth) {
+      error = Fail("nesting deeper than 512 levels");
+      return false;
+    }
+    if (Eof()) {
+      error = Fail("unexpected end of input (expected a value)");
+      return false;
+    }
+    bool ok = false;
+    switch (Peek()) {
+      case '{': ok = ParseObject(error); break;
+      case '[': ok = ParseArray(error); break;
+      case '"': ok = ParseString(error); break;
+      case 't': ok = Literal("true", error); break;
+      case 'f': ok = Literal("false", error); break;
+      case 'n': ok = Literal("null", error); break;
+      default:  ok = ParseNumber(error); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ParseObject(std::string& error) {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (!Eof() && Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (Eof() || Peek() != '"') {
+        error = Fail("expected a string key in object");
+        return false;
+      }
+      if (!ParseString(error)) return false;
+      SkipSpace();
+      if (Eof() || Peek() != ':') {
+        error = Fail("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      SkipSpace();
+      if (!ParseValue(error)) return false;
+      SkipSpace();
+      if (!Eof() && Peek() == ',') { ++pos_; continue; }
+      if (!Eof() && Peek() == '}') { ++pos_; return true; }
+      error = Fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool ParseArray(std::string& error) {
+    ++pos_;  // '['
+    SkipSpace();
+    if (!Eof() && Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipSpace();
+      if (!ParseValue(error)) return false;
+      SkipSpace();
+      if (!Eof() && Peek() == ',') { ++pos_; continue; }
+      if (!Eof() && Peek() == ']') { ++pos_; return true; }
+      error = Fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& error) {
+    ++pos_;  // opening '"'
+    while (!Eof()) {
+      unsigned char c = static_cast<unsigned char>(Peek());
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) {
+        error = Fail("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) break;
+        char esc = Peek();
+        if (esc == '"' || esc == '\\' || esc == '/' || esc == 'b' ||
+            esc == 'f' || esc == 'n' || esc == 'r' || esc == 't') {
+          ++pos_;
+          continue;
+        }
+        if (esc == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i, ++pos_) {
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              error = Fail("\\u escape needs four hex digits");
+              return false;
+            }
+          }
+          continue;
+        }
+        error = Fail("invalid escape sequence in string");
+        return false;
+      }
+      ++pos_;
+    }
+    error = Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(std::string& error) {
+    size_t start = pos_;
+    if (!Eof() && Peek() == '-') ++pos_;
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      error = Fail("invalid value");
+      pos_ = start;
+      return false;
+    }
+    if (Peek() == '0') {
+      ++pos_;  // a leading zero cannot be followed by more digits
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        error = Fail("digit required after decimal point");
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        error = Fail("digit required in exponent");
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 512;
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+int CheckJson(const std::string& path) {
+  std::string text;
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "FAILED to open '" << path << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  std::string error;
+  JsonValidator validator(text);
+  if (!validator.Validate(error)) {
+    std::cerr << "invalid JSON in '" << path << "': " << error << "\n";
+    return 1;
+  }
+  std::cout << "'" << path << "' is valid JSON (" << text.size()
+            << " bytes)\n";
+  return 0;
+}
+
 void Usage() {
   std::cerr << "usage:\n"
             << "  hirel_check snapshot <file>\n"
             << "  hirel_check consistency <file>\n"
-            << "  hirel_check durable <dir>\n";
+            << "  hirel_check durable <dir>\n"
+            << "  hirel_check json <file|->\n";
 }
 
 }  // namespace
@@ -103,6 +324,9 @@ int main(int argc, char** argv) {
   }
   if (command == "durable") {
     return CheckDurable(argv[2]);
+  }
+  if (command == "json") {
+    return CheckJson(argv[2]);
   }
   Usage();
   return 2;
