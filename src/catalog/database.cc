@@ -136,12 +136,18 @@ Result<HierarchicalRelation*> Database::CreateRelation(
 
 Result<HierarchicalRelation*> Database::AdoptRelation(
     HierarchicalRelation relation) {
+  return AdoptRelation(std::move(relation), /*replace_existing=*/false);
+}
+
+Result<HierarchicalRelation*> Database::AdoptRelation(
+    HierarchicalRelation relation, bool replace_existing) {
   if (IsSysName(relation.name())) {
     return Status::InvalidArgument(
         StrCat("'", relation.name(), "': the sys. namespace is reserved "
                "for the system catalog"));
   }
-  if (relations_.find(relation.name()) != relations_.end()) {
+  auto existing = relations_.find(relation.name());
+  if (existing != relations_.end() && !replace_existing) {
     return Status::AlreadyExists(StrCat("relation '", relation.name(), "'"));
   }
   const Schema& schema = relation.schema();
@@ -159,12 +165,22 @@ Result<HierarchicalRelation*> Database::AdoptRelation(
     }
   }
   std::string name = relation.name();
+  // Evict on every path, including replacement: the incoming relation's
+  // journal starts with floor 0 and would claim to cover the cached
+  // entry's stamp, so a later Get could patch the old graph with the new
+  // relation's records instead of rebuilding.
   subsumption_cache_.Invalidate(name);
   HIREL_LOG(obs::LogLevel::kInfo, "catalog", "adopt_relation",
-            {{"name", name}, {"tuples", StrCat(relation.size())}});
+            {{"name", name}, {"tuples", StrCat(relation.size())},
+             {"replaced",
+              existing != relations_.end() ? "true" : "false"}});
   auto owned =
       std::make_unique<HierarchicalRelation>(std::move(relation));
   HierarchicalRelation* raw = owned.get();
+  if (existing != relations_.end()) {
+    existing->second = std::move(owned);
+    return raw;
+  }
   relations_.emplace(std::move(name), std::move(owned));
   return raw;
 }

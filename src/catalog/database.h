@@ -76,8 +76,17 @@ class Database {
 
   /// Registers an already-built relation (e.g. an operator result) under
   /// its own name. Every hierarchy in its schema must be owned by this
-  /// database.
+  /// database. Fails with kAlreadyExists if the name is taken.
   Result<HierarchicalRelation*> AdoptRelation(HierarchicalRelation relation);
+
+  /// Same, but with `replace_existing` an existing relation of that name
+  /// is swapped out. The replaced relation's cache entry MUST be (and is)
+  /// evicted here: the incoming relation carries its own tuple-id space
+  /// and mutation journal, and a fresh journal's floor claims coverage of
+  /// any older stamp — a journal patch against the old graph would pass
+  /// the coverage test and quietly produce the wrong graph.
+  Result<HierarchicalRelation*> AdoptRelation(HierarchicalRelation relation,
+                                              bool replace_existing);
 
   Result<HierarchicalRelation*> GetRelation(std::string_view name);
   Result<const HierarchicalRelation*> GetRelation(std::string_view name) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 
 #include "common/thread_pool.h"
 #include "core/subsumption.h"
@@ -154,6 +155,52 @@ Result<HierarchicalRelation> Consolidated(const HierarchicalRelation& relation,
   HierarchicalRelation copy = relation;
   HIREL_RETURN_IF_ERROR(ConsolidateInPlace(copy, options).status());
   return copy;
+}
+
+Result<size_t> ConsolidateDelta(HierarchicalRelation& relation,
+                                const InferenceOptions& options,
+                                const SubsumptionGraph& graph,
+                                const std::vector<TupleId>& seeds) {
+  size_t n = graph.nodes.size();
+  size_t capacity = 0;
+  for (TupleId id : graph.nodes) {
+    capacity = std::max<size_t>(capacity, id + 1);
+  }
+  std::vector<size_t> position(capacity, n);  // n = "not in graph"
+  for (size_t i = 0; i < n; ++i) position[graph.nodes[i]] = i;
+
+  // Worklist of graph positions, smallest (most general) first: exactly
+  // the order the full serial sweep visits them. Removal cascades enqueue
+  // successors, whose positions are always larger, so the ordering
+  // invariant — a node is examined only after every removal that could
+  // change its predecessors — is preserved throughout.
+  std::set<size_t> worklist;
+  for (TupleId id : seeds) {
+    if (id < capacity && position[id] < n) worklist.insert(position[id]);
+  }
+
+  std::vector<bool> removed(capacity, false);
+  std::vector<TupleId> to_erase;
+  obs::ScopedAllocTracking tracked(capacity / 8 +
+                                   capacity * sizeof(size_t));
+
+  while (!worklist.empty()) {
+    size_t pos = *worklist.begin();
+    worklist.erase(worklist.begin());
+    TupleId id = graph.nodes[pos];
+    if (removed[id]) continue;
+    HIREL_ASSIGN_OR_RETURN(bool redundant,
+                           RedundantGiven(relation, id, removed, options));
+    if (!redundant) continue;
+    removed[id] = true;
+    to_erase.push_back(id);
+    for (size_t s : graph.successors[pos]) worklist.insert(s);
+  }
+
+  for (TupleId id : to_erase) {
+    HIREL_RETURN_IF_ERROR(relation.Erase(id));
+  }
+  return to_erase.size();
 }
 
 }  // namespace hirel

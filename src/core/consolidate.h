@@ -35,6 +35,25 @@ Result<size_t> ConsolidateInPlace(HierarchicalRelation& relation,
 Result<HierarchicalRelation> Consolidated(const HierarchicalRelation& relation,
                                           const InferenceOptions& options = {});
 
+/// Delta form of ConsolidateInPlace for a relation that was consolidated
+/// before and has mutated since: re-examines only `seeds` — the tuples
+/// whose immediate-predecessor sets may have changed — plus, cascading,
+/// the graph successors of every tuple it removes. `graph` must be the
+/// *current* subsumption graph of `relation` (same tuple ids); seed ids
+/// absent from it are ignored.
+///
+/// Removes exactly what a full ConsolidateInPlace would, in the same
+/// order, provided every tuple outside the seed set (a) was irredundant
+/// at the previous consolidate and (b) has an unchanged predecessor set
+/// and predecessor truths — the caller establishes this by seeding every
+/// inserted/truth-flipped tuple, their successors, and the former
+/// successors of every erased tuple. Serial (the expected seed count is
+/// tiny); probe counts flow through `options.probe_counter` as usual.
+Result<size_t> ConsolidateDelta(HierarchicalRelation& relation,
+                                const InferenceOptions& options,
+                                const SubsumptionGraph& graph,
+                                const std::vector<TupleId>& seeds);
+
 /// True iff the tuple `id` is redundant in `relation` as it stands.
 Result<bool> IsRedundant(const HierarchicalRelation& relation, TupleId id,
                          const InferenceOptions& options = {});

@@ -47,6 +47,8 @@ Result<TupleId> HierarchicalRelation::Insert(Item item, Truth truth) {
   }
   TupleId id = store_->Append(std::move(item), truth);
   version_ = NextRevision();
+  journal_.Append({MutationJournal::Record::Kind::kInsert, truth, id, version_,
+                   Item{}});
   return id;
 }
 
@@ -56,10 +58,14 @@ Result<TupleId> HierarchicalRelation::Upsert(Item item, Truth truth) {
   if (existing.has_value()) {
     store_->SetTruth(*existing, truth);
     version_ = NextRevision();
+    journal_.Append({MutationJournal::Record::Kind::kTruth, truth, *existing,
+                     version_, Item{}});
     return *existing;
   }
   TupleId id = store_->Append(std::move(item), truth);
   version_ = NextRevision();
+  journal_.Append({MutationJournal::Record::Kind::kInsert, truth, id, version_,
+                   Item{}});
   return id;
 }
 
@@ -67,8 +73,14 @@ Status HierarchicalRelation::Erase(TupleId id) {
   if (!store_->alive(id)) {
     return Status::NotFound(StrCat("relation '", name_, "': tuple ", id));
   }
+  // Capture the item before the slot dies; delta consumers need it to find
+  // the erased tuple's former neighbours.
+  Item item = store_->ItemAt(id);
+  Truth truth = store_->truth(id);
   store_->Erase(id);
   version_ = NextRevision();
+  journal_.Append({MutationJournal::Record::Kind::kErase, truth, id, version_,
+                   std::move(item)});
   return Status::OK();
 }
 
@@ -84,6 +96,9 @@ Status HierarchicalRelation::EraseItem(const Item& item) {
 void HierarchicalRelation::Clear() {
   store_->Clear();
   version_ = NextRevision();
+  // Clear resets the store's id space (ids are reused), so no delta may
+  // span it: cut the journal instead of recording a per-tuple erase.
+  journal_.Cut(version_);
 }
 
 std::optional<TupleId> HierarchicalRelation::FindItem(const Item& item) const {

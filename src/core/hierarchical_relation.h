@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "common/revision.h"
 #include "common/status.h"
+#include "core/mutation_journal.h"
 #include "core/tuple_store.h"
 #include "types/item.h"
 #include "types/schema.h"
@@ -67,17 +68,21 @@ class HierarchicalRelation {
   /// Copies clone the store and keep the version stamp verbatim: a copy of
   /// a base relation shares its tuple ids and version, so caches keyed on
   /// (relation version, hierarchy versions) stay valid across the copy.
+  /// The mutation journal is copied too, so a graph cached against the
+  /// original can still be patched up to the copy's subsequent mutations.
   HierarchicalRelation(const HierarchicalRelation& other)
       : name_(other.name_),
         schema_(other.schema_),
         version_(other.version_),
-        store_(other.store_->Clone()) {}
+        store_(other.store_->Clone()),
+        journal_(other.journal_) {}
   HierarchicalRelation& operator=(const HierarchicalRelation& other) {
     if (this != &other) {
       name_ = other.name_;
       schema_ = other.schema_;
       version_ = other.version_;
       store_ = other.store_->Clone();
+      journal_ = other.journal_;
     }
     return *this;
   }
@@ -201,6 +206,13 @@ class HierarchicalRelation {
     return store_->ColumnInfo(schema_);
   }
 
+  /// Recent-mutation journal, one record per version bump. Consumers pair a
+  /// remembered version() with journal().Since(version) to learn exactly
+  /// which tuples changed since, enabling in-place patches of derived
+  /// structures (subsumption graphs, consolidation marks, DERIVE
+  /// extensions) instead of full rebuilds.
+  const MutationJournal& journal() const { return journal_; }
+
   /// Renders the relation as the paper's figures do: one "+"/"-" column
   /// followed by attribute values, classes prefixed with the universal
   /// quantifier "∀" (rendered as "ALL ").
@@ -213,6 +225,7 @@ class HierarchicalRelation {
   Schema schema_;
   uint64_t version_ = NextRevision();
   std::unique_ptr<TupleStore> store_;
+  MutationJournal journal_;
 };
 
 }  // namespace hirel

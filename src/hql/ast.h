@@ -250,6 +250,14 @@ struct SetStorageStmt {
   std::string kind;
 };
 
+/// SET INCREMENTAL ON|OFF: toggle incremental maintenance — the
+/// subsumption-graph cache's journal patch path, delta consolidation, and
+/// the DERIVE fixpoint's extension-append fast path. Results are identical
+/// either way; OFF forces the from-scratch paths for A/B comparison.
+struct SetIncrementalStmt {
+  bool on = true;
+};
+
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
                  CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
@@ -260,7 +268,7 @@ using Statement =
                  SetThreadsStmt, RuleStmt, DeriveStmt, CountStmt,
                  ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
                  ResetMetricsStmt, SetSlowQueryStmt, SetLogStmt,
-                 ExportTraceStmt, SetStorageStmt>;
+                 ExportTraceStmt, SetStorageStmt, SetIncrementalStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
+#include <unordered_map>
 
 #include "algebra/join.h"
 #include "algebra/aggregate.h"
@@ -114,6 +116,9 @@ struct TraceName {
   }
   const char* operator()(const SetStorageStmt&) const {
     return "set storage";
+  }
+  const char* operator()(const SetIncrementalStmt&) const {
+    return "set incremental";
   }
 };
 
@@ -571,10 +576,105 @@ Result<std::string> Executor::ExecuteStatementImpl(
       HIREL_RETURN_IF_ERROR(RejectSysWrite(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
-      HIREL_ASSIGN_OR_RETURN(size_t removed,
-                             ConsolidateInPlace(*relation, self.options_));
+      size_t removed = 0;
+      bool delta = false;
+      std::optional<std::vector<TupleId>> seeds =
+          DeltaConsolidateSeeds(stmt.relation, *relation);
+      if (seeds.has_value()) {
+        // The cached graph is patched (or rebuilt) to current first; the
+        // delta sweep then walks only the seeds and whatever it removes.
+        const SubsumptionGraph& graph = db.subsumption_cache().Get(
+            *relation, self.options_.threads);
+        HIREL_ASSIGN_OR_RETURN(
+            removed,
+            ConsolidateDelta(*relation, self.options_, graph, *seeds));
+        db.metrics().counter("consolidate.delta_runs").Add();
+        delta = true;
+      } else {
+        HIREL_ASSIGN_OR_RETURN(removed,
+                               ConsolidateInPlace(*relation, self.options_));
+      }
+      // Stamp the state we just made consistent: the next CONSOLIDATE can
+      // go delta if the journal still covers these versions.
+      Executor::ConsolidateMark mark;
+      mark.relation_version = relation->version();
+      const Schema& schema = relation->schema();
+      mark.hierarchy_versions.reserve(schema.size());
+      for (size_t i = 0; i < schema.size(); ++i) {
+        mark.hierarchy_versions.push_back(schema.hierarchy(i)->version());
+      }
+      self.last_consolidated_[stmt.relation] = std::move(mark);
       return StrCat("consolidated '", stmt.relation, "': removed ", removed,
-                    " redundant tuple(s)\n");
+                    " redundant tuple(s)", delta ? " (delta)" : "", "\n");
+    }
+
+    /// The seed set for the delta form of CONSOLIDATE, or nullopt when a
+    /// full sweep is required: first consolidate of this relation, SET
+    /// INCREMENTAL OFF, non-offpath preemption (the redundancy rule delta
+    /// reasoning is stated for off-path inference), any hierarchy edit or
+    /// preference edge (erase seeding relies on dag-only TuplesSubsumedBy,
+    /// which under-approximates successors once preferences exist), or a
+    /// mutation journal that no longer covers the last consolidate.
+    std::optional<std::vector<TupleId>> DeltaConsolidateSeeds(
+        const std::string& name, const HierarchicalRelation& relation) {
+      if (!self.incremental_) return std::nullopt;
+      if (self.options_.preemption != PreemptionMode::kOffPath) {
+        return std::nullopt;
+      }
+      auto it = self.last_consolidated_.find(name);
+      if (it == self.last_consolidated_.end()) return std::nullopt;
+      const Executor::ConsolidateMark& mark = it->second;
+      const Schema& schema = relation.schema();
+      if (mark.hierarchy_versions.size() != schema.size()) {
+        return std::nullopt;
+      }
+      for (size_t i = 0; i < schema.size(); ++i) {
+        if (schema.hierarchy(i)->version() != mark.hierarchy_versions[i] ||
+            schema.hierarchy(i)->num_preference_edges() > 0) {
+          return std::nullopt;
+        }
+      }
+      std::optional<std::vector<MutationJournal::Record>> records =
+          relation.journal().Since(mark.relation_version);
+      if (!records.has_value()) return std::nullopt;  // journal overflow
+      // Seed every tuple whose immediate-predecessor set (or own truth)
+      // may have shifted since the mark. Successor lookups need the
+      // current graph; absent ids (since-erased tuples) are ignored by
+      // ConsolidateDelta, but their former subsumees still seed.
+      const SubsumptionGraph& graph = db.subsumption_cache().Get(
+          relation, self.options_.threads);
+      std::unordered_map<TupleId, size_t> position;
+      position.reserve(graph.nodes.size());
+      for (size_t i = 0; i < graph.nodes.size(); ++i) {
+        position.emplace(graph.nodes[i], i);
+      }
+      std::vector<TupleId> seeds;
+      for (const MutationJournal::Record& r : *records) {
+        switch (r.kind) {
+          case MutationJournal::Record::Kind::kInsert:
+          case MutationJournal::Record::Kind::kTruth: {
+            // The tuple itself, and its successors (it became one of
+            // their predecessors, or its truth flipped under them).
+            seeds.push_back(r.id);
+            auto p = position.find(r.id);
+            if (p != position.end()) {
+              for (size_t s : graph.successors[p->second]) {
+                seeds.push_back(graph.nodes[s]);
+              }
+            }
+            break;
+          }
+          case MutationJournal::Record::Kind::kErase:
+            // Former successors lost a predecessor; with off-path
+            // preemption that can newly make them redundant (a shielding
+            // opposite-truth predecessor vanished).
+            for (TupleId t : relation.TuplesSubsumedBy(r.item)) {
+              seeds.push_back(t);
+            }
+            break;
+        }
+      }
+      return seeds;
     }
 
     Result<std::string> operator()(const ExplicateStmt& stmt) {
@@ -777,6 +877,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
         return StrCat("dropped hierarchy '", stmt.name, "'\n");
       }
       HIREL_RETURN_IF_ERROR(db.DropRelation(stmt.name));
+      self.last_consolidated_.erase(stmt.name);
       return StrCat("dropped relation '", stmt.name, "'\n");
     }
 
@@ -785,6 +886,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
       HIREL_ASSIGN_OR_RETURN(HierarchicalRelation * relation,
                              db.GetRelation(stmt.relation));
       HIREL_ASSIGN_OR_RETURN(size_t saved, CompressInPlace(*relation));
+      // Re-encoding rewrites tuples wholesale; drop the consolidate mark
+      // rather than relying on journal coverage of the churn.
+      self.last_consolidated_.erase(stmt.relation);
       return StrCat("compressed '", stmt.relation, "': saved ", saved,
                     " tuple(s), ", relation->size(), " remain\n");
     }
@@ -888,6 +992,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
       options.inference = self.options_;
       options.subsumption_cache = &db.subsumption_cache();
       options.trace = self.active_trace_;
+      options.incremental = self.incremental_;
       Result<size_t> derived = [&]() {
         obs::Trace::Scope span(self.active_trace_, "derive fixpoint");
         return engine.Evaluate(options);
@@ -948,6 +1053,10 @@ Result<std::string> Executor::ExecuteStatementImpl(
       // The loaded database has no providers; re-register them so sys.*
       // keeps answering (the history ring itself survives the swap).
       self.InstallSystemCatalog();
+      // Fresh database, fresh cache: carry the session's incremental
+      // setting over and forget consolidate marks for the old catalog.
+      self.db_->subsumption_cache().set_incremental(self.incremental_);
+      self.last_consolidated_.clear();
       return StrCat("loaded '", stmt.path, "'\n");
     }
 
@@ -979,6 +1088,15 @@ Result<std::string> Executor::ExecuteStatementImpl(
                 {{"kind", StorageKindToString(*kind)}});
       return StrCat("storage: ", StorageKindToString(*kind),
                     " (applies to new relations)\n");
+    }
+
+    Result<std::string> operator()(const SetIncrementalStmt& stmt) {
+      self.incremental_ = stmt.on;
+      db.subsumption_cache().set_incremental(stmt.on);
+      HIREL_LOG(obs::LogLevel::kInfo, "cache", "set_incremental",
+                {{"on", stmt.on ? "true" : "false"}});
+      return StrCat("incremental maintenance: ", stmt.on ? "on" : "off",
+                    "\n");
     }
 
     Result<std::string> operator()(const SetLogStmt& stmt) {

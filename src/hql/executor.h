@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/database.h"
@@ -123,6 +124,23 @@ class Executor {
   // whatever database is current, so LOAD does not invalidate them until
   // a referenced relation disappears.
   std::vector<std::string> rule_texts_;
+
+  // SET INCREMENTAL ON|OFF: gates the subsumption-cache patch path (kept
+  // in sync with the cache's own flag), delta consolidation, and the
+  // DERIVE extension-append fast path. Re-applied to the cache after LOAD
+  // replaces the database.
+  bool incremental_ = true;
+
+  // CONSOLIDATE bookkeeping for the delta form: the stamps at which each
+  // relation was last fully consolidated in place. A later CONSOLIDATE
+  // whose journal covers the recorded stamp re-examines only the mutated
+  // frontier. Entries are dropped when the relation is dropped or the
+  // database is replaced (LOAD).
+  struct ConsolidateMark {
+    uint64_t relation_version = 0;
+    std::vector<uint64_t> hierarchy_versions;
+  };
+  std::unordered_map<std::string, ConsolidateMark> last_consolidated_;
 };
 
 }  // namespace hql

@@ -36,6 +36,8 @@ std::string HelpText() {
     SET PREEMPTION offpath;                      -- or onpath / none
     SET THREADS 4;                               -- parallel kernels; 0 = auto, 1 = serial
     SET STORAGE row|columnar;                    -- layout for new relations
+    SET INCREMENTAL on|off;                      -- journal-patched graphs, delta
+                                                 -- consolidate, semi-naive DERIVE
     SHOW STORAGE;                                -- per-relation layout and bytes
 
   rules (Datalog layer)

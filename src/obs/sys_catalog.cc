@@ -329,7 +329,8 @@ class SysCacheProvider : public SysProviderBase {
     for (const SubsumptionCache::EntryInfo& entry : Entries()) {
       HIREL_RETURN_IF_ERROR(AddRow(
           rel, Item{Label(entry.relation), Num(entry.relation_version),
-                    Num(entry.graph_nodes)}));
+                    Num(entry.graph_nodes), Num(entry.patches),
+                    Num(entry.rebuilds)}));
     }
     return rel;
   }
@@ -340,6 +341,8 @@ class SysCacheProvider : public SysProviderBase {
       Label(entry.relation);
       Num(entry.relation_version);
       Num(entry.graph_nodes);
+      Num(entry.patches);
+      Num(entry.rebuilds);
     }
   }
 
@@ -503,7 +506,9 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
       "sys.cache",
       MakeSchema({{"relation", domains.label},
                   {"version", domains.num},
-                  {"graph_nodes", domains.num}}),
+                  {"graph_nodes", domains.num},
+                  {"patched", domains.num},
+                  {"rebuilt", domains.num}}),
       domains, &db));
   (void)db.RegisterVirtualRelation(std::make_unique<SysPoolProvider>(
       "sys.pool",
@@ -536,6 +541,13 @@ void SyncEngineGauges(const Database& db) {
       .Set(static_cast<int64_t>(cache.stats().invalidations));
   m.gauge("subsumption_cache.entries")
       .Set(static_cast<int64_t>(cache.size()));
+  // Incremental-maintenance split of the miss count: patched in place vs
+  // rebuilt from scratch, and how often the mutation journal had already
+  // wrapped (forcing a rebuild).
+  m.gauge("cache.patched").Set(static_cast<int64_t>(cache.stats().patches));
+  m.gauge("cache.rebuilt").Set(static_cast<int64_t>(cache.stats().rebuilds));
+  m.gauge("cache.journal_overflows")
+      .Set(static_cast<int64_t>(cache.stats().journal_overflows));
   ThreadPool::Stats pool = ThreadPool::Shared().GetStats();
   m.gauge("pool.workers").Set(static_cast<int64_t>(pool.workers));
   m.gauge("pool.regions").Set(static_cast<int64_t>(pool.regions));

@@ -102,16 +102,26 @@ class Walker {
   /// intermediates (their graphs are one-shot, caching buys nothing).
   const SubsumptionGraph* GraphFor(const Slot& slot, PlanNodeStats* ns) {
     if (!slot.is_base() || options_.cache == nullptr) return nullptr;
+    SubsumptionCache::GetOutcome outcome = SubsumptionCache::GetOutcome::kNone;
+    const SubsumptionGraph* graph =
+        &options_.cache->Get(*slot.rel, options_.threads, &outcome);
     if (stats_ != nullptr) {
-      if (options_.cache->Fresh(*slot.rel)) {
+      if (outcome == SubsumptionCache::GetOutcome::kHit) {
         ++stats_->graph_cache_hits;
         if (ns != nullptr) ++ns->graph_cache_hits;
       } else {
         ++stats_->graph_cache_misses;
         if (ns != nullptr) ++ns->graph_cache_misses;
+        if (outcome == SubsumptionCache::GetOutcome::kPatched) {
+          ++stats_->graph_cache_patched;
+        }
+      }
+      if (ns != nullptr) {
+        ns->cache_outcome = outcome;
+        ns->cache_incremental = options_.cache->incremental();
       }
     }
-    return &options_.cache->Get(*slot.rel, options_.threads);
+    return graph;
   }
 
   Result<Slot> Exec(const PlanNode& node) {

@@ -86,6 +86,11 @@ using ExtensionSet = std::unordered_set<Item, ItemHash>;
 struct RelationFacts {
   std::vector<Item> rows;
   ExtensionSet index;
+  /// Relation version stamp the slot reflects (0 = never refreshed).
+  uint64_t version = 0;
+  /// Rows came from the all-atomic-positive fast path, so the slot can be
+  /// extended by journalled inserts without a rescan.
+  bool atomic_positive = false;
 };
 
 }  // namespace
@@ -336,8 +341,8 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
   // these deltas instead of the whole extension.
   std::unordered_map<std::string, std::vector<Item>> delta;
   auto extension_of =
-      [&](const std::string& name,
-          const HierarchicalRelation& relation) -> Result<std::vector<Item>> {
+      [&](const std::string& name, const HierarchicalRelation& relation,
+          bool* atomic_positive) -> Result<std::vector<Item>> {
     // Fast path: a relation holding only positive atomic tuples (the shape
     // derived relations converge to) IS its own extension; skip the
     // subsumption-graph construction Explicate would perform.
@@ -353,6 +358,7 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
       }
       rows.push_back(t.item);
     }
+    *atomic_positive = all_atomic_positive;
     if (all_atomic_positive) return rows;
     if (options.subsumption_cache != nullptr) {
       // Slow path, cached: run the extension plan through the plan
@@ -382,9 +388,55 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
                      bool track_delta) -> Status {
     HIREL_ASSIGN_OR_RETURN(const HierarchicalRelation* relation,
                            db_->GetRelation(name));
-    HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows,
-                           extension_of(name, *relation));
     RelationFacts& slot = facts[name];
+    // Unchanged relation, unchanged extension (hierarchies cannot mutate
+    // mid-evaluation): the delta stays empty, exactly as a rescan would
+    // leave it — no live row can be fresh when the index already holds
+    // every row.
+    if (options.incremental && slot.version != 0 &&
+        slot.version == relation->version()) {
+      return Status::OK();
+    }
+    // Semi-naive append: when the slot was all-atomic-positive and the
+    // journal shows only positive inserts since (rule rounds only ever
+    // insert), the new rows are the journalled tuples in id order —
+    // identical to the suffix a full rescan would produce.
+    if (options.incremental && slot.version != 0 && slot.atomic_positive) {
+      std::optional<std::vector<MutationJournal::Record>> records =
+          relation->journal().Since(slot.version);
+      bool appendable = records.has_value();
+      std::vector<Item> appended;
+      if (appendable) {
+        appended.reserve(records->size());
+        for (const MutationJournal::Record& r : *records) {
+          if (r.kind != MutationJournal::Record::Kind::kInsert ||
+              r.truth != Truth::kPositive) {
+            appendable = false;
+            break;
+          }
+          Item item = relation->ItemAt(r.id);
+          if (!ItemIsAtomic(relation->schema(), item)) {
+            appendable = false;
+            break;
+          }
+          appended.push_back(std::move(item));
+        }
+      }
+      if (appendable) {
+        for (Item& row : appended) {
+          if (track_delta && !slot.index.contains(row)) {
+            delta[name].push_back(row);
+          }
+          slot.index.insert(row);
+          slot.rows.push_back(std::move(row));
+        }
+        slot.version = relation->version();
+        return Status::OK();
+      }
+    }
+    bool atomic_positive = false;
+    HIREL_ASSIGN_OR_RETURN(std::vector<Item> rows,
+                           extension_of(name, *relation, &atomic_positive));
     if (track_delta) {
       std::vector<Item>& fresh = delta[name];
       for (const Item& row : rows) {
@@ -393,6 +445,8 @@ Result<size_t> RuleEngine::Evaluate(const RuleOptions& options) {
     }
     slot.rows = std::move(rows);
     slot.index = ExtensionSet(slot.rows.begin(), slot.rows.end());
+    slot.version = relation->version();
+    slot.atomic_positive = atomic_positive;
     return Status::OK();
   };
 

@@ -81,6 +81,15 @@ struct RuleOptions {
   /// ("derive round N" with stratum/derived notes) under the innermost
   /// open span. Null leaves evaluation untraced.
   obs::Trace* trace = nullptr;
+
+  /// Incremental extension bookkeeping between fixpoint rounds: a head
+  /// relation whose version stamp is unchanged since its last refresh is
+  /// not re-scanned at all, and one holding only positive atomic tuples
+  /// (the shape derived relations converge to) has its extension extended
+  /// by the journalled inserts instead of a full rescan. Results are
+  /// byte-identical either way — rows, deltas, and probe totals; SET
+  /// INCREMENTAL OFF clears this for A/B comparison.
+  bool incremental = true;
 };
 
 /// A set of rules bound to a database, evaluated bottom-up to fixpoint.

@@ -206,5 +206,44 @@ TEST(ConcurrencyTest, QueryHistoryRingWriterWithConcurrentReaders) {
   EXPECT_EQ(ring.Snapshot().size(), 16u);
 }
 
+TEST(ConcurrencyTest, ParallelReadersOfPatchedCacheEntry) {
+  // A single writer mutates the relation between rounds, then eight
+  // readers race to Get: the first fetch patches the stale entry in place
+  // under its build latch while the rest coalesce behind it, and every
+  // later fetch hits. The interesting case under TSan is the patch
+  // rewriting the cached graph's vectors while peers wait on the same
+  // entry — all reads must still agree with a from-scratch build.
+  testing::FlyingFixture f;
+  SubsumptionCache& cache = f.db.subsumption_cache();
+  cache.Get(*f.flies);
+  for (int round = 0; round < 20; ++round) {
+    TupleId added =
+        f.flies
+            ->Insert({f.tweety},
+                     round % 2 ? Truth::kNegative : Truth::kPositive)
+            .value();
+    SubsumptionGraph expected = BuildSubsumptionGraph(*f.flies);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+      threads.emplace_back([&] {
+        for (int q = 0; q < 50; ++q) {
+          const SubsumptionGraph& g = cache.Get(*f.flies, /*threads=*/2);
+          if (g.nodes != expected.nodes ||
+              g.successors != expected.successors ||
+              g.predecessors != expected.predecessors ||
+              g.sources != expected.sources) {
+            ++failures;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    EXPECT_EQ(failures.load(), 0) << "round " << round;
+    ASSERT_TRUE(f.flies->Erase(added).ok());
+  }
+  EXPECT_GT(cache.stats().patches, 0u);
+}
+
 }  // namespace
 }  // namespace hirel

@@ -130,3 +130,85 @@ for path in baseline_paths:
         print(f"  {name:<40} {base_ns:>12.0f} ns -> {now:>12.0f} ns  "
               f"({delta:+.1f}%)")
 PYEOF
+
+# Perf gate for the incremental-maintenance path. Unlike the informational
+# diff above this one FAILS the run: (a) any bench_incremental benchmark
+# more than 25% slower than the committed BENCH_incremental.json baseline
+# — enforced only when this host's core count matches the recording
+# host's, since per-op times are not comparable across hardware — and
+# (b) regardless of hardware, the patched mutate-then-query loop must be
+# at least 10x faster than the full-rebuild loop at the largest size both
+# were measured at in THIS run.
+if [ -e BENCH_incremental.json ]; then
+  inc_cores=$(sed -n 's/^[[:space:]]*"num_cpus":[[:space:]]*\([0-9]*\).*/\1/p' \
+      BENCH_incremental.json | head -n 1)
+  gate_baseline=0
+  if [ -n "${inc_cores}" ] && [ "${host_cores}" = "${inc_cores}" ]; then
+    gate_baseline=1
+  else
+    echo "bench_incremental regression gate: skipped (baseline host has" \
+         "${inc_cores:-unknown} cores, this host ${host_cores})"
+  fi
+  GATE_BASELINE="${gate_baseline}" python3 - "${summary}" \
+      BENCH_incremental.json <<'PYEOF'
+import json, os, sys
+
+summary_path, baseline_path = sys.argv[1:]
+gate_baseline = os.environ.get("GATE_BASELINE") == "1"
+
+current = {}
+with open(summary_path) as f:
+    for line in f:
+        try:
+            run = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if run.get("bench") == "bench_incremental":
+            current[run.get("name")] = run.get("ns_per_op")
+
+failed = False
+
+if gate_baseline:
+    UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    print("==== bench_incremental regression gate (threshold +25%) ====")
+    for run in baseline.get("benchmarks", []):
+        if run.get("run_type", "iteration") == "aggregate":
+            continue
+        name = run["name"]
+        now = current.get(name)
+        if now is None:
+            continue
+        base_ns = run["real_time"] * UNIT_NS.get(run.get("time_unit", "ns"), 1.0)
+        delta = 100.0 * (now - base_ns) / base_ns if base_ns else 0.0
+        verdict = "FAIL" if delta > 25.0 else "ok"
+        if delta > 25.0:
+            failed = True
+        print(f"  {name:<44} {base_ns:>12.0f} ns -> {now:>12.0f} ns  "
+              f"({delta:+.1f}%) {verdict}")
+
+# Speedup invariant, hardware-independent: patched vs rebuilt at the
+# largest size with both arms in this run.
+pairs = {}
+for name, ns in current.items():
+    if not name.startswith("BM_MutateThenGetGraph/"):
+        continue
+    parts = name.split("/")
+    if len(parts) != 3 or ns is None:
+        continue
+    pairs.setdefault(int(parts[1]), {})[parts[2]] = ns
+sizes = [n for n, arms in sorted(pairs.items()) if "0" in arms and "1" in arms]
+if sizes:
+    n = sizes[-1]
+    speedup = pairs[n]["0"] / pairs[n]["1"]
+    print(f"==== bench_incremental speedup gate: {speedup:.1f}x at "
+          f"{n} tuples (minimum 10x) ====")
+    if speedup < 10.0:
+        failed = True
+        print("  FAIL: patched loop is less than 10x faster than rebuild")
+
+if failed:
+    sys.exit(1)
+PYEOF
+fi

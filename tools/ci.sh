@@ -18,8 +18,8 @@ fi
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
 
 tsan_targets=(hirel_concurrency_test hirel_plan_test
-              hirel_parallel_determinism_test)
-tsan_filter='ConcurrencyTest|PlanProperty|ParallelDeterminismTest'
+              hirel_parallel_determinism_test hirel_incremental_test)
+tsan_filter='ConcurrencyTest|PlanProperty|ParallelDeterminismTest|Incremental'
 
 for preset in "${presets[@]}"; do
   echo "==== ${preset}: configure ===="
@@ -92,6 +92,22 @@ for preset in "${presets[@]}"; do
   }
   echo "observability JSON validated (${json_lines} lines + exported trace)"
   rm -f "${trace_json}"
+
+  echo "==== ${preset}: workload generator smoke ===="
+  gen="build/${preset}/tools/gen_workload"
+  workload_a="$(mktemp)"
+  workload_b="$(mktemp)"
+  # --check executes the generated script in-process; the second run (same
+  # seed, no --check) must be byte-identical.
+  "${gen}" --tuples 120 --depth 3 --fanout 3 --ops 40 --seed 7 --check \
+      > "${workload_a}"
+  "${gen}" --tuples 120 --depth 3 --fanout 3 --ops 40 --seed 7 \
+      > "${workload_b}"
+  cmp -s "${workload_a}" "${workload_b}" || {
+    echo "FAIL: gen_workload output is not deterministic for a fixed seed" >&2
+    exit 1
+  }
+  rm -f "${workload_a}" "${workload_b}"
 done
 
 echo "CI passed: ${presets[*]}"
