@@ -12,6 +12,8 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace {
@@ -85,11 +87,66 @@ void BM_PrometheusRender(benchmark::State& state) {
   }
 }
 
+// A ScopedWait site with the registry disabled: the claimed cost is one
+// relaxed load + predicted branch in the constructor and a null test in
+// the destructor — the contract that lets every blocking site carry the
+// instrumentation unconditionally.
+void BM_ScopedWaitDisabled(benchmark::State& state) {
+  obs::WaitEventRegistry& reg = obs::WaitEventRegistry::Global();
+  obs::WaitEventRegistry::Site& site =
+      reg.RegisterSite("bench.scoped_wait", obs::WaitClass::kLatch);
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(false);
+  for (auto _ : state) {
+    obs::ScopedWait wait(site);
+    benchmark::DoNotOptimize(&wait);
+  }
+  reg.set_enabled(was_enabled);
+}
+
+// The same site enabled: two steady-clock reads plus the relaxed
+// aggregate updates (count, total, max CAS, histogram bucket).
+void BM_ScopedWaitEnabled(benchmark::State& state) {
+  obs::WaitEventRegistry& reg = obs::WaitEventRegistry::Global();
+  obs::WaitEventRegistry::Site& site =
+      reg.RegisterSite("bench.scoped_wait", obs::WaitClass::kLatch);
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  for (auto _ : state) {
+    obs::ScopedWait wait(site);
+    benchmark::DoNotOptimize(&wait);
+  }
+  reg.set_enabled(was_enabled);
+}
+
+// One sampler tick over a registry of typical engine size (the per-tick
+// cost SET TELEMETRY ON pays in its background thread).
+void BM_TelemetryTick(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  for (int i = 0; i < 48; ++i) {
+    metrics.counter(StrCat("bench.tick.counter", i)).Add(i);
+    metrics.gauge(StrCat("bench.tick.gauge", i)).Set(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    metrics.histogram(StrCat("bench.tick.hist", i)).Record(1000);
+  }
+  obs::TelemetrySampler sampler(/*ring_capacity=*/240);
+  sampler.SetRegistry(&metrics);
+  for (auto _ : state) {
+    sampler.Tick();
+  }
+  state.counters["series"] =
+      static_cast<double>(sampler.Snapshot().size());
+}
+
 BENCHMARK(BM_LogSiteDisabled);
 BENCHMARK(BM_LogSiteEnabledRing);
 BENCHMARK(BM_LogEventToJson);
 BENCHMARK(BM_JsonEscape)->Arg(64)->Arg(1024);
 BENCHMARK(BM_PrometheusRender);
+BENCHMARK(BM_ScopedWaitDisabled);
+BENCHMARK(BM_ScopedWaitEnabled);
+BENCHMARK(BM_TelemetryTick);
 
 }  // namespace
 }  // namespace hirel

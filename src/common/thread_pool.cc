@@ -6,6 +6,7 @@
 
 #include "common/str_util.h"
 #include "obs/log.h"
+#include "obs/wait.h"
 
 namespace hirel {
 
@@ -23,6 +24,30 @@ void UpdateMax(std::atomic<uint64_t>& slot, uint64_t value) {
   while (cur < value &&
          !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
   }
+}
+
+// Wait sites. A worker idling for work belongs to no query, so the
+// task-queue site is unattributed; the caller's join and the steal scan
+// happen on behalf of the running statement and are attributed.
+obs::WaitEventRegistry::Site& TaskQueueWaitSite() {
+  static obs::WaitEventRegistry::Site& site =
+      obs::WaitEventRegistry::Global().RegisterSite(
+          "pool.task_queue", obs::WaitClass::kCpuQueue, /*attributed=*/false);
+  return site;
+}
+
+obs::WaitEventRegistry::Site& RegionJoinWaitSite() {
+  static obs::WaitEventRegistry::Site& site =
+      obs::WaitEventRegistry::Global().RegisterSite(
+          "pool.region_join", obs::WaitClass::kCpuQueue);
+  return site;
+}
+
+obs::WaitEventRegistry::Site& StealScanWaitSite() {
+  static obs::WaitEventRegistry::Site& site =
+      obs::WaitEventRegistry::Global().RegisterSite(
+          "pool.steal_scan", obs::WaitClass::kCpuQueue);
+  return site;
 }
 
 }  // namespace
@@ -180,28 +205,51 @@ size_t ThreadPool::Participate(Region& region, size_t slot,
       run(c, /*stolen=*/false);
     }
   }
+  // The steal scan is cpu-queue wait: time spent hunting other spans for
+  // unclaimed chunks, excluding the chunk bodies themselves. Accumulated
+  // across the scan and recorded once so histogram counts stay per-scan,
+  // not per-probe.
+  const bool waits_on = obs::WaitEventRegistry::Global().enabled();
+  uint64_t scan_ns = 0;
+  uint64_t scan_t0 = waits_on ? NowNs() : 0;
+  const uint64_t scan_start = scan_t0;
   for (size_t c = 0; c < chunks; ++c) {
     if (region.unclaimed.load(std::memory_order_relaxed) == 0) break;
     if (!region.claimed[c].exchange(true, std::memory_order_relaxed)) {
+      if (waits_on) scan_ns += NowNs() - scan_t0;
       run(c, /*stolen=*/slot != 0 || c < lo || c >= hi);
+      if (waits_on) scan_t0 = NowNs();
     }
+  }
+  if (waits_on) {
+    scan_ns += NowNs() - scan_t0;
+    if (scan_ns > 0) StealScanWaitSite().Record(scan_start, scan_ns);
   }
   return ran;
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
+  // Captured wait spans from this thread land on the same trace track as
+  // its captured chunks (track 0 is the caller).
+  obs::WaitEventRegistry::SetThreadTrack(1 + worker_index);
   while (true) {
     Region* region = nullptr;
     size_t slot = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] {
+      auto runnable = [&] {
         if (stop_) return true;
         for (Region* r : active_) {
           if (r->unclaimed.load(std::memory_order_relaxed) > 0) return true;
         }
         return false;
-      });
+      };
+      if (!runnable()) {
+        // Only genuine blocking opens a wait timer; an already-satisfied
+        // predicate costs nothing.
+        obs::ScopedWait wait(TaskQueueWaitSite());
+        work_cv_.wait(lock, runnable);
+      }
       if (stop_) return;
       for (Region* r : active_) {
         if (r->unclaimed.load(std::memory_order_relaxed) > 0) {
@@ -276,6 +324,7 @@ Status ThreadPool::ParallelFor(
   }
   if (region.pending.fetch_sub(ran + 1, std::memory_order_acq_rel) !=
       ran + 1) {
+    obs::ScopedWait wait(RegionJoinWaitSite());
     std::unique_lock<std::mutex> lock(region.done_mutex);
     region.done_cv.wait(lock, [&] {
       return region.pending.load(std::memory_order_acquire) == 0;

@@ -5,8 +5,30 @@
 
 #include "common/str_util.h"
 #include "obs/log.h"
+#include "obs/wait.h"
 
 namespace hirel {
+
+namespace {
+
+// The map latch protects entry lookup and stats; the per-entry build
+// latch serializes same-relation validate/rebuild. Both are on the
+// concurrent Get path, so contention here is wait-class latch.
+obs::WaitEventRegistry::Site& MapLatchSite() {
+  static obs::WaitEventRegistry::Site& site =
+      obs::WaitEventRegistry::Global().RegisterSite("cache.map_latch",
+                                                    obs::WaitClass::kLatch);
+  return site;
+}
+
+obs::WaitEventRegistry::Site& EntryLatchSite() {
+  static obs::WaitEventRegistry::Site& site =
+      obs::WaitEventRegistry::Global().RegisterSite("cache.entry_latch",
+                                                    obs::WaitClass::kLatch);
+  return site;
+}
+
+}  // namespace
 
 std::vector<uint64_t> SubsumptionCache::HierarchyVersions(
     const HierarchicalRelation& relation) {
@@ -30,7 +52,7 @@ const SubsumptionGraph& SubsumptionCache::Get(
     GetOutcome* outcome) {
   Entry* entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
     std::unique_ptr<Entry>& slot = entries_[relation.name()];
     if (slot == nullptr) slot = std::make_unique<Entry>();
     entry = slot.get();
@@ -38,9 +60,10 @@ const SubsumptionGraph& SubsumptionCache::Get(
   // Build (or validate) outside the map lock so misses on different
   // relations proceed in parallel; the per-entry latch coalesces
   // same-name rebuilds and makes the version check race-free.
-  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  obs::TrackedLock<std::mutex> build_lock(entry->build_mutex,
+                                          EntryLatchSite());
   if (entry->relation_version != 0 && Matches(*entry, relation)) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
     ++stats_.hits;
     if (outcome != nullptr) *outcome = GetOutcome::kHit;
     return entry->graph;
@@ -51,7 +74,7 @@ const SubsumptionGraph& SubsumptionCache::Get(
       TryPatch(*entry, relation, threads, &journal_overflow)) {
     ++entry->patches;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
       ++stats_.misses;
       ++stats_.patches;
     }
@@ -61,7 +84,7 @@ const SubsumptionGraph& SubsumptionCache::Get(
     return entry->graph;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
     ++stats_.misses;
     ++stats_.rebuilds;
     if (journal_overflow) ++stats_.journal_overflows;
@@ -180,19 +203,20 @@ bool SubsumptionCache::TryPatch(Entry& entry,
 bool SubsumptionCache::Fresh(const HierarchicalRelation& relation) const {
   Entry* entry = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
     auto it = entries_.find(relation.name());
     if (it == entries_.end()) return false;
     entry = it->second.get();
   }
-  std::lock_guard<std::mutex> build_lock(entry->build_mutex);
+  obs::TrackedLock<std::mutex> build_lock(entry->build_mutex,
+                                          EntryLatchSite());
   return entry->relation_version != 0 && Matches(*entry, relation);
 }
 
 void SubsumptionCache::Invalidate(const std::string& name) {
   bool erased;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    obs::TrackedLock<std::mutex> lock(mutex_, MapLatchSite());
     erased = entries_.erase(name) > 0;
     if (erased) ++stats_.invalidations;
   }

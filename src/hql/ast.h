@@ -132,6 +132,7 @@ struct ShowStmt {
     kLog,          // SHOW LOG [JSON]: the in-memory event-log ring
     kStorage,      // SHOW STORAGE: per-relation layout and byte breakdown
     kQueries,      // SHOW QUERIES [JSON]: the query-history ring, newest first
+    kTelemetry,    // SHOW TELEMETRY [JSON]: the sampler's history rings
   };
   What what = What::kRelations;
   std::string name;
@@ -258,6 +259,16 @@ struct SetIncrementalStmt {
   bool on = true;
 };
 
+/// SET TELEMETRY ON|OFF|INTERVAL n: control the background sampler that
+/// records metric history into the sys.metrics_history rings. OFF stops
+/// the thread entirely (zero query-path cost); INTERVAL n sets the sample
+/// period in milliseconds without changing the on/off state.
+struct SetTelemetryStmt {
+  enum class Mode { kOn, kOff, kInterval };
+  Mode mode = Mode::kOn;
+  int64_t interval_ms = 0;  // for kInterval
+};
+
 using Statement =
     std::variant<CreateHierarchyStmt, CreateClassStmt, CreateInstanceStmt,
                  CreateRelationStmt, CreateAsStmt, CreateProjectStmt,
@@ -268,7 +279,8 @@ using Statement =
                  SetThreadsStmt, RuleStmt, DeriveStmt, CountStmt,
                  ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
                  ResetMetricsStmt, SetSlowQueryStmt, SetLogStmt,
-                 ExportTraceStmt, SetStorageStmt, SetIncrementalStmt>;
+                 ExportTraceStmt, SetStorageStmt, SetIncrementalStmt,
+                 SetTelemetryStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

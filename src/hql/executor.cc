@@ -120,6 +120,9 @@ struct TraceName {
   const char* operator()(const SetIncrementalStmt&) const {
     return "set incremental";
   }
+  const char* operator()(const SetTelemetryStmt&) const {
+    return "set telemetry";
+  }
 };
 
 /// Statements whose traces are worth keeping. SHOW TRACE / SHOW METRICS /
@@ -132,7 +135,8 @@ bool TraceWorthy(const Statement& statement) {
     return show->what != ShowStmt::What::kMetrics &&
            show->what != ShowStmt::What::kTrace &&
            show->what != ShowStmt::What::kLog &&
-           show->what != ShowStmt::What::kQueries;
+           show->what != ShowStmt::What::kQueries &&
+           show->what != ShowStmt::What::kTelemetry;
   }
   return true;
 }
@@ -180,10 +184,16 @@ void LogSlowQuery(Database& db, const std::string& text,
   db.metrics().counter("query.slow_queries").Add();
   std::string nodes;
   AppendNodeActuals(root, stats, nodes);
+  // Split the wall time into attributed wait vs execute so the log says
+  // whether a slow statement was working or waiting. Attributed waits on
+  // pool workers can overlap the caller's wall clock, so clamp at zero.
+  const uint64_t wait_ns = stats.wait_ns > ns ? ns : stats.wait_ns;
   HIREL_LOG(obs::LogLevel::kWarn, "query", "slow_query",
             {{"text", text},
              {"digest", plan::PlanDigest(root)},
              {"ms", NsToMs(ns)},
+             {"wait_ms", NsToMs(wait_ns)},
+             {"exec_ms", NsToMs(ns - wait_ns)},
              {"nodes_executed", StrCat(stats.nodes_executed)},
              {"probes", StrCat(stats.subsumption_probes)},
              {"nodes", nodes}});
@@ -209,6 +219,7 @@ Result<std::string> Executor::Execute(std::string_view source) {
 
   active_trace_ = &trace;
   ThreadPool::Shared().StartChunkCapture();
+  obs::WaitEventRegistry::Global().StartCapture();
   bool keep_trace = false;
   std::string output;
   Status failure = Status::OK();
@@ -232,9 +243,12 @@ Result<std::string> Executor::Execute(std::string_view source) {
   current_statement_text_.clear();
   std::vector<ThreadPool::ChunkSpan> chunks =
       ThreadPool::Shared().StopChunkCapture();
+  std::vector<obs::WaitEventRegistry::WaitSpan> waits =
+      obs::WaitEventRegistry::Global().StopCapture();
   if (keep_trace) {
     trace_ = std::move(trace);
     pool_spans_ = std::move(chunks);
+    wait_spans_ = std::move(waits);
   }
   HIREL_RETURN_IF_ERROR(failure);
   return output;
@@ -245,6 +259,7 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
   obs::Trace trace;
   active_trace_ = &trace;
   ThreadPool::Shared().StartChunkCapture();
+  obs::WaitEventRegistry::Global().StartCapture();
   db_->metrics().counter("query.statements").Add();
   Result<std::string> result = [&]() {
     obs::Trace::Scope span(&trace, std::visit(TraceName{}, statement));
@@ -253,24 +268,35 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
   active_trace_ = nullptr;
   std::vector<ThreadPool::ChunkSpan> chunks =
       ThreadPool::Shared().StopChunkCapture();
+  std::vector<obs::WaitEventRegistry::WaitSpan> waits =
+      obs::WaitEventRegistry::Global().StopCapture();
   if (!result.ok()) db_->metrics().counter("query.errors").Add();
   if (TraceWorthy(statement)) {
     trace_ = std::move(trace);
     pool_spans_ = std::move(chunks);
+    wait_spans_ = std::move(waits);
   }
   return result;
 }
 
 void Executor::InstallSystemCatalog() {
-  obs::RegisterSystemCatalog(*db_, &history_);
+  // Re-target the sampler before registering providers: after LOAD the old
+  // registry is about to be destroyed with the old database, and the
+  // sampler thread must never sample a stale pointer.
+  telemetry_.SetRegistry(&db_->metrics());
+  obs::RegisterSystemCatalog(*db_, &history_, &telemetry_);
 }
 
 Result<std::string> Executor::ExecuteTracked(const Statement& statement) {
   pending_ = PendingPlanStats{};
   obs::ResetTrackedPeak();
+  const uint64_t wait_mark =
+      obs::WaitEventRegistry::Global().attributed_wait_ns();
   auto start = std::chrono::steady_clock::now();
   Result<std::string> result = ExecuteStatementImpl(statement);
   uint64_t ns = ElapsedNs(start);
+  const uint64_t wait_ns =
+      obs::WaitEventRegistry::Global().attributed_wait_ns() - wait_mark;
   obs::QueryStats stats;
   stats.id = next_query_id_++;
   stats.kind = std::visit(TraceName{}, statement);
@@ -278,6 +304,7 @@ Result<std::string> Executor::ExecuteTracked(const Statement& statement) {
       current_statement_text_.empty() ? stats.kind : current_statement_text_;
   stats.ok = result.ok();
   stats.wall_ns = ns == 0 ? 1 : ns;
+  stats.wait_ns = wait_ns;
   stats.rows_in = pending_.rows_in;
   stats.rows_out = pending_.rows_out;
   stats.subsumption_probes = pending_.subsumption_probes;
@@ -809,6 +836,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
                   "\",\"statement\":\"", obs::JsonEscape(q.statement),
                   "\",\"ok\":", q.ok ? "true" : "false",
                   ",\"wall_us\":", q.wall_ns / 1000,
+                  ",\"wait_us\":", q.wait_ns / 1000,
                   ",\"rows_in\":", q.rows_in, ",\"rows_out\":", q.rows_out,
                   ",\"probes\":", q.subsumption_probes,
                   ",\"peak_bytes\":", q.peak_tracked_bytes,
@@ -826,7 +854,8 @@ Result<std::string> Executor::ExecuteStatementImpl(
                entries) {
             const obs::QueryStats& q = *entry;
             out += StrCat("  #", q.id, " [", q.kind, "] ",
-                          NsToMs(q.wall_ns), "ms rows=", q.rows_in, "->",
+                          NsToMs(q.wall_ns), "ms wait=", NsToMs(q.wait_ns),
+                          "ms rows=", q.rows_in, "->",
                           q.rows_out, " probes=", q.subsumption_probes,
                           " peak=", q.peak_tracked_bytes, "B");
             if (!q.plan_digest.empty()) {
@@ -835,6 +864,67 @@ Result<std::string> Executor::ExecuteStatementImpl(
             out += StrCat(" storage=", q.storage, " threads=", q.threads);
             if (!q.ok) out += " FAILED";
             out += StrCat("  ", q.statement, "\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kTelemetry: {
+          obs::TelemetrySampler& t = self.telemetry_;
+          std::vector<obs::TelemetrySampler::SeriesSnapshot> series =
+              t.Snapshot();
+          // Rate over the ring's visible window: value delta per second
+          // between the oldest and newest retained samples (0 with fewer
+          // than two samples). Meaningful for counters; gauges report the
+          // same delta/dt, signed.
+          auto rate_per_s = [](const obs::TelemetrySampler::SeriesSnapshot&
+                                   s) -> double {
+            if (s.samples.size() < 2) return 0.0;
+            const auto& first = s.samples.front();
+            const auto& last = s.samples.back();
+            if (last.ts_ms <= first.ts_ms) return 0.0;
+            return (static_cast<double>(static_cast<int64_t>(last.value)) -
+                    static_cast<double>(static_cast<int64_t>(first.value))) *
+                   1000.0 /
+                   static_cast<double>(last.ts_ms - first.ts_ms);
+          };
+          auto fmt = [](double v) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.3f", v);
+            return std::string(buf);
+          };
+          if (stmt.json) {
+            std::string out = StrCat(
+                "{\"on\":", t.running() ? "true" : "false",
+                ",\"interval_ms\":", t.interval_ms(),
+                ",\"ticks\":", t.ticks(),
+                ",\"ring_capacity\":", t.ring_capacity(), ",\"metrics\":{");
+            for (size_t i = 0; i < series.size(); ++i) {
+              const auto& s = series[i];
+              if (i > 0) out += ",";
+              out += StrCat("\"", obs::JsonEscape(s.name), "\":{\"kind\":\"",
+                            s.kind, "\",\"min\":", s.min, ",\"max\":", s.max,
+                            ",\"last\":", s.last,
+                            ",\"rate_per_s\":", fmt(rate_per_s(s)),
+                            ",\"samples\":[");
+              for (size_t j = 0; j < s.samples.size(); ++j) {
+                const auto& sample = s.samples[j];
+                if (j > 0) out += ",";
+                out += StrCat("[", sample.seq, ",", sample.ts_ms, ",",
+                              sample.value, "]");
+              }
+              out += "]}";
+            }
+            out += "}}\n";
+            return out;
+          }
+          std::string out = StrCat(
+              "telemetry: ", t.running() ? "on" : "off", " (interval ",
+              t.interval_ms(), " ms, ticks ", t.ticks(), ", ring ",
+              t.ring_capacity(), "/metric)\n");
+          for (const auto& s : series) {
+            out += StrCat("  ", std::string(1, s.kind), " ", s.name,
+                          " last=", s.last, " min=", s.min, " max=", s.max,
+                          " rate=", fmt(rate_per_s(s)), "/s (",
+                          s.samples.size(), " sample(s))\n");
           }
           return out;
         }
@@ -1049,6 +1139,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
     Result<std::string> operator()(const LoadStmt& stmt) {
       HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> loaded,
                              LoadDatabase(stmt.path));
+      // Detach the sampler before the old database (and its registry) is
+      // destroyed by the swap; InstallSystemCatalog re-attaches it.
+      self.telemetry_.SetRegistry(nullptr);
       self.db_ = std::move(loaded);
       // The loaded database has no providers; re-register them so sys.*
       // keeps answering (the history ring itself survives the swap).
@@ -1066,6 +1159,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
       db.metrics().Reset();
       db.subsumption_cache().ResetStats();
       ThreadPool::Shared().ResetStats();
+      obs::WaitEventRegistry::Global().Reset();
       return std::string("metrics reset\n");
     }
 
@@ -1099,6 +1193,34 @@ Result<std::string> Executor::ExecuteStatementImpl(
                     "\n");
     }
 
+    Result<std::string> operator()(const SetTelemetryStmt& stmt) {
+      obs::TelemetrySampler& t = self.telemetry_;
+      switch (stmt.mode) {
+        case SetTelemetryStmt::Mode::kOn:
+          t.Start();
+          HIREL_LOG(obs::LogLevel::kInfo, "telemetry", "start",
+                    {{"interval_ms", StrCat(t.interval_ms())}});
+          return StrCat("telemetry: on (interval ", t.interval_ms(),
+                        " ms)\n");
+        case SetTelemetryStmt::Mode::kOff:
+          t.Stop();
+          HIREL_LOG(obs::LogLevel::kInfo, "telemetry", "stop",
+                    {{"ticks", StrCat(t.ticks())}});
+          return std::string("telemetry: off (history retained)\n");
+        case SetTelemetryStmt::Mode::kInterval: {
+          if (stmt.interval_ms < 1 || stmt.interval_ms > 3'600'000) {
+            return Status::InvalidArgument(
+                StrCat("SET TELEMETRY INTERVAL expects 1..3600000 ms, got ",
+                       stmt.interval_ms));
+          }
+          t.SetIntervalMs(static_cast<uint64_t>(stmt.interval_ms));
+          return StrCat("telemetry: interval ", t.interval_ms(), " ms (",
+                        t.running() ? "on" : "off", ")\n");
+        }
+      }
+      return Status::Internal("unhandled telemetry mode");
+    }
+
     Result<std::string> operator()(const SetLogStmt& stmt) {
       obs::LogLevel level;
       if (!obs::ParseLogLevel(stmt.level, &level)) {
@@ -1111,7 +1233,8 @@ Result<std::string> Executor::ExecuteStatementImpl(
     }
 
     Result<std::string> operator()(const ExportTraceStmt& stmt) {
-      std::string json = obs::ChromeTraceJson(self.trace_, self.pool_spans_);
+      std::string json = obs::ChromeTraceJson(self.trace_, self.pool_spans_,
+                                              self.wait_spans_);
       std::FILE* file = std::fopen(stmt.path.c_str(), "w");
       if (file == nullptr) {
         return Status::IoError(

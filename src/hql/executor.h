@@ -16,7 +16,9 @@
 #include "core/transaction.h"
 #include "hql/ast.h"
 #include "obs/query_stats.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace hql {
@@ -59,6 +61,12 @@ class Executor {
   /// QUERIES expose). Every executed statement is recorded, pass or fail.
   const obs::QueryHistoryRing& query_history() const { return history_; }
 
+  /// The background metrics sampler behind sys.metrics_history and SHOW
+  /// TELEMETRY (SET TELEMETRY ON|OFF|INTERVAL n controls it). Exposed
+  /// mutable so tests can Tick() deterministically without the thread.
+  obs::TelemetrySampler& telemetry() { return telemetry_; }
+  const obs::TelemetrySampler& telemetry() const { return telemetry_; }
+
  private:
   /// Plan-level figures accumulated while one statement executes, folded
   /// into its QueryStats record afterwards. A statement may run more than
@@ -90,6 +98,13 @@ class Executor {
   // reverse order, and the sys.queries provider (owned by db_) never
   // touches the ring during destruction.
   obs::QueryHistoryRing history_;
+
+  // Metrics-history sampler behind sys.metrics_history. Declared after db_
+  // for the same destruction-order reason as history_; its thread (if SET
+  // TELEMETRY ON started one) is joined by its destructor before db_ (and
+  // the registry it samples) goes away. InstallSystemCatalog points it at
+  // the current database's registry, so LOAD re-targets it.
+  obs::TelemetrySampler telemetry_;
   uint64_t next_query_id_ = 1;
   PendingPlanStats pending_;
 
@@ -105,6 +120,10 @@ class Executor {
 
   // Pool chunk spans recorded while trace_ was captured.
   std::vector<ThreadPool::ChunkSpan> pool_spans_;
+
+  // Wait spans recorded while trace_ was captured (EXPORT TRACE places
+  // them on the same per-worker tracks as the chunk spans).
+  std::vector<obs::WaitEventRegistry::WaitSpan> wait_spans_;
 
   // The trace being recorded for the current Execute call (null outside
   // one) and the last completed, trace-worthy query's spans. SHOW TRACE /

@@ -389,6 +389,9 @@ class Parser {
       } else if (AcceptKeyword("QUERIES")) {
         stmt.what = ShowStmt::What::kQueries;
         stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptKeyword("TELEMETRY")) {
+        stmt.what = ShowStmt::What::kTelemetry;
+        stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
         HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
@@ -397,7 +400,7 @@ class Parser {
       } else {
         return Error(
             "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
-            "METRICS, TRACE, LOG, STORAGE, or QUERIES");
+            "METRICS, TRACE, LOG, STORAGE, QUERIES, or TELEMETRY");
       }
       return Statement(std::move(stmt));
     }
@@ -520,6 +523,26 @@ class Parser {
           stmt.on = false;
         } else {
           return Error("SET INCREMENTAL expects ON or OFF");
+        }
+        return Statement(stmt);
+      }
+      if (AcceptKeyword("TELEMETRY")) {
+        SetTelemetryStmt stmt;
+        if (AcceptKeyword("ON")) {
+          stmt.mode = SetTelemetryStmt::Mode::kOn;
+        } else if (Check(TokenType::kIdentifier) &&
+                   EqualsIgnoreCase(Peek().text, "off")) {
+          // OFF is not a reserved word (same treatment as SLOW_QUERY_MS).
+          Advance();
+          stmt.mode = SetTelemetryStmt::Mode::kOff;
+        } else if (AcceptKeyword("INTERVAL")) {
+          if (Peek().type != TokenType::kInteger) {
+            return Error("SET TELEMETRY INTERVAL expects an integer (ms)");
+          }
+          stmt.mode = SetTelemetryStmt::Mode::kInterval;
+          stmt.interval_ms = Advance().int_value;
+        } else {
+          return Error("SET TELEMETRY expects ON, OFF, or INTERVAL n");
         }
         return Statement(stmt);
       }

@@ -66,8 +66,10 @@ std::string HelpText() {
     SHOW LOG [JSON];                             -- in-memory event log
     SET LOG debug|info|warn|error|off;           -- logger minimum level
     SET SLOW_QUERY_MS n;                         -- log statements >= n ms (OFF to disable)
-    EXPORT TRACE 'file.json';                    -- Chrome trace-event JSON
-    RESET METRICS;                               -- zero every metric
+    SET TELEMETRY ON|OFF|INTERVAL n;             -- background metric sampler (n in ms)
+    SHOW TELEMETRY [JSON];                       -- sampled metric history rings
+    EXPORT TRACE 'file.json';                    -- Chrome trace-event JSON (incl. wait spans)
+    RESET METRICS;                               -- zero every metric and wait aggregate
 
   system catalog (read-only virtual relations; SELECT/JOIN like any other)
     sys.metrics    -- every counter/gauge/histogram; name is hierarchical,
@@ -77,7 +79,11 @@ std::string HelpText() {
     sys.columns    -- per-column byte and dictionary breakdown
     sys.cache      -- subsumption-cache entries with version stamps
     sys.pool       -- per-thread busy time
-    sys.queries    -- per-query accounting (wall, rows, probes, peak bytes)
+    sys.queries    -- per-query accounting (wall, wait, rows, probes, peak bytes)
+    sys.waits      -- wait-event aggregates; site hierarchy classed by
+                   -- cpu_queue/latch/lock/io, so WHERE site = ALL latch works
+    sys.metrics_history -- the telemetry sampler's rings; name shares the
+                   -- sys.metrics hierarchy, so WHERE name = ALL pool works
 )";
 }
 

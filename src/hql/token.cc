@@ -22,6 +22,7 @@ constexpr std::array kReservedWords = {
     "ANALYZE",     "METRICS",   "TRACE",     "RESET",     "JSON",
     "THREADS",     "LOG",       "EXPORT",    "PROMETHEUS",
     "SLOW_QUERY_MS", "STORAGE",   "QUERIES",   "INCREMENTAL",
+    "TELEMETRY",   "INTERVAL",
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/str_util.h"
 #include "io/coding.h"
 #include "obs/log.h"
+#include "obs/wait.h"
 
 namespace hirel {
 
@@ -362,6 +363,10 @@ Status SaveDatabase(const Database& db, const std::string& path) {
   HIREL_ASSIGN_OR_RETURN(std::string data, SerializeDatabase(db));
   std::string tmp = path + ".tmp";
   {
+    static obs::WaitEventRegistry::Site& save_site =
+        obs::WaitEventRegistry::Global().RegisterSite("snapshot.save",
+                                                      obs::WaitClass::kIo);
+    obs::ScopedWait wait(save_site);
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Status::IoError(StrCat("cannot open '", tmp, "' for writing"));
@@ -389,14 +394,21 @@ Result<std::unique_ptr<Database>> LoadDatabase(const std::string& path) {
   if (!S_ISREG(st.st_mode)) {
     return Status::IoError(StrCat("'", path, "' is not a regular file"));
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::IoError(StrCat("cannot open '", path, "' for reading"));
-  }
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::IoError(StrCat("read error on '", path, "'"));
+  std::string data;
+  {
+    static obs::WaitEventRegistry::Site& load_site =
+        obs::WaitEventRegistry::Global().RegisterSite("snapshot.load",
+                                                      obs::WaitClass::kIo);
+    obs::ScopedWait wait(load_site);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      return Status::IoError(StrCat("cannot open '", path, "' for reading"));
+    }
+    data.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+    if (in.bad()) {
+      return Status::IoError(StrCat("read error on '", path, "'"));
+    }
   }
   HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                          DeserializeDatabase(data));

@@ -10,6 +10,7 @@
 #include "io/coding.h"
 #include "io/snapshot.h"
 #include "obs/log.h"
+#include "obs/wait.h"
 
 namespace hirel {
 
@@ -267,11 +268,19 @@ Status WalWriter::Append(std::string_view payload) {
   for (int i = 0; i < 8; ++i) {
     frame.push_back(static_cast<char>((checksum >> (8 * i)) & 0xff));
   }
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status::IoError("wal: short write");
-  }
-  if (std::fflush(file_) != 0) {
-    return Status::IoError("wal: flush failed");
+  {
+    // Durability is the engine's dominant io wait: every committed frame
+    // blocks on the write + flush pair.
+    static obs::WaitEventRegistry::Site& flush_site =
+        obs::WaitEventRegistry::Global().RegisterSite("wal.flush",
+                                                      obs::WaitClass::kIo);
+    obs::ScopedWait wait(flush_site);
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+      return Status::IoError("wal: short write");
+    }
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("wal: flush failed");
+    }
   }
   if (metrics_ != nullptr) {
     metrics_->counter("wal.records_appended").Add();

@@ -117,10 +117,30 @@ void AppendSeries(std::string& out, const std::string& name,
   out += ' ';
 }
 
+// Prometheus HELP escaping: backslash and newline only.
+void AppendHelpLine(std::string& out, const std::string& name,
+                    std::string_view raw) {
+  out += StrCat("# HELP ", name, " ");
+  for (char c : MetricHelp(raw)) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '\n';
+}
+
 }  // namespace
 
-std::string ChromeTraceJson(const Trace& trace,
-                            const std::vector<ThreadPool::ChunkSpan>& pool) {
+std::string ChromeTraceJson(
+    const Trace& trace, const std::vector<ThreadPool::ChunkSpan>& pool,
+    const std::vector<WaitEventRegistry::WaitSpan>& waits) {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -140,10 +160,14 @@ std::string ChromeTraceJson(const Trace& trace,
     for (const auto& c : pool) {
       if (epoch == 0 || c.start_ns < epoch) epoch = c.start_ns;
     }
+    for (const auto& w : waits) {
+      if (epoch == 0 || w.start_ns < epoch) epoch = w.start_ns;
+    }
   }
 
   std::vector<size_t> pool_threads;
   for (const auto& c : pool) pool_threads.push_back(c.worker);
+  for (const auto& w : waits) pool_threads.push_back(w.track);
   std::sort(pool_threads.begin(), pool_threads.end());
   pool_threads.erase(std::unique(pool_threads.begin(), pool_threads.end()),
                      pool_threads.end());
@@ -171,6 +195,17 @@ std::string ChromeTraceJson(const Trace& trace,
                   "}}");
   }
 
+  for (const auto& w : waits) {
+    sep();
+    out += StrCat("{\"ph\":\"X\",\"pid\":1,\"tid\":",
+                  kPoolTidBase + static_cast<int>(w.track),
+                  ",\"name\":\"wait:", w.site, "\",\"cat\":\"wait\",\"ts\":");
+    AppendMicros(out, w.start_ns >= epoch ? w.start_ns - epoch : 0);
+    out += ",\"dur\":";
+    AppendMicros(out, w.dur_ns);
+    out += StrCat(",\"args\":{\"class\":\"", WaitClassName(w.cls), "\"}}");
+  }
+
   out += "]}";
   return out;
 }
@@ -180,12 +215,14 @@ std::string PrometheusText(const MetricsRegistry& metrics) {
   std::string name;
   for (const auto& [raw, c] : metrics.counters()) {
     const bool changed = SanitizeName(raw, name);
+    AppendHelpLine(out, name, raw);
     out += StrCat("# TYPE ", name, " counter\n");
     AppendSeries(out, name, changed ? raw : std::string_view(), {}, {});
     out += StrCat(c->value(), "\n");
   }
   for (const auto& [raw, g] : metrics.gauges()) {
     const bool changed = SanitizeName(raw, name);
+    AppendHelpLine(out, name, raw);
     out += StrCat("# TYPE ", name, " gauge\n");
     AppendSeries(out, name, changed ? raw : std::string_view(), {}, {});
     out += StrCat(g->value(), "\n");
@@ -193,10 +230,11 @@ std::string PrometheusText(const MetricsRegistry& metrics) {
   for (const auto& [raw, h] : metrics.histograms()) {
     const bool changed = SanitizeName(raw, name);
     const std::string_view raw_label = changed ? raw : std::string_view();
+    AppendHelpLine(out, name, raw);
     out += StrCat("# TYPE ", name, " histogram\n");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
-      cumulative += h->buckets()[i];
+      cumulative += h->bucket(i);
       const uint64_t bound = Histogram::BucketBound(i);
       AppendSeries(out, name + "_bucket", raw_label, "le",
                    bound == 0 ? std::string("+Inf") : StrCat(bound));

@@ -19,22 +19,30 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace obs {
 
-/// Chrome trace-event JSON for `trace` and the pool chunk spans captured
-/// while it ran. Span start offsets come from TraceSpan::start_ns; pool
-/// spans carry absolute steady-clock stamps and are aligned by subtracting
-/// trace.epoch_ns() (or the earliest pool stamp when the trace is empty).
-std::string ChromeTraceJson(const Trace& trace,
-                            const std::vector<ThreadPool::ChunkSpan>& pool);
+/// Chrome trace-event JSON for `trace`, the pool chunk spans, and the
+/// wait spans captured while it ran. Span start offsets come from
+/// TraceSpan::start_ns; pool and wait spans carry absolute steady-clock
+/// stamps and are aligned by subtracting trace.epoch_ns() (or the
+/// earliest pool stamp when the trace is empty). Wait spans render as
+/// "wait:<site>" events on the pool-thread track their wait happened on
+/// (track 0 = the caller/session thread), so working and waiting
+/// interleave on the same timeline.
+std::string ChromeTraceJson(
+    const Trace& trace, const std::vector<ThreadPool::ChunkSpan>& pool,
+    const std::vector<WaitEventRegistry::WaitSpan>& waits = {});
 
 /// Prometheus text exposition of every metric in `metrics`. Names are
 /// sanitized to [a-zA-Z0-9_] with a `hirel_` prefix; when sanitization
 /// changed the name, the raw name is preserved as a `name` label (with
-/// Prometheus label escaping). Histograms render cumulative `_bucket`
-/// series with `le` bounds in nanoseconds, plus `_sum` and `_count`.
+/// Prometheus label escaping). Every metric family gets a `# HELP` line
+/// (from the MetricHelp registry) followed by `# TYPE`. Histograms render
+/// cumulative `_bucket` series with `le` bounds in nanoseconds, plus
+/// `_sum` and `_count`.
 std::string PrometheusText(const MetricsRegistry& metrics);
 
 }  // namespace obs

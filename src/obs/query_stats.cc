@@ -2,8 +2,29 @@
 
 #include <mutex>
 
+#include "obs/wait.h"
+
 namespace hirel {
 namespace obs {
+
+namespace {
+
+// Ring lock wait sites: contention here means history readers (sys.queries
+// scans, a future server's introspection endpoints) are colliding with the
+// executor's per-statement Append.
+WaitEventRegistry::Site& RingWriteSite() {
+  static WaitEventRegistry::Site& site = WaitEventRegistry::Global()
+      .RegisterSite("query_ring.write", WaitClass::kLock);
+  return site;
+}
+
+WaitEventRegistry::Site& RingReadSite() {
+  static WaitEventRegistry::Site& site = WaitEventRegistry::Global()
+      .RegisterSite("query_ring.read", WaitClass::kLock);
+  return site;
+}
+
+}  // namespace
 
 QueryHistoryRing::QueryHistoryRing(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
@@ -14,7 +35,7 @@ void QueryHistoryRing::Append(QueryStats stats) {
   // pointer stores.
   std::shared_ptr<const QueryStats> record =
       std::make_shared<const QueryStats>(std::move(stats));
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  TrackedLock<std::shared_mutex> lock(mutex_, RingWriteSite());
   uint64_t head = head_.load(std::memory_order_relaxed);
   slots_[head % capacity_] = std::move(record);
   head_.store(head + 1, std::memory_order_release);
@@ -22,7 +43,7 @@ void QueryHistoryRing::Append(QueryStats stats) {
 
 std::vector<std::shared_ptr<const QueryStats>> QueryHistoryRing::Snapshot()
     const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  TrackedSharedLock<std::shared_mutex> lock(mutex_, RingReadSite());
   uint64_t head = head_.load(std::memory_order_acquire);
   uint64_t first = head > capacity_ ? head - capacity_ : 0;
   std::vector<std::shared_ptr<const QueryStats>> out;

@@ -38,6 +38,8 @@ struct QueryStats {
   std::string statement;         // source text (may be empty)
   bool ok = true;                // false when the statement failed
   uint64_t wall_ns = 0;          // end-to-end statement wall time, >= 1
+  uint64_t wait_ns = 0;          // attributed wait time inside wall_ns
+                                 // (queue/latch/lock/io; see obs/wait.h)
   uint64_t rows_in = 0;          // tuples scanned by the plan's Scan nodes
   uint64_t rows_out = 0;         // tuples (or rows) the statement produced
   uint64_t subsumption_probes = 0;  // exact; matches EXPLAIN ANALYZE totals

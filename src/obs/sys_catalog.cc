@@ -9,6 +9,8 @@
 #include "common/thread_pool.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace obs {
@@ -23,6 +25,7 @@ struct SysDomains {
   Hierarchy* severity = nullptr;  // sys.severity: debug ⊃ info ⊃ warn ⊃ error
   Hierarchy* num = nullptr;       // sys.num: interned integer measures
   Hierarchy* text = nullptr;      // sys.text: free-form strings
+  Hierarchy* waitsite = nullptr;  // sys.waitsite: wait class ⊃ wait site
 };
 
 /// Interns a metric name into the metric-name hierarchy: one class per
@@ -48,6 +51,18 @@ NodeId InternMetricName(Hierarchy& h, const std::string& name) {
   if (instance.ok()) return *instance;
   Result<NodeId> added = h.AddInstance(Value::String(name), parent);
   return added.ok() ? *added : h.Intern(Value::String(name));
+}
+
+/// Interns a wait site under its wait-class class node (added at
+/// registration), so `ALL latch` covers every latch site.
+NodeId InternWaitSite(Hierarchy& h, WaitClass cls, const std::string& site) {
+  NodeId parent = h.root();
+  Result<NodeId> cls_node = h.FindClass(WaitClassName(cls));
+  if (cls_node.ok()) parent = *cls_node;
+  Result<NodeId> instance = h.FindInstance(Value::String(site));
+  if (instance.ok()) return *instance;
+  Result<NodeId> added = h.AddInstance(Value::String(site), parent);
+  return added.ok() ? *added : h.Intern(Value::String(site));
 }
 
 /// Common shape of a provider: fixed name + schema, rows built fresh on
@@ -105,7 +120,7 @@ class SysMetricsProvider : public SysProviderBase {
   size_t EstimatedRows() override {
     const MetricsRegistry& m = db_->metrics();
     return m.counters().size() + m.gauges().size() +
-           4 * m.histograms().size();
+           8 * m.histograms().size();
   }
 
   Result<HierarchicalRelation> Materialize() override {
@@ -137,13 +152,24 @@ class SysMetricsProvider : public SysProviderBase {
       HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
                                              Num(h->max_ns()),
                                              Label("max_ns")}));
+      if (h->count() > 0) {
+        HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                               Num(h->QuantileNs(0.5)),
+                                               Label("p50_ns")}));
+        HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                               Num(h->QuantileNs(0.9)),
+                                               Label("p90_ns")}));
+        HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
+                                               Num(h->QuantileNs(0.99)),
+                                               Label("p99_ns")}));
+      }
       for (size_t i = 0; i < Histogram::kBuckets; ++i) {
-        if (h->buckets()[i] == 0) continue;
+        if (h->bucket(i) == 0) continue;
         uint64_t bound = Histogram::BucketBound(i);
         NodeId bucket = bound > 0 ? Label(StrCat("le_", bound, "_ns"))
                                   : Label("overflow");
         HIREL_RETURN_IF_ERROR(AddRow(rel, Item{metric_node, histogram_kind,
-                                               Num(h->buckets()[i]),
+                                               Num(h->bucket(i)),
                                                bucket}));
       }
     }
@@ -428,6 +454,7 @@ class SysQueriesProvider : public SysProviderBase {
                 Label(q.kind),
                 Text(q.statement),
                 Num(wall_us),
+                Num(q.wait_ns / 1000),
                 Num(q.rows_in),
                 Num(q.rows_out),
                 Num(q.subsumption_probes),
@@ -438,6 +465,91 @@ class SysQueriesProvider : public SysProviderBase {
   }
 
   const QueryHistoryRing* history_;
+};
+
+// ----- sys.waits ------------------------------------------------------------
+
+class SysWaitsProvider : public SysProviderBase {
+ public:
+  using SysProviderBase::SysProviderBase;
+
+  size_t EstimatedRows() override {
+    return WaitEventRegistry::Global().Snapshot().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    for (const auto& site : WaitEventRegistry::Global().Snapshot()) {
+      if (site.count == 0) continue;  // never-hit sites stay invisible
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel, Item{InternWaitSite(*domains_.waitsite, site.cls, site.name),
+                    Label(WaitClassName(site.cls)), Num(site.count),
+                    Num(site.total_ns / 1000), Num(site.max_ns / 1000)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    for (const auto& site : WaitEventRegistry::Global().Snapshot()) {
+      if (site.count == 0) continue;
+      InternWaitSite(*domains_.waitsite, site.cls, site.name);
+      Label(WaitClassName(site.cls));
+      Num(site.count);
+      Num(site.total_ns / 1000);
+      Num(site.max_ns / 1000);
+    }
+  }
+};
+
+// ----- sys.metrics_history --------------------------------------------------
+
+class SysMetricsHistoryProvider : public SysProviderBase {
+ public:
+  SysMetricsHistoryProvider(std::string name, Schema schema,
+                            SysDomains domains,
+                            const TelemetrySampler* telemetry)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        telemetry_(telemetry) {}
+
+  size_t EstimatedRows() override {
+    if (telemetry_ == nullptr) return 0;
+    size_t rows = 0;
+    for (const auto& series : telemetry_->Snapshot()) {
+      rows += series.samples.size();
+    }
+    return rows;
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    if (telemetry_ == nullptr) return rel;
+    for (const auto& series : telemetry_->Snapshot()) {
+      NodeId metric_node = InternMetricName(*domains_.metric, series.name);
+      for (const auto& sample : series.samples) {
+        HIREL_RETURN_IF_ERROR(
+            AddRow(rel, Item{metric_node, Num(sample.seq), Num(sample.ts_ms),
+                             Num(sample.value)}));
+      }
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    if (telemetry_ == nullptr) return;
+    for (const auto& series : telemetry_->Snapshot()) {
+      InternMetricName(*domains_.metric, series.name);
+      for (const auto& sample : series.samples) {
+        Num(sample.seq);
+        Num(sample.ts_ms);
+        Num(sample.value);
+      }
+    }
+  }
+
+ private:
+  const TelemetrySampler* telemetry_;
 };
 
 Schema MakeSchema(
@@ -453,13 +565,15 @@ Schema MakeSchema(
 
 }  // namespace
 
-void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
+void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
+                           const TelemetrySampler* telemetry) {
   SysDomains domains;
   domains.label = db.AddSysHierarchy("sys.label");
   domains.metric = db.AddSysHierarchy("sys.metric");
   domains.severity = db.AddSysHierarchy("sys.severity");
   domains.num = db.AddSysHierarchy("sys.num");
   domains.text = db.AddSysHierarchy("sys.text");
+  domains.waitsite = db.AddSysHierarchy("sys.waitsite");
 
   // Severity: a chain of classes from general (debug: every event) to
   // specific (error), each holding its level's events as an instance, so
@@ -470,6 +584,13 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
     if (!cls.ok()) break;  // unreachable: fresh hierarchy
     (void)domains.severity->AddInstance(Value::String(level), *cls);
     parent = *cls;
+  }
+
+  // Wait classes: flat classes under the root; sites intern as instances
+  // beneath their class, so `ALL io` covers every io site.
+  for (size_t i = 0; i < kNumWaitClasses; ++i) {
+    (void)domains.waitsite->AddClass(WaitClassName(static_cast<WaitClass>(i)),
+                                     domains.waitsite->root());
   }
 
   (void)db.RegisterVirtualRelation(std::make_unique<SysMetricsProvider>(
@@ -520,6 +641,7 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
                   {"kind", domains.label},
                   {"statement", domains.text},
                   {"wall_us", domains.num},
+                  {"wait_us", domains.num},
                   {"rows_in", domains.num},
                   {"rows_out", domains.num},
                   {"probes", domains.num},
@@ -528,6 +650,22 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history) {
                   {"storage", domains.label},
                   {"threads", domains.num}}),
       domains, history));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysWaitsProvider>(
+      "sys.waits",
+      MakeSchema({{"site", domains.waitsite},
+                  {"wait_class", domains.label},
+                  {"waits", domains.num},
+                  {"total_us", domains.num},
+                  {"max_us", domains.num}}),
+      domains));
+  (void)db.RegisterVirtualRelation(
+      std::make_unique<SysMetricsHistoryProvider>(
+          "sys.metrics_history",
+          MakeSchema({{"name", domains.metric},
+                      {"seq", domains.num},
+                      {"ts_ms", domains.num},
+                      {"value", domains.num}}),
+          domains, telemetry));
 }
 
 void SyncEngineGauges(const Database& db) {
@@ -562,6 +700,18 @@ void SyncEngineGauges(const Database& db) {
   for (size_t i = 0; i < pool.per_thread_busy_ns.size(); ++i) {
     m.gauge(StrCat("pool.thread", i, ".busy_ms"))
         .Set(static_cast<int64_t>(pool.per_thread_busy_ns[i] / 1'000'000));
+  }
+  // Per-class wait-event totals (the coarse rollup of sys.waits), so the
+  // metric surface — and with it the telemetry sampler — sees where the
+  // engine blocks.
+  const std::array<WaitEventRegistry::ClassTotals, kNumWaitClasses>
+      wait_totals = WaitEventRegistry::Global().PerClass();
+  for (size_t i = 0; i < wait_totals.size(); ++i) {
+    const char* cls = WaitClassName(static_cast<WaitClass>(i));
+    m.gauge(StrCat("waits.", cls, ".count"))
+        .Set(static_cast<int64_t>(wait_totals[i].count));
+    m.gauge(StrCat("waits.", cls, ".ms"))
+        .Set(static_cast<int64_t>(wait_totals[i].total_ns / 1'000'000));
   }
   size_t row_relations = 0, columnar_relations = 0;
   size_t row_bytes = 0, columnar_bytes = 0;

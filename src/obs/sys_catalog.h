@@ -22,9 +22,18 @@
 //                  entries with their version stamps.
 //   sys.pool       (thread, busy_ms)   per-thread busy time of the shared
 //                  worker pool ("caller", "worker0", ...).
-//   sys.queries    (id, kind, statement, wall_us, rows_in, rows_out,
-//                  probes, peak_bytes, digest, storage, threads)   the
-//                  executor's bounded query-history ring.
+//   sys.queries    (id, kind, statement, wall_us, wait_us, rows_in,
+//                  rows_out, probes, peak_bytes, digest, storage, threads)
+//                  the executor's bounded query-history ring; wait_us is
+//                  the attributed wait share of wall_us.
+//   sys.waits      (site, wait_class, waits, total_us, max_us)   wait-event
+//                  aggregates; sites live in a hierarchy whose classes are
+//                  the wait classes (cpu_queue, latch, lock, io), so
+//                  `WHERE site = ALL latch` selects every latch site.
+//   sys.metrics_history  (name, seq, ts_ms, value)   the TelemetrySampler
+//                  rings (SET TELEMETRY ON); `name` shares the sys.metrics
+//                  dotted-name hierarchy, so `WHERE name = ALL pool`
+//                  selects a subtree's history by subsumption.
 //
 // Backing hierarchies are hidden system hierarchies (Database::
 // AddSysHierarchy): shared across providers per semantic domain, so
@@ -38,15 +47,18 @@
 
 #include "catalog/database.h"
 #include "obs/query_stats.h"
+#include "obs/telemetry.h"
 
 namespace hirel {
 namespace obs {
 
 /// Registers every sys.* provider on `db`. `history` is the executor's
-/// query-history ring behind sys.queries (null renders it empty); it must
+/// query-history ring behind sys.queries and `telemetry` its sampler
+/// behind sys.metrics_history (null renders either empty); both must
 /// outlive the database's providers. Call again after replacing the
 /// database (LOAD).
-void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history);
+void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
+                           const TelemetrySampler* telemetry = nullptr);
 
 /// Refreshes the engine gauges derived from live structures — subsumption
 /// cache stats, thread-pool state, per-storage-kind relation/byte totals,

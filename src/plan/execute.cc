@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "core/consolidate.h"
 #include "core/explicate.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace plan {
@@ -37,6 +38,7 @@ class Walker {
     if (root.op == PlanOp::kAggregate) {
       PlanNodeStats* ns = NodeStats(root);
       auto start = std::chrono::steady_clock::now();
+      const uint64_t wait_mark = ns != nullptr ? WaitMark() : 0;
       HIREL_ASSIGN_OR_RETURN(Slot input, Exec(*root.children[0]));
       if (stats_ != nullptr) ++stats_->nodes_executed;
       AggregateOptions agg;
@@ -53,7 +55,7 @@ class Walker {
         if (ns != nullptr) ns->rows_out = rows.size();
         out.rollup = std::move(rows);
       }
-      CloseNodeStats(ns, start);
+      CloseNodeStats(ns, start, wait_mark);
       return out;
     }
     HIREL_ASSIGN_OR_RETURN(Slot result, Exec(root));
@@ -72,14 +74,22 @@ class Walker {
     return &stats_->per_node[&node];
   }
 
-  /// Stamps wall time and folds the node's probe count into the total.
+  /// Snapshot of the attributed-wait counter, for per-node wait deltas.
+  static uint64_t WaitMark() {
+    return obs::WaitEventRegistry::Global().attributed_wait_ns();
+  }
+
+  /// Stamps wall time and the wait delta, and folds the node's probe
+  /// count into the total.
   void CloseNodeStats(PlanNodeStats* ns,
-                      std::chrono::steady_clock::time_point start) {
+                      std::chrono::steady_clock::time_point start,
+                      uint64_t wait_mark) {
     if (ns == nullptr) return;
     ns->wall_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    ns->wait_ns = WaitMark() - wait_mark;
     stats_->subsumption_probes += ns->subsumption_probes;
   }
 
@@ -129,9 +139,10 @@ class Walker {
     PlanNodeStats* ns = NodeStats(node);
     if (ns == nullptr) return ExecNode(node, nullptr);
     auto start = std::chrono::steady_clock::now();
+    const uint64_t wait_mark = WaitMark();
     Result<Slot> result = ExecNode(node, ns);
     if (result.ok()) ns->rows_out = result->rel->size();
-    CloseNodeStats(ns, start);
+    CloseNodeStats(ns, start, wait_mark);
     return result;
   }
 
@@ -265,7 +276,13 @@ class Walker {
 
 Result<PlanOutput> ExecutePlan(const PlanNode& root, Database& db,
                                const ExecOptions& options, ExecStats* stats) {
-  return Walker(db, options, stats).Run(root);
+  if (stats == nullptr) return Walker(db, options, stats).Run(root);
+  const uint64_t wait_mark =
+      obs::WaitEventRegistry::Global().attributed_wait_ns();
+  Result<PlanOutput> out = Walker(db, options, stats).Run(root);
+  stats->wait_ns =
+      obs::WaitEventRegistry::Global().attributed_wait_ns() - wait_mark;
+  return out;
 }
 
 }  // namespace plan

@@ -56,6 +56,11 @@ struct PlanNodeStats {
   size_t rows_out = 0;
   /// Wall time, inclusive of children (Postgres-style actual time).
   uint64_t wall_ns = 0;
+  /// Attributed wait time (queue/latch/lock/io; obs/wait.h) recorded while
+  /// this node ran, inclusive of children like wall_ns. Waits on pool
+  /// workers overlap the node's wall clock, so wait_ns can exceed the
+  /// serial share of wall_ns on parallel nodes.
+  uint64_t wait_ns = 0;
   /// Strongest-binding computations performed by this node's own kernel
   /// (exclusive of children).
   uint64_t subsumption_probes = 0;
@@ -96,6 +101,8 @@ struct ExecStats {
   /// Tuples read by the plan's Scan nodes (stored or virtual): the
   /// "rows in" of per-query accounting.
   uint64_t rows_scanned = 0;
+  /// Attributed wait time recorded across the whole plan execution.
+  uint64_t wait_ns = 0;
   /// Per-node runtime stats; populated only when
   /// ExecOptions::collect_node_stats is set.
   std::unordered_map<const PlanNode*, PlanNodeStats> per_node;

@@ -62,8 +62,8 @@ void Render(const PlanNode& node, size_t depth, const ExecStats* exec,
     if (it != exec->per_node.end()) {
       const PlanNodeStats& ns = it->second;
       out += StrCat("  [actual rows=", ns.rows_out, " time=",
-                    FormatMs(ns.wall_ns), "ms probes=",
-                    ns.subsumption_probes);
+                    FormatMs(ns.wall_ns), "ms wait_ns=", ns.wait_ns,
+                    " probes=", ns.subsumption_probes);
       if (ns.graph_cache_hits + ns.graph_cache_misses > 0) {
         out += StrCat(" graph_cache=", ns.graph_cache_hits, "/",
                       ns.graph_cache_hits + ns.graph_cache_misses, " hit");
@@ -205,7 +205,7 @@ std::string ExplainAnalyzeTree(const PlanNode& root, const ExecStats& exec,
                 exec.subsumption_probes, " graph_cache_hits=",
                 exec.graph_cache_hits, " graph_cache_misses=",
                 exec.graph_cache_misses, " graph_patched=",
-                exec.graph_cache_patched, "\n");
+                exec.graph_cache_patched, " wait_ns=", exec.wait_ns, "\n");
   return out;
 }
 

@@ -7,14 +7,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "algebra/select.h"
 #include "algebra/setops.h"
 #include "core/explicate.h"
 #include "core/inference.h"
 #include "core/subsumption_cache.h"
+#include "obs/metrics.h"
 #include "obs/query_stats.h"
+#include "obs/telemetry.h"
+#include "obs/wait.h"
 #include "testing/fixtures.h"
 
 namespace hirel {
@@ -204,6 +209,91 @@ TEST(ConcurrencyTest, QueryHistoryRingWriterWithConcurrentReaders) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(ring.total_recorded(), 10'000u);
   EXPECT_EQ(ring.Snapshot().size(), 16u);
+}
+
+TEST(ConcurrencyTest, TelemetrySamplerTicksAgainstWritersAndReaders) {
+  // The sampler thread visits the registry while kernels write metric
+  // values (relaxed atomics) and other threads register new metrics
+  // (unique map lock) and snapshot the series rings (shared series lock).
+  // TSan checks the lock discipline; the assertions check consistency.
+  obs::MetricsRegistry registry;
+  obs::Counter& hot = registry.counter("race.hot");
+  obs::TelemetrySampler sampler(/*ring_capacity=*/8);
+  sampler.SetRegistry(&registry);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+
+  std::thread ticker([&] {
+    while (!done.load(std::memory_order_acquire)) sampler.Tick();
+  });
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      hot.Add(1);
+      registry.gauge("race.gauge").Set(42);
+      registry.histogram("race.hist").Record(1000);
+    }
+  });
+  std::thread registrar([&] {
+    for (int i = 0; i < 200; ++i) registry.counter("race.new" + std::to_string(i)).Add(1);
+  });
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const obs::TelemetrySampler::SeriesSnapshot& s :
+           sampler.Snapshot()) {
+        if (s.samples.size() > sampler.ring_capacity()) ++failures;
+        uint64_t prev_seq = 0;
+        for (const obs::TelemetrySampler::Sample& sample : s.samples) {
+          // Rings hold strictly increasing tick sequence numbers; a
+          // torn ring would break the order.
+          if (sample.seq <= prev_seq) ++failures;
+          prev_seq = sample.seq;
+        }
+      }
+    }
+  });
+
+  registrar.join();
+  std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  ticker.join();
+  writer.join();
+  reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(sampler.ticks(), 0u);
+  bool found_hot = false;
+  for (const obs::TelemetrySampler::SeriesSnapshot& s : sampler.Snapshot()) {
+    if (s.name == "race.hot") found_hot = true;
+  }
+  EXPECT_TRUE(found_hot);
+
+  // Wait sites take the same concurrent traffic: many threads recording
+  // into one site while another snapshots.
+  obs::WaitEventRegistry& waits = obs::WaitEventRegistry::Global();
+  obs::WaitEventRegistry::Site& site =
+      waits.RegisterSite("test.race_site", obs::WaitClass::kLatch);
+  std::atomic<bool> wdone{false};
+  std::thread wsnap([&] {
+    while (!wdone.load(std::memory_order_acquire)) waits.Snapshot();
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) site.Record(0, 100);
+    });
+  }
+  for (std::thread& r : recorders) r.join();
+  wdone.store(true, std::memory_order_release);
+  wsnap.join();
+  bool found_site = false;
+  for (const obs::WaitEventRegistry::SiteSnapshot& s : waits.Snapshot()) {
+    if (s.name != "test.race_site") continue;
+    found_site = true;
+    EXPECT_GE(s.count, 40'000u);
+    EXPECT_GE(s.total_ns, 4'000'000u);
+  }
+  EXPECT_TRUE(found_site);
 }
 
 TEST(ConcurrencyTest, ParallelReadersOfPatchedCacheEntry) {

@@ -9,9 +9,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "core/tuple_store.h"
 #include "hql/executor.h"
@@ -20,7 +24,9 @@
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "obs/wait.h"
 
 namespace hirel {
 namespace obs {
@@ -61,10 +67,10 @@ TEST(MetricsRegistryTest, HistogramBucketBoundaries) {
 
   EXPECT_EQ(h.count(), 5u);
   EXPECT_EQ(h.max_ns(), uint64_t{1} << 60);
-  EXPECT_EQ(h.buckets()[0], 2u);
-  EXPECT_EQ(h.buckets()[1], 1u);
-  EXPECT_EQ(h.buckets()[11], 1u);
-  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
 
   EXPECT_EQ(Histogram::BucketBound(0), 1024u);
   EXPECT_EQ(Histogram::BucketBound(1), 2048u);
@@ -184,8 +190,8 @@ TEST(MetricsRegistryTest, HistogramEdgeValuesLandInExpectedBuckets) {
   // are exclusive upper limits.
   h.Record(Histogram::BucketBound(1) - 1);  // 2047 -> bucket 1
   h.Record(Histogram::BucketBound(1));      // 2048 -> bucket 2
-  EXPECT_EQ(h.buckets()[1], 1u);
-  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
 
   // The last finite bucket and the first value past it (overflow).
   const size_t last_finite = Histogram::kBuckets - 2;
@@ -193,14 +199,228 @@ TEST(MetricsRegistryTest, HistogramEdgeValuesLandInExpectedBuckets) {
   ASSERT_NE(top_bound, 0u);
   h.Record(top_bound - 1);
   h.Record(top_bound);
-  EXPECT_EQ(h.buckets()[last_finite], 1u);
-  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(h.bucket(last_finite), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
 
   // Bounds double from 1024; the +Inf bucket reports bound 0.
   for (size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
     EXPECT_EQ(Histogram::BucketBound(i), uint64_t{1024} << i) << i;
   }
   EXPECT_EQ(Histogram::BucketBound(Histogram::kBuckets - 1), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesFromKnownDistribution) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q");
+  EXPECT_EQ(h.QuantileNs(0.5), 0u);  // empty histogram
+
+  // 90 samples in bucket 0 ([0, 1024)) and 10 at 100 µs (bucket 7,
+  // [65536, 131072)): p50 and p90 land in the first bucket, p99 in the
+  // slow tail, clamped to the observed max.
+  for (int i = 0; i < 90; ++i) h.Record(500);
+  for (int i = 0; i < 10; ++i) h.Record(100'000);
+  EXPECT_LT(h.QuantileNs(0.5), 1024u);
+  EXPECT_LE(h.QuantileNs(0.9), 1024u);  // rank 90 of 90 in bucket 0: at the bound
+  EXPECT_GE(h.QuantileNs(0.99), 65536u);
+  EXPECT_LE(h.QuantileNs(0.99), 100'000u);
+  EXPECT_EQ(h.QuantileNs(1.0), h.QuantileNs(0.99));
+
+  // Overflow-bucket samples resolve to the exact max.
+  Histogram& over = reg.histogram("over");
+  over.Record(uint64_t{1} << 40);
+  EXPECT_EQ(over.QuantileNs(0.99), uint64_t{1} << 40);
+
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metric help registry (Prometheus # HELP).
+
+TEST(MetricHelpTest, ExactPrefixOverrideAndFallback) {
+  // Exact names and dotted-prefix rules resolve to real text; unknown
+  // names fall back to a generic description that still mentions them.
+  EXPECT_EQ(MetricHelp("no.such.metric"), "engine metric no.such.metric");
+  EXPECT_NE(MetricHelp("query.statements"),
+            "engine metric query.statements");
+  EXPECT_NE(MetricHelp("pool.thread3.busy_ms"),
+            "engine metric pool.thread3.busy_ms");
+  RegisterMetricHelp("test.custom.metric", "custom help text");
+  EXPECT_EQ(MetricHelp("test.custom.metric"), "custom help text");
+}
+
+// ---------------------------------------------------------------------------
+// Wait-event registry.
+
+TEST(WaitRegistryTest, RecordAggregatesPerSiteAndClass) {
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  WaitEventRegistry::Site& site =
+      reg.RegisterSite("test.wait_a", WaitClass::kLatch);
+  EXPECT_EQ(&reg.RegisterSite("test.wait_a", WaitClass::kLatch), &site);
+
+  reg.Reset();
+  const uint64_t attributed_before = reg.attributed_wait_ns();
+  site.Record(0, 1500);
+  site.Record(0, 3000);
+  EXPECT_GE(reg.attributed_wait_ns() - attributed_before, 4500u);
+
+  bool found = false;
+  for (const WaitEventRegistry::SiteSnapshot& s : reg.Snapshot()) {
+    if (s.name != "test.wait_a") continue;
+    found = true;
+    EXPECT_EQ(s.cls, WaitClass::kLatch);
+    EXPECT_EQ(s.count, 2u);
+    EXPECT_EQ(s.total_ns, 4500u);
+    EXPECT_EQ(s.max_ns, 3000u);
+    EXPECT_EQ(s.buckets[1], 1u);  // 1500 -> [1024, 2048)
+    EXPECT_EQ(s.buckets[2], 1u);  // 3000 -> [2048, 4096)
+  }
+  EXPECT_TRUE(found);
+
+  const auto per_class = reg.PerClass();
+  EXPECT_GE(per_class[static_cast<size_t>(WaitClass::kLatch)].count, 2u);
+  EXPECT_GE(per_class[static_cast<size_t>(WaitClass::kLatch)].total_ns,
+            4500u);
+}
+
+TEST(WaitRegistryTest, DisabledScopedWaitRecordsNothing) {
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  WaitEventRegistry::Site& site =
+      reg.RegisterSite("test.wait_disabled", WaitClass::kLock);
+  reg.set_enabled(false);
+  { ScopedWait wait(site); }
+  reg.set_enabled(true);
+  for (const WaitEventRegistry::SiteSnapshot& s : reg.Snapshot()) {
+    if (s.name == "test.wait_disabled") EXPECT_EQ(s.count, 0u);
+  }
+}
+
+TEST(WaitRegistryTest, UnattributedSitesAggregateButDoNotAttribute) {
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  WaitEventRegistry::Site& site = reg.RegisterSite(
+      "test.wait_unattributed", WaitClass::kCpuQueue, /*attributed=*/false);
+  const uint64_t before = reg.attributed_wait_ns();
+  site.Record(0, 10'000);
+  EXPECT_EQ(reg.attributed_wait_ns(), before);
+  bool found = false;
+  for (const WaitEventRegistry::SiteSnapshot& s : reg.Snapshot()) {
+    if (s.name == "test.wait_unattributed") {
+      found = true;
+      EXPECT_GE(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(WaitRegistryTest, CaptureCollectsSpansOnSessionTrack) {
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  WaitEventRegistry::Site& site =
+      reg.RegisterSite("test.wait_capture", WaitClass::kIo);
+  reg.StartCapture();
+  site.Record(WaitNowNs(), 2000);
+  std::vector<WaitEventRegistry::WaitSpan> spans = reg.StopCapture();
+  bool found = false;
+  for (const WaitEventRegistry::WaitSpan& s : spans) {
+    if (std::string_view(s.site) != "test.wait_capture") continue;
+    found = true;
+    EXPECT_EQ(s.cls, WaitClass::kIo);
+    EXPECT_EQ(s.track, 0u);  // never SetThreadTrack'd: session track
+    EXPECT_EQ(s.dur_ns, 2000u);
+  }
+  EXPECT_TRUE(found);
+
+  // Outside a capture window nothing is collected.
+  site.Record(WaitNowNs(), 2000);
+  EXPECT_TRUE(reg.StopCapture().empty());
+}
+
+TEST(WaitRegistryTest, TrackedLockUncontendedRecordsNothing) {
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  WaitEventRegistry::Site& site =
+      reg.RegisterSite("test.wait_tracked_lock", WaitClass::kLock);
+  std::mutex m;
+  { TrackedLock<std::mutex> lock(m, site); }
+  std::shared_mutex sm;
+  { TrackedSharedLock<std::shared_mutex> lock(sm, site); }
+  for (const WaitEventRegistry::SiteSnapshot& s : reg.Snapshot()) {
+    if (s.name == "test.wait_tracked_lock") EXPECT_EQ(s.count, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry sampler (manual Tick: deterministic, no thread, no sleeps).
+
+TEST(TelemetrySamplerTest, ManualTickSamplesAndBoundsRings) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("t.count");
+  reg.gauge("t.gauge").Set(7);
+  reg.histogram("t.hist").Record(100);
+
+  TelemetrySampler sampler(/*ring_capacity=*/3);
+  sampler.SetRegistry(&reg);
+  for (int i = 1; i <= 5; ++i) {
+    c.Add(1);
+    sampler.Tick();
+  }
+  EXPECT_EQ(sampler.ticks(), 5u);
+  EXPECT_EQ(sampler.ring_capacity(), 3u);
+
+  std::vector<TelemetrySampler::SeriesSnapshot> series = sampler.Snapshot();
+  ASSERT_EQ(series.size(), 3u);  // sorted by name
+  const TelemetrySampler::SeriesSnapshot& count = series[0];
+  EXPECT_EQ(count.name, "t.count");
+  EXPECT_EQ(count.kind, 'c');
+  EXPECT_EQ(count.total_samples, 5u);
+  ASSERT_EQ(count.samples.size(), 3u);  // oldest two evicted
+  EXPECT_EQ(count.samples.front().seq, 3u);
+  EXPECT_EQ(count.samples.front().value, 3u);
+  EXPECT_EQ(count.samples.back().seq, 5u);
+  EXPECT_EQ(count.samples.back().value, 5u);
+  EXPECT_EQ(count.min, 1u);
+  EXPECT_EQ(count.max, 5u);
+  EXPECT_EQ(count.last, 5u);
+
+  EXPECT_EQ(series[1].name, "t.gauge");
+  EXPECT_EQ(series[1].kind, 'g');
+  EXPECT_EQ(series[1].last, 7u);
+  EXPECT_EQ(series[2].name, "t.hist");
+  EXPECT_EQ(series[2].kind, 'h');
+  EXPECT_EQ(series[2].last, 1u);  // histograms sample their count
+
+  sampler.Clear();
+  EXPECT_EQ(sampler.ticks(), 0u);
+  EXPECT_TRUE(sampler.Snapshot().empty());
+}
+
+TEST(TelemetrySamplerTest, IntervalClampAndStartStopIdempotent) {
+  TelemetrySampler sampler;
+  EXPECT_EQ(sampler.interval_ms(), 100u);  // default
+  sampler.SetIntervalMs(0);
+  EXPECT_EQ(sampler.interval_ms(), 1u);
+  sampler.SetIntervalMs(10'000'000);
+  EXPECT_EQ(sampler.interval_ms(), 3'600'000u);
+
+  MetricsRegistry reg;
+  reg.counter("x").Add(1);
+  sampler.SetRegistry(&reg);
+  sampler.SetIntervalMs(1);
+  EXPECT_FALSE(sampler.running());
+  sampler.Start();
+  EXPECT_TRUE(sampler.running());
+  sampler.Start();  // idempotent
+  EXPECT_TRUE(sampler.running());
+  sampler.Stop();
+  EXPECT_FALSE(sampler.running());
+  sampler.Stop();  // idempotent
+
+  // A detached sampler ignores ticks entirely: no samples, no count.
+  sampler.SetRegistry(nullptr);
+  sampler.Clear();
+  sampler.Tick();
+  EXPECT_EQ(sampler.ticks(), 0u);
+  EXPECT_TRUE(sampler.Snapshot().empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +528,32 @@ TEST(ExportTest, PrometheusTextExposition) {
   EXPECT_NE(
       text.find("hirel_query_latency_ns_count{name=\"query.latency_ns\"} 1\n"),
       std::string::npos);
+}
+
+TEST(ExportTest, PrometheusHelpLinePrecedesEveryTypeLine) {
+  MetricsRegistry reg;
+  reg.counter("query.statements").Add(3);
+  reg.gauge("pool.queue_depth").Set(1);
+  reg.histogram("wal.flush_ns").Record(10);
+  RegisterMetricHelp("wal.flush_ns", "time spent in WAL flushes");
+
+  std::string text = PrometheusText(reg);
+  // Every # TYPE line is immediately preceded by a # HELP line for the
+  // same exported metric name.
+  std::istringstream lines(text);
+  std::string prev, line;
+  size_t types = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      ++types;
+      std::string metric = line.substr(7, line.find(' ', 7) - 7);
+      EXPECT_EQ(prev.rfind("# HELP " + metric + " ", 0), 0u) << line;
+    }
+    prev = line;
+  }
+  EXPECT_EQ(types, 3u);
+  EXPECT_NE(text.find("# HELP hirel_wal_flush_ns time spent in WAL flushes"),
+            std::string::npos);
 }
 
 TEST(ExportTest, PrometheusEscapesRawNameLabel) {
@@ -616,6 +862,135 @@ TEST(ExecutorObsTest, ExportTraceParseableUnderColumnarStorage) {
   EXPECT_EQ(depth, 0);
   std::remove(path.c_str());
   SetDefaultStorageKind(saved);
+}
+
+// ---------------------------------------------------------------------------
+// Wait attribution and telemetry on the executor surface.
+
+TEST(ExecutorObsTest, ExplainAnalyzeReportsPerNodeWaitNs) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out =
+      exec.Execute("EXPLAIN ANALYZE SELECT * FROM flies WHERE who = penguin;")
+          .value();
+  EXPECT_NE(out.find("wait_ns="), std::string::npos);
+  EXPECT_NE(out.find("totals: nodes="), std::string::npos);
+}
+
+TEST(ExecutorObsTest, SlowQueryLogSplitsWaitAndExec) {
+  Logger::Global().ring().Clear();
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SET SLOW_QUERY_MS 0;").ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());
+
+  std::string json = exec.Execute("SHOW LOG JSON;").value();
+  EXPECT_NE(json.find("\"event\":\"slow_query\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"exec_ms\":"), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ShowQueriesReportsWaitShare) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());
+
+  std::string text = exec.Execute("SHOW QUERIES;").value();
+  EXPECT_NE(text.find("ms wait="), std::string::npos);
+  std::string json = exec.Execute("SHOW QUERIES JSON;").value();
+  EXPECT_NE(json.find("\"wait_us\":"), std::string::npos);
+}
+
+TEST(ExecutorObsTest, SetTelemetryControlsSampler) {
+  hql::Executor exec;
+  std::string on = exec.Execute("SET TELEMETRY ON;").value();
+  EXPECT_NE(on.find("telemetry: on"), std::string::npos);
+  EXPECT_TRUE(exec.telemetry().running());
+
+  std::string off = exec.Execute("SET TELEMETRY OFF;").value();
+  EXPECT_NE(off.find("telemetry: off"), std::string::npos);
+  EXPECT_FALSE(exec.telemetry().running());
+
+  std::string interval = exec.Execute("SET TELEMETRY INTERVAL 250;").value();
+  EXPECT_NE(interval.find("interval 250 ms"), std::string::npos);
+  EXPECT_EQ(exec.telemetry().interval_ms(), 250u);
+  EXPECT_TRUE(exec.Execute("SET TELEMETRY INTERVAL 0;")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ExecutorObsTest, ShowTelemetryRendersHistoryAfterManualTicks) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SET TELEMETRY INTERVAL 50;").ok());
+  exec.telemetry().Tick();
+  exec.telemetry().Tick();
+
+  std::string text = exec.Execute("SHOW TELEMETRY;").value();
+  EXPECT_NE(text.find("telemetry: off (interval 50 ms, ticks 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("query.statements"), std::string::npos);
+  EXPECT_NE(text.find("rate="), std::string::npos);
+
+  std::string json = exec.Execute("SHOW TELEMETRY JSON;").value();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"on\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"interval_ms\":50"), std::string::npos);
+  EXPECT_NE(json.find("\"ticks\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"query.statements\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\":[["), std::string::npos);
+  EXPECT_NE(json.find("\"rate_per_s\":"), std::string::npos);
+}
+
+TEST(ExecutorObsTest, ExportTraceIncludesWaitSpans) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  // SAVE blocks on snapshot.save (an io wait), which the trace-worthy
+  // statement's capture window records.
+  std::string snap = std::string(::testing::TempDir()) + "/obs_wait_snap.db";
+  ASSERT_TRUE(exec.Execute("SAVE '" + snap + "';").ok());
+
+  std::string path = std::string(::testing::TempDir()) + "/obs_wait_trace.json";
+  ASSERT_TRUE(exec.Execute("EXPORT TRACE '" + path + "';").ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_NE(json.find("\"name\":\"wait:snapshot.save\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"class\":\"io\""), std::string::npos);
+  std::remove(path.c_str());
+  std::remove(snap.c_str());
+}
+
+TEST(ExecutorObsTest, ResultsIdenticalWithWaitInstrumentationOff) {
+  auto run = [] {
+    hql::Executor exec;
+    std::string out;
+    out += exec.Execute(kFlyingScript).value();
+    out += exec.Execute("SET THREADS 4;").value();
+    out += exec.Execute("SELECT * FROM flies;").value();
+    out += exec.Execute("SELECT * FROM flies WHERE who = penguin;").value();
+    out += exec.Execute("COUNT flies;").value();
+    return out;
+  };
+  std::string with_waits = run();
+  WaitEventRegistry::Global().set_enabled(false);
+  std::string without_waits = run();
+  WaitEventRegistry::Global().set_enabled(true);
+  EXPECT_EQ(with_waits, without_waits);
+}
+
+TEST(ExecutorObsTest, ResetMetricsAlsoZeroesWaitAggregates) {
+  hql::Executor exec;
+  WaitEventRegistry& reg = WaitEventRegistry::Global();
+  reg.RegisterSite("test.wait_reset", WaitClass::kIo).Record(0, 5000);
+  ASSERT_TRUE(exec.Execute("RESET METRICS;").ok());
+  for (const WaitEventRegistry::SiteSnapshot& s : reg.Snapshot()) {
+    EXPECT_EQ(s.count, 0u) << s.name;
+  }
+  EXPECT_EQ(reg.attributed_wait_ns(), 0u);
 }
 
 }  // namespace

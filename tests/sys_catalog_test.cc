@@ -272,6 +272,69 @@ TEST(SysCatalogTest, SystemCatalogSurvivesLoad) {
   std::remove(path.c_str());
 }
 
+TEST(SysCatalogTest, SysWaitsAggregatesAndClassSubsumption) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  // SAVE blocks on snapshot.save, so the io class is guaranteed a row
+  // even in an otherwise uncontended single-threaded run.
+  std::string path = ::testing::TempDir() + "sys_waits_test.hirel";
+  ASSERT_TRUE(exec.Execute("SAVE '" + path + "';").ok());
+  std::remove(path.c_str());
+
+  std::string out = exec.Execute("SELECT * FROM sys.waits;").value();
+  EXPECT_NE(out.find("snapshot.save"), std::string::npos);
+  EXPECT_NE(out.find("io"), std::string::npos);
+
+  // Sites live under their wait-class node, so `ALL io` selects exactly
+  // the io sites by subsumption.
+  std::string io =
+      exec.Execute("SELECT * FROM sys.waits WHERE site = ALL io;").value();
+  EXPECT_NE(io.find("snapshot.save"), std::string::npos);
+  EXPECT_EQ(io.find("query_ring"), std::string::npos);
+}
+
+TEST(SysCatalogTest, SysMetricsHistorySubtreeSelection) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  // Populate pool.* (and everything else) via the gauge sync, then take
+  // two deterministic manual samples.
+  obs::SyncEngineGauges(exec.database());
+  exec.telemetry().Tick();
+  exec.telemetry().Tick();
+
+  std::string out =
+      exec.Execute("SELECT * FROM sys.metrics_history;").value();
+  EXPECT_NE(out.find("query.statements"), std::string::npos);
+  EXPECT_NE(out.find("pool.workers"), std::string::npos);
+
+  // The name attribute shares the sys.metrics dotted hierarchy, so
+  // `ALL pool` clamps the history to the pool.* subtree.
+  std::string pool =
+      exec.Execute(
+              "SELECT * FROM sys.metrics_history WHERE name = ALL pool;")
+          .value();
+  EXPECT_NE(pool.find("pool.workers"), std::string::npos);
+  EXPECT_EQ(pool.find("query.statements"), std::string::npos);
+}
+
+TEST(SysCatalogTest, SysQueriesReportsWaitColumn) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  std::string out = exec.Execute("SELECT * FROM sys.queries;").value();
+  EXPECT_NE(out.find("wait_us"), std::string::npos);
+}
+
+TEST(SysCatalogTest, SysMetricsExposesPercentileRows) {
+  hql::Executor exec;
+  ASSERT_TRUE(exec.Execute(kFlyingScript).ok());
+  ASSERT_TRUE(exec.Execute("SELECT * FROM flies;").ok());  // records a histogram
+  std::string out =
+      exec.Execute("SELECT * FROM sys.metrics WHERE name = ALL query;")
+          .value();
+  EXPECT_NE(out.find("p50_ns"), std::string::npos);
+  EXPECT_NE(out.find("p99_ns"), std::string::npos);
+}
+
 TEST(QueryHistoryRingTest, BoundedAndOrdered) {
   obs::QueryHistoryRing ring(4);
   for (uint64_t i = 1; i <= 10; ++i) {

@@ -56,16 +56,30 @@ for preset in "${presets[@]}"; do
   echo "==== ${preset}: observability smoke ===="
   repl="build/${preset}/examples/hql_repl"
   trace_json="$(mktemp)"
+  snap_file="$(mktemp -u)"
   smoke="$(mktemp)"
-  sed "s|__TRACE__|${trace_json}|" tools/obs_smoke.hql > "${smoke}"
+  sed -e "s|__TRACE__|${trace_json}|" -e "s|__SNAP__|${snap_file}|" \
+      tools/obs_smoke.hql > "${smoke}"
   obs_out="$("${repl}" "${smoke}" < /dev/null)"
-  rm -f "${smoke}"
+  rm -f "${smoke}" "${snap_file}"
   echo "${obs_out}" | grep -q '"event":"slow_query"' || {
     echo "FAIL: no slow-query event in SHOW LOG JSON" >&2
     exit 1
   }
   echo "${obs_out}" | grep -q '^# TYPE ' || {
     echo "FAIL: no '# TYPE' lines in SHOW METRICS PROMETHEUS" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q '^# HELP ' || {
+    echo "FAIL: no '# HELP' lines in SHOW METRICS PROMETHEUS" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q '"interval_ms"' || {
+    echo "FAIL: no telemetry state in SHOW TELEMETRY JSON" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q 'snapshot.save' || {
+    echo "FAIL: no snapshot.save wait site in sys.waits" >&2
     exit 1
   }
   # Every JSON-producing statement emits a line starting with [ or {; each

@@ -1,11 +1,13 @@
--- Observability smoke script, driven by tools/ci.sh. The __TRACE__
--- placeholder is substituted with a temp path before execution. Every
--- statement here must keep working: the CI lane validates the JSON
--- outputs (SHOW ... JSON lines and the exported trace file) with
--- python3 -m json.tool and greps for a slow-query event and Prometheus
--- `# TYPE` lines.
+-- Observability smoke script, driven by tools/ci.sh. The __TRACE__ and
+-- __SNAP__ placeholders are substituted with temp paths before execution.
+-- Every statement here must keep working: the CI lane validates the JSON
+-- outputs (SHOW ... JSON lines and the exported trace file) with the
+-- in-tree hirel_check binary and greps for a slow-query event, Prometheus
+-- `# TYPE`/`# HELP` lines, telemetry history, and sys.waits rows.
 SET LOG debug;
 SET SLOW_QUERY_MS 0;
+SET TELEMETRY INTERVAL 5;
+SET TELEMETRY ON;
 
 CREATE HIERARCHY animal;
 CREATE CLASS bird IN animal;
@@ -26,10 +28,25 @@ ASSERT flies(peter);
 
 SELECT * FROM flies WHERE who = penguin;
 
+-- SAVE records through the snapshot.save wait site, guaranteeing at
+-- least one io-class row in sys.waits even on a single-threaded host.
+SAVE '__SNAP__';
+SELECT * FROM sys.waits;
+SELECT * FROM sys.waits WHERE site = ALL io;
+
+SET TELEMETRY OFF;
+-- A sys.metrics scan syncs engine gauges and interns every dotted metric
+-- name (incl. pool.*) into the sys.metric hierarchy, so the subtree
+-- select below always binds even if the sampler never caught pool.*.
+SELECT * FROM sys.metrics WHERE name = ALL waits;
+SELECT * FROM sys.metrics_history WHERE name = ALL pool;
+
 EXPORT TRACE '__TRACE__';
 SHOW LOG JSON;
 SHOW METRICS JSON;
 SHOW TRACE JSON;
+SHOW TELEMETRY JSON;
+SHOW QUERIES JSON;
 SHOW METRICS PROMETHEUS;
 SET SLOW_QUERY_MS OFF;
 SET LOG info;
