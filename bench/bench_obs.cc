@@ -8,10 +8,12 @@
 #include "bench_json_main.h"
 
 #include "common/str_util.h"
+#include "obs/alerts.h"
 #include "obs/export.h"
 #include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "obs/telemetry.h"
 #include "obs/wait.h"
 
@@ -139,6 +141,41 @@ void BM_TelemetryTick(benchmark::State& state) {
       static_cast<double>(sampler.Snapshot().size());
 }
 
+// The same tick with an AlertManager attached and a realistic rule set:
+// what CREATE ALERT adds to each tick. With SET TELEMETRY OFF neither
+// this nor BM_TelemetryTick runs at all — no sampler thread, no OnTick —
+// so the query path pays zero for alerting; this measures the sampler
+// thread's marginal cost when telemetry is on.
+void BM_TelemetryTickWithAlerts(benchmark::State& state) {
+  obs::MetricsRegistry metrics;
+  for (int i = 0; i < 48; ++i) {
+    metrics.counter(StrCat("bench.tick.counter", i)).Add(i);
+    metrics.gauge(StrCat("bench.tick.gauge", i)).Set(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    metrics.histogram(StrCat("bench.tick.hist", i)).Record(1000);
+  }
+  obs::QueryHistoryRing history(/*capacity=*/64);
+  obs::AlertManager alerts;
+  alerts.Configure(&metrics, &history);
+  for (int i = 0; i < 8; ++i) {
+    obs::AlertRule rule;
+    rule.name = StrCat("bench_rule", i);
+    rule.metric = StrCat("bench.tick.counter", i);
+    rule.op = obs::AlertOp::kGt;
+    rule.threshold = 1'000'000;  // never fires: steady-state evaluation
+    alerts.CreateAlert(rule);
+  }
+  obs::TelemetrySampler sampler(/*ring_capacity=*/240);
+  sampler.SetRegistry(&metrics);
+  sampler.SetAlertManager(&alerts);
+  for (auto _ : state) {
+    sampler.Tick();
+  }
+  state.counters["rules"] =
+      static_cast<double>(alerts.Snapshot().size());
+}
+
 BENCHMARK(BM_LogSiteDisabled);
 BENCHMARK(BM_LogSiteEnabledRing);
 BENCHMARK(BM_LogEventToJson);
@@ -147,6 +184,7 @@ BENCHMARK(BM_PrometheusRender);
 BENCHMARK(BM_ScopedWaitDisabled);
 BENCHMARK(BM_ScopedWaitEnabled);
 BENCHMARK(BM_TelemetryTick);
+BENCHMARK(BM_TelemetryTickWithAlerts);
 
 }  // namespace
 }  // namespace hirel

@@ -133,6 +133,9 @@ struct ShowStmt {
     kStorage,      // SHOW STORAGE: per-relation layout and byte breakdown
     kQueries,      // SHOW QUERIES [JSON]: the query-history ring, newest first
     kTelemetry,    // SHOW TELEMETRY [JSON]: the sampler's history rings
+    kAlerts,       // SHOW ALERTS [JSON]: every alert rule and its state
+    kHealth,       // SHOW HEALTH [JSON]: per-component verdicts
+    kWaits,        // SHOW WAITS [JSON]: wait sites grouped by class
   };
   What what = What::kRelations;
   std::string name;
@@ -259,14 +262,50 @@ struct SetIncrementalStmt {
   bool on = true;
 };
 
-/// SET TELEMETRY ON|OFF|INTERVAL n: control the background sampler that
-/// records metric history into the sys.metrics_history rings. OFF stops
-/// the thread entirely (zero query-path cost); INTERVAL n sets the sample
-/// period in milliseconds without changing the on/off state.
+/// SET TELEMETRY ON|OFF|INTERVAL n|TICK: control the background sampler
+/// that records metric history into the sys.metrics_history rings. OFF
+/// stops the thread entirely (zero query-path cost); INTERVAL n sets the
+/// sample period in milliseconds without changing the on/off state; TICK
+/// takes exactly one sample synchronously (deterministic alert
+/// evaluation for scripts and tests, no thread required).
 struct SetTelemetryStmt {
-  enum class Mode { kOn, kOff, kInterval };
+  enum class Mode { kOn, kOff, kInterval, kTick };
   Mode mode = Mode::kOn;
   int64_t interval_ms = 0;  // for kInterval
+};
+
+/// CREATE ALERT name ON metric <op> threshold [FOR n SAMPLES]
+/// [SEVERITY info|warn|crit]: register an alert rule evaluated on every
+/// telemetry tick against the sampled metric rings.
+struct CreateAlertStmt {
+  std::string name;
+  std::string metric;
+  std::string op = ">";  // ">", "<", ">=", "<=", "="
+  int64_t threshold = 0;
+  int64_t for_samples = 1;
+  std::string severity = "warn";
+};
+
+/// DROP ALERT name (built-in watchdog rules refuse).
+struct DropAlertStmt {
+  std::string name;
+};
+
+/// EXPORT DIAGNOSTICS 'file.json': write the one-shot postmortem bundle.
+struct ExportDiagnosticsStmt {
+  std::string path;
+};
+
+/// SET DIAGNOSTICS_DIR 'dir'|OFF: auto-capture a diagnostics bundle into
+/// `dir` (at most once per firing alert); OFF disables.
+struct SetDiagnosticsDirStmt {
+  std::string dir;  // empty = OFF
+};
+
+/// SET WATCHDOG_QUERY_MS n|OFF: wall-time budget for the built-in
+/// slow-query watchdog alert; negative (OFF) disables it.
+struct SetWatchdogStmt {
+  int64_t query_budget_ms = -1;
 };
 
 using Statement =
@@ -280,7 +319,9 @@ using Statement =
                  ShowBindingStmt, EliminateStmt, ExplainPlanStmt,
                  ResetMetricsStmt, SetSlowQueryStmt, SetLogStmt,
                  ExportTraceStmt, SetStorageStmt, SetIncrementalStmt,
-                 SetTelemetryStmt>;
+                 SetTelemetryStmt, CreateAlertStmt, DropAlertStmt,
+                 ExportDiagnosticsStmt, SetDiagnosticsDirStmt,
+                 SetWatchdogStmt>;
 
 /// Holder making the Statement variant usable inside ExplainPlanStmt.
 struct StatementBox {

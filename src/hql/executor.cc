@@ -123,6 +123,19 @@ struct TraceName {
   const char* operator()(const SetTelemetryStmt&) const {
     return "set telemetry";
   }
+  const char* operator()(const CreateAlertStmt&) const {
+    return "create alert";
+  }
+  const char* operator()(const DropAlertStmt&) const { return "drop alert"; }
+  const char* operator()(const ExportDiagnosticsStmt&) const {
+    return "export diagnostics";
+  }
+  const char* operator()(const SetDiagnosticsDirStmt&) const {
+    return "set diagnostics_dir";
+  }
+  const char* operator()(const SetWatchdogStmt&) const {
+    return "set watchdog_query_ms";
+  }
 };
 
 /// Statements whose traces are worth keeping. SHOW TRACE / SHOW METRICS /
@@ -131,12 +144,16 @@ struct TraceName {
 bool TraceWorthy(const Statement& statement) {
   if (std::holds_alternative<ResetMetricsStmt>(statement)) return false;
   if (std::holds_alternative<ExportTraceStmt>(statement)) return false;
+  if (std::holds_alternative<ExportDiagnosticsStmt>(statement)) return false;
   if (const auto* show = std::get_if<ShowStmt>(&statement)) {
     return show->what != ShowStmt::What::kMetrics &&
            show->what != ShowStmt::What::kTrace &&
            show->what != ShowStmt::What::kLog &&
            show->what != ShowStmt::What::kQueries &&
-           show->what != ShowStmt::What::kTelemetry;
+           show->what != ShowStmt::What::kTelemetry &&
+           show->what != ShowStmt::What::kAlerts &&
+           show->what != ShowStmt::What::kHealth &&
+           show->what != ShowStmt::What::kWaits;
   }
   return true;
 }
@@ -282,9 +299,13 @@ Result<std::string> Executor::ExecuteStatement(const Statement& statement) {
 void Executor::InstallSystemCatalog() {
   // Re-target the sampler before registering providers: after LOAD the old
   // registry is about to be destroyed with the old database, and the
-  // sampler thread must never sample a stale pointer.
+  // sampler thread must never sample a stale pointer. The alert manager is
+  // re-pointed first so a tick between the two writes sees a consistent
+  // (new-registry) view.
+  alerts_.Configure(&db_->metrics(), &history_);
   telemetry_.SetRegistry(&db_->metrics());
-  obs::RegisterSystemCatalog(*db_, &history_, &telemetry_);
+  telemetry_.SetAlertManager(&alerts_);
+  obs::RegisterSystemCatalog(*db_, &history_, &telemetry_, &alerts_);
 }
 
 Result<std::string> Executor::ExecuteTracked(const Statement& statement) {
@@ -313,7 +334,67 @@ Result<std::string> Executor::ExecuteTracked(const Statement& statement) {
   stats.storage = StorageKindToString(DefaultStorageKind());
   stats.threads = ThreadPool::EffectiveThreads(options_.threads);
   history_.Append(std::move(stats));
+  DrainAlertCaptures();
   return result;
+}
+
+Result<std::string> Executor::WriteDiagnostics(const std::string& path,
+                                               const std::string& cause) {
+  // Same pre-render sync as SHOW METRICS, so the bundle's metrics section
+  // reflects live engine structures, not just the counters.
+  obs::SyncEngineGauges(*db_);
+  db_->metrics().gauge("exec.threads")
+      .Set(static_cast<int64_t>(options_.threads));
+  obs::DiagnosticsContext ctx;
+  ctx.metrics = &db_->metrics();
+  ctx.telemetry = &telemetry_;
+  ctx.history = &history_;
+  ctx.alerts = &alerts_;
+  ctx.cause = cause;
+  ctx.config = {
+      {"threads", StrCat(ThreadPool::EffectiveThreads(options_.threads))},
+      {"storage", StorageKindToString(DefaultStorageKind())},
+      {"incremental", incremental_ ? "on" : "off"},
+      {"preemption", PreemptionModeToString(options_.preemption)},
+      {"telemetry", telemetry_.running() ? "on" : "off"},
+      {"telemetry_interval_ms", StrCat(telemetry_.interval_ms())},
+      {"slow_query_ms", StrCat(slow_query_ms_)},
+      {"diagnostics_dir", alerts_.diagnostics_dir()},
+      {"watchdog_query_ms", StrCat(alerts_.watchdog().query_budget_ms)},
+  };
+  std::string json = obs::DiagnosticsJson(ctx);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError(StrCat("cannot open '", path, "' for writing"));
+  }
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return Status::IoError(StrCat("short write to '", path, "'"));
+  }
+  HIREL_LOG(obs::LogLevel::kInfo, "diag", "export",
+            {{"path", path},
+             {"cause", cause},
+             {"bytes", StrCat(json.size())}});
+  return StrCat("exported diagnostics to '", path, "' (", json.size(),
+                " bytes)\n");
+}
+
+void Executor::DrainAlertCaptures() {
+  for (const obs::AlertManager::CaptureRequest& req :
+       alerts_.TakePendingCaptures()) {
+    std::string path =
+        StrCat(req.dir, "/diag.", req.alert, ".", req.seq, ".json");
+    Result<std::string> bundle =
+        WriteDiagnostics(path, StrCat("alert:", req.alert));
+    if (!bundle.ok()) {
+      // A failed capture must not fail the statement that drained it.
+      HIREL_LOG(obs::LogLevel::kWarn, "diag", "capture_failed",
+                {{"alert", req.alert},
+                 {"path", path},
+                 {"error", bundle.status().message()}});
+    }
+  }
 }
 
 Result<std::string> Executor::ExecuteStatementImpl(
@@ -788,7 +869,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
           m.gauge("exec.threads")
               .Set(static_cast<int64_t>(self.options_.threads));
           if (stmt.json) return StrCat(m.RenderJson(), "\n");
-          if (stmt.prometheus) return obs::PrometheusText(m);
+          if (stmt.prometheus) {
+            return obs::PrometheusText(m, &obs::WaitEventRegistry::Global());
+          }
           return m.Render();
         }
         case ShowStmt::What::kTrace: {
@@ -909,7 +992,7 @@ Result<std::string> Executor::ExecuteStatementImpl(
                 const auto& sample = s.samples[j];
                 if (j > 0) out += ",";
                 out += StrCat("[", sample.seq, ",", sample.ts_ms, ",",
-                              sample.value, "]");
+                              sample.epoch_ms, ",", sample.value, "]");
               }
               out += "]}";
             }
@@ -925,6 +1008,83 @@ Result<std::string> Executor::ExecuteStatementImpl(
                           " last=", s.last, " min=", s.min, " max=", s.max,
                           " rate=", fmt(rate_per_s(s)), "/s (",
                           s.samples.size(), " sample(s))\n");
+          }
+          return out;
+        }
+        case ShowStmt::What::kAlerts: {
+          std::vector<obs::AlertSnapshot> alerts = self.alerts_.Snapshot();
+          if (stmt.json) return StrCat(obs::AlertsJson(alerts), "\n");
+          std::string out =
+              StrCat("alerts (", alerts.size(), " rule(s), ",
+                     self.alerts_.FiringCount(), " firing):\n");
+          for (const obs::AlertSnapshot& a : alerts) {
+            out += StrCat("  ", a.rule.name, " [",
+                          obs::AlertSeverityName(a.rule.severity), "] ",
+                          a.rule.metric, " ", obs::AlertOpText(a.rule.op),
+                          " ", a.rule.threshold);
+            if (a.rule.for_samples > 1) {
+              out += StrCat(" FOR ", a.rule.for_samples);
+            }
+            out += StrCat(": ", obs::AlertStateName(a.state));
+            if (a.has_value) out += StrCat(" value=", a.last_value);
+            out += StrCat(" fires=", a.fires);
+            if (a.rule.builtin) out += " (builtin)";
+            out += "\n";
+          }
+          return out;
+        }
+        case ShowStmt::What::kHealth: {
+          std::vector<obs::AlertSnapshot> alerts = self.alerts_.Snapshot();
+          if (stmt.json) return StrCat(obs::HealthJson(alerts), "\n");
+          std::vector<obs::ComponentHealth> health =
+              obs::DeriveHealth(alerts);
+          obs::HealthVerdict overall = obs::HealthVerdict::kOk;
+          for (const obs::ComponentHealth& c : health) {
+            if (static_cast<int>(c.verdict) > static_cast<int>(overall)) {
+              overall = c.verdict;
+            }
+          }
+          std::string out =
+              StrCat("health: ", obs::HealthVerdictName(overall), "\n");
+          for (const obs::ComponentHealth& c : health) {
+            out += StrCat("  ", c.component, ": ",
+                          obs::HealthVerdictName(c.verdict));
+            if (c.firing > 0) {
+              out += StrCat(" (", c.firing, " firing, worst ",
+                            c.worst_alert, ")");
+            }
+            out += "\n";
+          }
+          return out;
+        }
+        case ShowStmt::What::kWaits: {
+          obs::WaitEventRegistry& waits = obs::WaitEventRegistry::Global();
+          if (stmt.json) return StrCat(obs::WaitsJson(waits), "\n");
+          std::vector<obs::WaitEventRegistry::SiteSnapshot> sites =
+              waits.Snapshot();
+          auto totals = waits.PerClass();
+          std::string out = "waits:\n";
+          for (size_t cls = 0; cls < obs::kNumWaitClasses; ++cls) {
+            out += StrCat(
+                "  ",
+                obs::WaitClassName(static_cast<obs::WaitClass>(cls)), ": ",
+                totals[cls].count, " wait(s), ", totals[cls].total_ns / 1000,
+                " us\n");
+            for (const auto& site : sites) {
+              if (static_cast<size_t>(site.cls) != cls || site.count == 0) {
+                continue;
+              }
+              out += StrCat(
+                  "    ", site.name, ": ", site.count, " wait(s) total=",
+                  site.total_ns / 1000, "us max=", site.max_ns / 1000,
+                  "us p50=",
+                  obs::WaitEventRegistry::SiteQuantileNs(site, 0.50) / 1000,
+                  "us p90=",
+                  obs::WaitEventRegistry::SiteQuantileNs(site, 0.90) / 1000,
+                  "us p99=",
+                  obs::WaitEventRegistry::SiteQuantileNs(site, 0.99) / 1000,
+                  "us\n");
+            }
           }
           return out;
         }
@@ -1139,8 +1299,11 @@ Result<std::string> Executor::ExecuteStatementImpl(
     Result<std::string> operator()(const LoadStmt& stmt) {
       HIREL_ASSIGN_OR_RETURN(std::unique_ptr<Database> loaded,
                              LoadDatabase(stmt.path));
-      // Detach the sampler before the old database (and its registry) is
-      // destroyed by the swap; InstallSystemCatalog re-attaches it.
+      // Detach the alert manager and sampler before the old database (and
+      // its registry) is destroyed by the swap; a tick landing mid-swap
+      // then skips its metric writes. InstallSystemCatalog re-attaches
+      // both.
+      self.alerts_.Configure(nullptr, &self.history_);
       self.telemetry_.SetRegistry(nullptr);
       self.db_ = std::move(loaded);
       // The loaded database has no providers; re-register them so sys.*
@@ -1217,6 +1380,9 @@ Result<std::string> Executor::ExecuteStatementImpl(
           return StrCat("telemetry: interval ", t.interval_ms(), " ms (",
                         t.running() ? "on" : "off", ")\n");
         }
+        case SetTelemetryStmt::Mode::kTick:
+          t.Tick();
+          return StrCat("telemetry: tick ", t.ticks(), "\n");
       }
       return Status::Internal("unhandled telemetry mode");
     }
@@ -1249,6 +1415,58 @@ Result<std::string> Executor::ExecuteStatementImpl(
                 {{"path", stmt.path}, {"bytes", StrCat(json.size())}});
       return StrCat("exported trace to '", stmt.path, "' (", json.size(),
                     " bytes)\n");
+    }
+
+    Result<std::string> operator()(const CreateAlertStmt& stmt) {
+      obs::AlertRule rule;
+      rule.name = stmt.name;
+      rule.metric = stmt.metric;
+      if (!obs::ParseAlertOp(stmt.op, &rule.op)) {
+        return Status::InvalidArgument(
+            StrCat("unknown alert operator '", stmt.op,
+                   "' (expected > < >= <= =)"));
+      }
+      rule.threshold = stmt.threshold;
+      rule.for_samples = static_cast<uint32_t>(stmt.for_samples);
+      if (!obs::ParseAlertSeverity(stmt.severity, &rule.severity)) {
+        return Status::InvalidArgument(
+            StrCat("unknown severity '", stmt.severity,
+                   "' (expected info, warn, or crit)"));
+      }
+      HIREL_RETURN_IF_ERROR(self.alerts_.CreateAlert(rule));
+      return StrCat("alert '", stmt.name, "': ", stmt.metric, " ", stmt.op,
+                    " ", stmt.threshold, " for ", stmt.for_samples,
+                    " sample(s), severity ",
+                    obs::AlertSeverityName(rule.severity), "\n");
+    }
+
+    Result<std::string> operator()(const DropAlertStmt& stmt) {
+      HIREL_RETURN_IF_ERROR(self.alerts_.DropAlert(stmt.name));
+      return StrCat("alert '", stmt.name, "' dropped\n");
+    }
+
+    Result<std::string> operator()(const ExportDiagnosticsStmt& stmt) {
+      return self.WriteDiagnostics(stmt.path, "statement");
+    }
+
+    Result<std::string> operator()(const SetDiagnosticsDirStmt& stmt) {
+      self.alerts_.SetDiagnosticsDir(stmt.dir);
+      if (stmt.dir.empty()) return std::string("diagnostics dir: off\n");
+      HIREL_LOG(obs::LogLevel::kInfo, "diag", "set_dir",
+                {{"dir", stmt.dir}});
+      return StrCat("diagnostics dir: '", stmt.dir,
+                    "' (auto-capture on alert fire)\n");
+    }
+
+    Result<std::string> operator()(const SetWatchdogStmt& stmt) {
+      obs::WatchdogConfig config = self.alerts_.watchdog();
+      config.query_budget_ms = stmt.query_budget_ms;
+      self.alerts_.set_watchdog(config);
+      if (stmt.query_budget_ms < 0) {
+        return std::string("watchdog query budget: off\n");
+      }
+      return StrCat("watchdog query budget: ", stmt.query_budget_ms,
+                    " ms\n");
     }
   };
 

@@ -15,6 +15,7 @@
 #include "core/binding.h"
 #include "core/transaction.h"
 #include "hql/ast.h"
+#include "obs/alerts.h"
 #include "obs/query_stats.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -67,6 +68,12 @@ class Executor {
   obs::TelemetrySampler& telemetry() { return telemetry_; }
   const obs::TelemetrySampler& telemetry() const { return telemetry_; }
 
+  /// The alert manager behind CREATE ALERT / sys.alerts / SHOW HEALTH.
+  /// Evaluated on every telemetry tick; exposed mutable so tests can
+  /// inspect snapshots and tune the watchdog directly.
+  obs::AlertManager& alerts() { return alerts_; }
+  const obs::AlertManager& alerts() const { return alerts_; }
+
  private:
   /// Plan-level figures accumulated while one statement executes, folded
   /// into its QueryStats record afterwards. A statement may run more than
@@ -90,6 +97,16 @@ class Executor {
 
   Result<std::string> ExecuteStatementImpl(const Statement& statement);
 
+  /// Assembles and writes a diagnostics bundle (EXPORT DIAGNOSTICS and
+  /// alert auto-capture share it). Runs on the executor thread only: the
+  /// bundle renders registries whose accessors are not sampler-safe.
+  Result<std::string> WriteDiagnostics(const std::string& path,
+                                       const std::string& cause);
+
+  /// Writes one auto-capture bundle per alert that fired since the last
+  /// statement (the sampler thread only enqueues requests).
+  void DrainAlertCaptures();
+
   std::unique_ptr<Database> db_;
   InferenceOptions options_;
 
@@ -98,6 +115,11 @@ class Executor {
   // reverse order, and the sys.queries provider (owned by db_) never
   // touches the ring during destruction.
   obs::QueryHistoryRing history_;
+
+  // Alert rules evaluated on every telemetry tick. Declared before
+  // telemetry_ so the sampler (whose destructor joins the tick thread, and
+  // whose ticks call into the manager) dies first.
+  obs::AlertManager alerts_;
 
   // Metrics-history sampler behind sys.metrics_history. Declared after db_
   // for the same destruction-order reason as history_; its thread (if SET

@@ -110,6 +110,16 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       token.type = TokenType::kString;
       token.text = std::string(source.substr(start, pos - start));
       advance(1);  // closing quote
+    } else if (c == '<' || c == '>') {
+      // Comparison operators for alert thresholds: < > <= >=.
+      const bool has_eq = pos + 1 < source.size() && source[pos + 1] == '=';
+      if (c == '<') {
+        token.type = has_eq ? TokenType::kLessEq : TokenType::kLess;
+      } else {
+        token.type = has_eq ? TokenType::kGreaterEq : TokenType::kGreater;
+      }
+      token.text = has_eq ? std::string{c, '='} : std::string(1, c);
+      advance(has_eq ? 2 : 1);
     } else {
       switch (c) {
         case '(':

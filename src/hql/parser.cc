@@ -38,6 +38,22 @@ class Parser {
     return false;
   }
 
+  // Statement words that are deliberately NOT reserved (ALERT, HEALTH,
+  // WAITS, ...) so user identifiers keep working — same treatment as OFF
+  // in SET ... OFF. Matched case-insensitively against identifiers.
+  bool CheckName(const char* word) const {
+    return Check(TokenType::kIdentifier) &&
+           EqualsIgnoreCase(Peek().text, word);
+  }
+
+  bool AcceptName(const char* word) {
+    if (CheckName(word)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
   Status Error(const std::string& message) const {
     const Token& t = Peek();
     return Status::ParseError(
@@ -171,6 +187,40 @@ class Parser {
   }
 
   Result<Statement> ParseCreate() {
+    if (AcceptName("ALERT")) {
+      CreateAlertStmt stmt;
+      HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+      HIREL_RETURN_IF_ERROR(ExpectKeyword("ON").status());
+      HIREL_ASSIGN_OR_RETURN(stmt.metric, ExpectIdentifier());
+      switch (Peek().type) {
+        case TokenType::kGreater:
+        case TokenType::kLess:
+        case TokenType::kGreaterEq:
+        case TokenType::kLessEq:
+        case TokenType::kEquals:
+          stmt.op = Advance().text;
+          break;
+        default:
+          return Error("CREATE ALERT expects an operator (> < >= <= =)");
+      }
+      if (Peek().type != TokenType::kInteger) {
+        return Error("CREATE ALERT expects an integer threshold");
+      }
+      stmt.threshold = Advance().int_value;
+      if (AcceptName("FOR")) {
+        if (Peek().type != TokenType::kInteger || Peek().int_value < 1) {
+          return Error("FOR expects a positive sample count");
+        }
+        stmt.for_samples = Advance().int_value;
+        if (!AcceptName("SAMPLES") && !AcceptName("SAMPLE")) {
+          return Error("expected SAMPLES after FOR n");
+        }
+      }
+      if (AcceptName("SEVERITY")) {
+        HIREL_ASSIGN_OR_RETURN(stmt.severity, ExpectIdentifier());
+      }
+      return Statement(std::move(stmt));
+    }
     if (AcceptKeyword("HIERARCHY")) {
       CreateHierarchyStmt stmt;
       HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
@@ -392,6 +442,15 @@ class Parser {
       } else if (AcceptKeyword("TELEMETRY")) {
         stmt.what = ShowStmt::What::kTelemetry;
         stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptName("ALERTS")) {
+        stmt.what = ShowStmt::What::kAlerts;
+        stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptName("HEALTH")) {
+        stmt.what = ShowStmt::What::kHealth;
+        stmt.json = AcceptKeyword("JSON");
+      } else if (AcceptName("WAITS")) {
+        stmt.what = ShowStmt::What::kWaits;
+        stmt.json = AcceptKeyword("JSON");
       } else if (AcceptKeyword("BINDING")) {
         ShowBindingStmt binding;
         HIREL_ASSIGN_OR_RETURN(binding.relation, ExpectIdentifier());
@@ -400,11 +459,17 @@ class Parser {
       } else {
         return Error(
             "expected HIERARCHY, RELATION, HIERARCHIES, RELATIONS, RULES, "
-            "METRICS, TRACE, LOG, STORAGE, QUERIES, or TELEMETRY");
+            "METRICS, TRACE, LOG, STORAGE, QUERIES, TELEMETRY, ALERTS, "
+            "HEALTH, or WAITS");
       }
       return Statement(std::move(stmt));
     }
     if (AcceptKeyword("DROP")) {
+      if (AcceptName("ALERT")) {
+        DropAlertStmt stmt;
+        HIREL_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier());
+        return Statement(std::move(stmt));
+      }
       if (CheckKeyword("CLASS") || CheckKeyword("INSTANCE")) {
         EliminateStmt stmt;
         if (AcceptKeyword("CLASS")) {
@@ -541,8 +606,35 @@ class Parser {
           }
           stmt.mode = SetTelemetryStmt::Mode::kInterval;
           stmt.interval_ms = Advance().int_value;
+        } else if (AcceptName("TICK")) {
+          stmt.mode = SetTelemetryStmt::Mode::kTick;
         } else {
-          return Error("SET TELEMETRY expects ON, OFF, or INTERVAL n");
+          return Error("SET TELEMETRY expects ON, OFF, INTERVAL n, or TICK");
+        }
+        return Statement(stmt);
+      }
+      if (AcceptName("DIAGNOSTICS_DIR")) {
+        SetDiagnosticsDirStmt stmt;
+        if (Check(TokenType::kString)) {
+          stmt.dir = Advance().text;
+          if (stmt.dir.empty()) {
+            return Error("SET DIAGNOSTICS_DIR expects a non-empty path");
+          }
+        } else if (AcceptName("OFF")) {
+          stmt.dir.clear();
+        } else {
+          return Error("SET DIAGNOSTICS_DIR expects a quoted path or OFF");
+        }
+        return Statement(std::move(stmt));
+      }
+      if (AcceptName("WATCHDOG_QUERY_MS")) {
+        SetWatchdogStmt stmt;
+        if (Check(TokenType::kInteger)) {
+          stmt.query_budget_ms = Advance().int_value;
+        } else if (AcceptName("OFF")) {
+          stmt.query_budget_ms = -1;
+        } else {
+          return Error("SET WATCHDOG_QUERY_MS expects an integer or OFF");
         }
         return Statement(stmt);
       }
@@ -552,6 +644,11 @@ class Parser {
       return Statement(std::move(stmt));
     }
     if (AcceptKeyword("EXPORT")) {
+      if (AcceptName("DIAGNOSTICS")) {
+        ExportDiagnosticsStmt stmt;
+        HIREL_ASSIGN_OR_RETURN(stmt.path, ExpectStringLiteral());
+        return Statement(std::move(stmt));
+      }
       HIREL_RETURN_IF_ERROR(ExpectKeyword("TRACE").status());
       ExportTraceStmt stmt;
       HIREL_ASSIGN_OR_RETURN(stmt.path, ExpectStringLiteral());

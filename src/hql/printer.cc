@@ -66,8 +66,18 @@ std::string HelpText() {
     SHOW LOG [JSON];                             -- in-memory event log
     SET LOG debug|info|warn|error|off;           -- logger minimum level
     SET SLOW_QUERY_MS n;                         -- log statements >= n ms (OFF to disable)
-    SET TELEMETRY ON|OFF|INTERVAL n;             -- background metric sampler (n in ms)
+    SET TELEMETRY ON|OFF|INTERVAL n|TICK;        -- background metric sampler (TICK = one sample now)
     SHOW TELEMETRY [JSON];                       -- sampled metric history rings
+    CREATE ALERT a ON metric > n [FOR k SAMPLES] [SEVERITY info|warn|crit];
+                                                 -- rule evaluated on every telemetry tick (> < >= <= =)
+    DROP ALERT a;                                -- remove a user rule (watchdog rules refuse)
+    SHOW ALERTS [JSON];                          -- every rule and its live state
+    SHOW HEALTH [JSON];                          -- per-component verdict from the firing set
+    SHOW WAITS [JSON];                           -- wait sites by class with p50/p90/p99
+    SET WATCHDOG_QUERY_MS n;                     -- slow-query watchdog budget (OFF to disable)
+    SET DIAGNOSTICS_DIR 'dir';                   -- auto-capture a bundle per alert fire (OFF to disable)
+    EXPORT DIAGNOSTICS 'file.json';              -- one-shot bundle: config, metrics, waits, alerts,
+                                                 -- health, queries, telemetry, log
     EXPORT TRACE 'file.json';                    -- Chrome trace-event JSON (incl. wait spans)
     RESET METRICS;                               -- zero every metric and wait aggregate
 
@@ -84,6 +94,9 @@ std::string HelpText() {
                    -- cpu_queue/latch/lock/io, so WHERE site = ALL latch works
     sys.metrics_history -- the telemetry sampler's rings; name shares the
                    -- sys.metrics hierarchy, so WHERE name = ALL pool works
+    sys.alerts     -- alert rules + state; severity chain info>warn>crit,
+                   -- so WHERE severity = ALL warn covers warn and crit
+    sys.health     -- one verdict per component (pool/wal/cache/queries/telemetry)
 )";
 }
 

@@ -53,6 +53,14 @@ const char* TokenTypeToString(TokenType type) {
       return "'='";
     case TokenType::kStar:
       return "'*'";
+    case TokenType::kLess:
+      return "'<'";
+    case TokenType::kGreater:
+      return "'>'";
+    case TokenType::kLessEq:
+      return "'<='";
+    case TokenType::kGreaterEq:
+      return "'>='";
     case TokenType::kKeyword:
       return "keyword";
   }

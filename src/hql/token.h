@@ -25,6 +25,10 @@ enum class TokenType {
   kColon,         // :
   kEquals,        // =
   kStar,          // *
+  kLess,          // <   (alert thresholds)
+  kGreater,       // >
+  kLessEq,        // <=
+  kGreaterEq,     // >=
   kKeyword,       // any reserved word, normalised to upper case
 };
 

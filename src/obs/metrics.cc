@@ -227,6 +227,8 @@ std::map<std::string, HelpEntry, std::less<>>& HelpTable() {
       {"log.", {"structured-logger activity", true}},
       {"waits.", {"wait-event time aggregated per wait class", true}},
       {"telemetry.", {"telemetry sampler activity", true}},
+      {"alerts.", {"alert-rule evaluation activity", true}},
+      {"watchdog.", {"stall-watchdog observations", true}},
       {"process.uptime_ms", {"milliseconds since process start", false}},
       {"process.rss_bytes", {"resident set size in bytes", false}},
       {"exec.threads", {"configured worker thread count", false}},

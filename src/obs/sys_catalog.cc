@@ -26,6 +26,7 @@ struct SysDomains {
   Hierarchy* num = nullptr;       // sys.num: interned integer measures
   Hierarchy* text = nullptr;      // sys.text: free-form strings
   Hierarchy* waitsite = nullptr;  // sys.waitsite: wait class ⊃ wait site
+  Hierarchy* alertsev = nullptr;  // sys.alertsev: info ⊃ warn ⊃ crit
 };
 
 /// Interns a metric name into the metric-name hierarchy: one class per
@@ -529,7 +530,7 @@ class SysMetricsHistoryProvider : public SysProviderBase {
       for (const auto& sample : series.samples) {
         HIREL_RETURN_IF_ERROR(
             AddRow(rel, Item{metric_node, Num(sample.seq), Num(sample.ts_ms),
-                             Num(sample.value)}));
+                             Num(sample.epoch_ms), Num(sample.value)}));
       }
     }
     return rel;
@@ -543,6 +544,7 @@ class SysMetricsHistoryProvider : public SysProviderBase {
       for (const auto& sample : series.samples) {
         Num(sample.seq);
         Num(sample.ts_ms);
+        Num(sample.epoch_ms);
         Num(sample.value);
       }
     }
@@ -550,6 +552,102 @@ class SysMetricsHistoryProvider : public SysProviderBase {
 
  private:
   const TelemetrySampler* telemetry_;
+};
+
+// ----- sys.alerts -----------------------------------------------------------
+
+class SysAlertsProvider : public SysProviderBase {
+ public:
+  SysAlertsProvider(std::string name, Schema schema, SysDomains domains,
+                    const AlertManager* alerts)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        alerts_(alerts) {}
+
+  size_t EstimatedRows() override {
+    return alerts_ == nullptr ? 0 : alerts_->Snapshot().size();
+  }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    if (alerts_ == nullptr) return rel;
+    for (const AlertSnapshot& a : alerts_->Snapshot()) {
+      HIREL_RETURN_IF_ERROR(AddRow(
+          rel,
+          Item{Label(a.rule.name), Severity(a.rule.severity),
+               Label(AlertStateName(a.state)),
+               InternMetricName(*domains_.metric, a.rule.metric),
+               Num(static_cast<uint64_t>(a.last_value)),
+               Num(static_cast<uint64_t>(a.rule.threshold)), Num(a.fires)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    if (alerts_ == nullptr) return;
+    for (const AlertSnapshot& a : alerts_->Snapshot()) {
+      Label(a.rule.name);
+      Label(AlertStateName(a.state));
+      InternMetricName(*domains_.metric, a.rule.metric);
+      Num(static_cast<uint64_t>(a.last_value));
+      Num(static_cast<uint64_t>(a.rule.threshold));
+      Num(a.fires);
+    }
+    // Severity instances were added at registration; state labels that
+    // have not occurred yet still need to resolve in WHERE terms.
+    for (AlertState s : {AlertState::kOk, AlertState::kPending,
+                         AlertState::kFiring, AlertState::kResolved}) {
+      Label(AlertStateName(s));
+    }
+  }
+
+ private:
+  NodeId Severity(AlertSeverity severity) {
+    return domains_.alertsev->Intern(
+        Value::String(AlertSeverityName(severity)));
+  }
+
+  const AlertManager* alerts_;
+};
+
+// ----- sys.health -----------------------------------------------------------
+
+class SysHealthProvider : public SysProviderBase {
+ public:
+  SysHealthProvider(std::string name, Schema schema, SysDomains domains,
+                    const AlertManager* alerts)
+      : SysProviderBase(std::move(name), std::move(schema), domains),
+        alerts_(alerts) {}
+
+  size_t EstimatedRows() override { return 5; }
+
+  Result<HierarchicalRelation> Materialize() override {
+    HierarchicalRelation rel = NewRelation();
+    if (alerts_ == nullptr) return rel;
+    for (const ComponentHealth& c : DeriveHealth(alerts_->Snapshot())) {
+      HIREL_RETURN_IF_ERROR(
+          AddRow(rel, Item{Label(c.component),
+                           Label(HealthVerdictName(c.verdict)),
+                           Num(c.firing)}));
+    }
+    return rel;
+  }
+
+ protected:
+  void RefreshDomains() override {
+    if (alerts_ == nullptr) return;
+    for (const ComponentHealth& c : DeriveHealth(alerts_->Snapshot())) {
+      Label(c.component);
+      Num(c.firing);
+    }
+    for (HealthVerdict v : {HealthVerdict::kOk, HealthVerdict::kDegraded,
+                            HealthVerdict::kCritical}) {
+      Label(HealthVerdictName(v));
+    }
+  }
+
+ private:
+  const AlertManager* alerts_;
 };
 
 Schema MakeSchema(
@@ -566,7 +664,8 @@ Schema MakeSchema(
 }  // namespace
 
 void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
-                           const TelemetrySampler* telemetry) {
+                           const TelemetrySampler* telemetry,
+                           const AlertManager* alerts) {
   SysDomains domains;
   domains.label = db.AddSysHierarchy("sys.label");
   domains.metric = db.AddSysHierarchy("sys.metric");
@@ -574,6 +673,7 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
   domains.num = db.AddSysHierarchy("sys.num");
   domains.text = db.AddSysHierarchy("sys.text");
   domains.waitsite = db.AddSysHierarchy("sys.waitsite");
+  domains.alertsev = db.AddSysHierarchy("sys.alertsev");
 
   // Severity: a chain of classes from general (debug: every event) to
   // specific (error), each holding its level's events as an instance, so
@@ -584,6 +684,16 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
     if (!cls.ok()) break;  // unreachable: fresh hierarchy
     (void)domains.severity->AddInstance(Value::String(level), *cls);
     parent = *cls;
+  }
+
+  // Alert severities: the same chain construction as sys.log's levels —
+  // info (every alert) ⊃ warn ⊃ crit — so `ALL warn` covers warn + crit.
+  NodeId sev_parent = domains.alertsev->root();
+  for (const char* level : {"info", "warn", "crit"}) {
+    Result<NodeId> cls = domains.alertsev->AddClass(level, sev_parent);
+    if (!cls.ok()) break;  // unreachable: fresh hierarchy
+    (void)domains.alertsev->AddInstance(Value::String(level), *cls);
+    sev_parent = *cls;
   }
 
   // Wait classes: flat classes under the root; sites intern as instances
@@ -664,8 +774,25 @@ void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
           MakeSchema({{"name", domains.metric},
                       {"seq", domains.num},
                       {"ts_ms", domains.num},
+                      {"epoch_ms", domains.num},
                       {"value", domains.num}}),
           domains, telemetry));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysAlertsProvider>(
+      "sys.alerts",
+      MakeSchema({{"alert", domains.label},
+                  {"severity", domains.alertsev},
+                  {"state", domains.label},
+                  {"metric", domains.metric},
+                  {"value", domains.num},
+                  {"threshold", domains.num},
+                  {"fires", domains.num}}),
+      domains, alerts));
+  (void)db.RegisterVirtualRelation(std::make_unique<SysHealthProvider>(
+      "sys.health",
+      MakeSchema({{"component", domains.label},
+                  {"verdict", domains.label},
+                  {"firing", domains.num}}),
+      domains, alerts));
 }
 
 void SyncEngineGauges(const Database& db) {

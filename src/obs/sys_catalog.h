@@ -30,10 +30,19 @@
 //                  aggregates; sites live in a hierarchy whose classes are
 //                  the wait classes (cpu_queue, latch, lock, io), so
 //                  `WHERE site = ALL latch` selects every latch site.
-//   sys.metrics_history  (name, seq, ts_ms, value)   the TelemetrySampler
-//                  rings (SET TELEMETRY ON); `name` shares the sys.metrics
-//                  dotted-name hierarchy, so `WHERE name = ALL pool`
-//                  selects a subtree's history by subsumption.
+//   sys.metrics_history  (name, seq, ts_ms, epoch_ms, value)   the
+//                  TelemetrySampler rings (SET TELEMETRY ON); `name`
+//                  shares the sys.metrics dotted-name hierarchy, so
+//                  `WHERE name = ALL pool` selects a subtree's history by
+//                  subsumption; epoch_ms is the wall clock of the sample.
+//   sys.alerts     (alert, severity, state, metric, value, threshold,
+//                  fires)   every alert rule (user + built-in watchdog)
+//                  with its live state; severities form the chain info ⊃
+//                  warn ⊃ crit, so `WHERE severity = ALL warn` selects
+//                  warn and crit alerts by subsumption.
+//   sys.health     (component, verdict, firing)   one verdict per engine
+//                  component (pool, wal, cache, queries, telemetry)
+//                  derived from the firing alerts.
 //
 // Backing hierarchies are hidden system hierarchies (Database::
 // AddSysHierarchy): shared across providers per semantic domain, so
@@ -46,6 +55,7 @@
 #define HIREL_OBS_SYS_CATALOG_H_
 
 #include "catalog/database.h"
+#include "obs/alerts.h"
 #include "obs/query_stats.h"
 #include "obs/telemetry.h"
 
@@ -53,12 +63,13 @@ namespace hirel {
 namespace obs {
 
 /// Registers every sys.* provider on `db`. `history` is the executor's
-/// query-history ring behind sys.queries and `telemetry` its sampler
-/// behind sys.metrics_history (null renders either empty); both must
-/// outlive the database's providers. Call again after replacing the
-/// database (LOAD).
+/// query-history ring behind sys.queries, `telemetry` its sampler behind
+/// sys.metrics_history, and `alerts` its alert manager behind sys.alerts
+/// and sys.health (null renders any of them empty); all must outlive the
+/// database's providers. Call again after replacing the database (LOAD).
 void RegisterSystemCatalog(Database& db, const QueryHistoryRing* history,
-                           const TelemetrySampler* telemetry = nullptr);
+                           const TelemetrySampler* telemetry = nullptr,
+                           const AlertManager* alerts = nullptr);
 
 /// Refreshes the engine gauges derived from live structures — subsumption
 /// cache stats, thread-pool state, per-storage-kind relation/byte totals,

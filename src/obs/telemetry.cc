@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/alerts.h"
 #include "obs/metrics.h"
 
 namespace hirel {
@@ -71,28 +72,39 @@ void TelemetrySampler::Loop() {
 }
 
 void TelemetrySampler::Tick() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (registry_ == nullptr) return;
-  uint64_t seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
-  uint64_t now_ms = UptimeMs();
-  registry_->VisitForSample([&](std::string_view name, char kind,
-                                uint64_t value) {
-    auto it = series_.find(name);
-    if (it == series_.end()) {
-      it = series_.emplace(std::string(name), Series{}).first;
-      it->second.kind = kind;
-      it->second.min = value;
-      it->second.max = value;
-    }
-    Series& s = it->second;
-    s.kind = kind;
-    if (value < s.min || s.total_samples == 0) s.min = value;
-    if (value > s.max || s.total_samples == 0) s.max = value;
-    s.last = value;
-    ++s.total_samples;
-    s.ring.push_back(Sample{seq, now_ms, value});
-    while (s.ring.size() > capacity_) s.ring.pop_front();
-  });
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (registry_ == nullptr) return;
+    uint64_t seq = ticks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t now_ms = UptimeMs();
+    uint64_t epoch_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    registry_->VisitForSample([&](std::string_view name, char kind,
+                                  uint64_t value) {
+      auto it = series_.find(name);
+      if (it == series_.end()) {
+        it = series_.emplace(std::string(name), Series{}).first;
+        it->second.kind = kind;
+        it->second.min = value;
+        it->second.max = value;
+      }
+      Series& s = it->second;
+      s.kind = kind;
+      if (value < s.min || s.total_samples == 0) s.min = value;
+      if (value > s.max || s.total_samples == 0) s.max = value;
+      s.last = value;
+      ++s.total_samples;
+      s.ring.push_back(Sample{seq, now_ms, epoch_ms, value});
+      while (s.ring.size() > capacity_) s.ring.pop_front();
+    });
+  }
+  // Alert evaluation runs with the sampler lock released: OnTick reads
+  // back through Latest(), which takes the shared lock.
+  if (AlertManager* alerts = alerts_.load(std::memory_order_acquire)) {
+    alerts->OnTick(*this);
+  }
 }
 
 std::vector<TelemetrySampler::SeriesSnapshot> TelemetrySampler::Snapshot()
@@ -112,6 +124,14 @@ std::vector<TelemetrySampler::SeriesSnapshot> TelemetrySampler::Snapshot()
     out.push_back(std::move(snap));
   }
   return out;  // map iteration is already name-sorted
+}
+
+bool TelemetrySampler::Latest(std::string_view name, Sample* out) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.empty()) return false;
+  *out = it->second.ring.back();
+  return true;
 }
 
 void TelemetrySampler::Clear() {

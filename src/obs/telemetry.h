@@ -13,7 +13,8 @@
 //
 // Exposure: SHOW TELEMETRY [JSON] renders per-metric min/max/last and an
 // observed rate over the ring window; the sys.metrics_history virtual
-// relation explodes the rings into (name, seq, ts_ms, value) rows with
+// relation explodes the rings into (name, seq, ts_ms, epoch_ms, value)
+// rows with
 // `name` interned into the dotted metric-name hierarchy, so
 // `WHERE name = ALL pool` selects a whole subtree's history by
 // subsumption.
@@ -36,13 +37,15 @@
 namespace hirel {
 namespace obs {
 
+class AlertManager;
 class MetricsRegistry;
 
 class TelemetrySampler {
  public:
   struct Sample {
-    uint64_t seq;    // tick number, 1-based, monotonically increasing
-    uint64_t ts_ms;  // milliseconds since the sampler was constructed
+    uint64_t seq;       // tick number, 1-based, monotonically increasing
+    uint64_t ts_ms;     // milliseconds since the sampler was constructed
+    uint64_t epoch_ms;  // unix wall-clock milliseconds at the tick
     uint64_t value;
   };
 
@@ -87,6 +90,17 @@ class TelemetrySampler {
   /// Copies every series, sorted by name. Safe concurrent with Tick().
   std::vector<SeriesSnapshot> Snapshot() const;
 
+  /// The most recent sample of one series, if any. Safe concurrent with
+  /// Tick(); this is what alert evaluation reads per rule.
+  bool Latest(std::string_view name, Sample* out) const;
+
+  /// Attaches the alert manager: after every successful tick the sampler
+  /// calls manager->OnTick(*this) with its own lock released. Pass
+  /// nullptr to detach. The manager must outlive the sampler thread.
+  void SetAlertManager(AlertManager* manager) {
+    alerts_.store(manager, std::memory_order_release);
+  }
+
   /// Drops all series and resets the tick counter (capacity/interval and
   /// running state are untouched).
   void Clear();
@@ -110,6 +124,8 @@ class TelemetrySampler {
   mutable std::shared_mutex mutex_;  // guards registry_ + series_
   const MetricsRegistry* registry_ = nullptr;
   std::map<std::string, Series, std::less<>> series_;
+
+  std::atomic<AlertManager*> alerts_{nullptr};
 
   std::atomic<uint64_t> interval_ms_{100};
   std::atomic<uint64_t> ticks_{0};

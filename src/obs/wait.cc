@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 
 namespace hirel {
@@ -118,6 +119,40 @@ WaitEventRegistry::PerClass() const {
     out[i].total_ns = class_ns_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+uint64_t WaitEventRegistry::SiteQuantileNs(const SiteSnapshot& site,
+                                           double q) {
+  uint64_t n = 0;
+  for (uint64_t b : site.buckets) n += b;
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    uint64_t in_bucket = site.buckets[i];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The overflow bucket has no upper bound; its best point estimate is
+    // the observed maximum.
+    if (i + 1 == kHistogramBuckets) return site.max_ns;
+    uint64_t lower = i == 0 ? 0 : uint64_t{1024} << (i - 1);
+    uint64_t upper = uint64_t{1024} << i;
+    double within = static_cast<double>(rank - cumulative) /
+                    static_cast<double>(in_bucket);
+    uint64_t estimate =
+        lower + static_cast<uint64_t>(within *
+                                      static_cast<double>(upper - lower));
+    return site.max_ns > 0 && estimate > site.max_ns ? site.max_ns
+                                                     : estimate;
+  }
+  return site.max_ns;
 }
 
 void WaitEventRegistry::Reset() {

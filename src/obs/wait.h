@@ -123,6 +123,12 @@ class WaitEventRegistry {
   };
   std::array<ClassTotals, kNumWaitClasses> PerClass() const;
 
+  /// Quantile estimate (0.0..1.0) from a site's bucketed latencies —
+  /// same bucket bounds and interpolation as Histogram::QuantileNs, so
+  /// SHOW WAITS percentiles read like SHOW METRICS ones. Returns 0 for
+  /// an empty site; the estimate is clamped to the observed max.
+  static uint64_t SiteQuantileNs(const SiteSnapshot& site, double q);
+
   /// Zeroes every site and the class/attribution totals (sites stay
   /// registered). RESET METRICS calls this.
   void Reset();

@@ -57,8 +57,11 @@ for preset in "${presets[@]}"; do
   repl="build/${preset}/examples/hql_repl"
   trace_json="$(mktemp)"
   snap_file="$(mktemp -u)"
+  diag_json="$(mktemp)"
+  diag_dir="$(mktemp -d)"
   smoke="$(mktemp)"
   sed -e "s|__TRACE__|${trace_json}|" -e "s|__SNAP__|${snap_file}|" \
+      -e "s|__DIAG__|${diag_json}|" -e "s|__DIAGDIR__|${diag_dir}|" \
       tools/obs_smoke.hql > "${smoke}"
   obs_out="$("${repl}" "${smoke}" < /dev/null)"
   rm -f "${smoke}" "${snap_file}"
@@ -80,6 +83,25 @@ for preset in "${presets[@]}"; do
   }
   echo "${obs_out}" | grep -q 'snapshot.save' || {
     echo "FAIL: no snapshot.save wait site in sys.waits" >&2
+    exit 1
+  }
+  # Alert lifecycle: hot_statements trips on the first manual tick, shows
+  # up under `severity = ALL warn` (subsumption), degrades the health
+  # verdict, and resolves after RESET METRICS + one more tick.
+  echo "${obs_out}" | grep -q 'hot_statements.*firing' || {
+    echo "FAIL: hot_statements alert did not fire in SHOW ALERTS" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q 'health: degraded' || {
+    echo "FAIL: SHOW HEALTH did not report degraded while firing" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q '"alert":"hot_statements","metric":"query.statements","op":">","threshold":3,"for_samples":1,"severity":"warn","builtin":false,"state":"resolved"' || {
+    echo "FAIL: hot_statements did not resolve after RESET METRICS" >&2
+    exit 1
+  }
+  echo "${obs_out}" | grep -q 'hirel_wait_site_ns_bucket' || {
+    echo "FAIL: no per-site wait histograms in SHOW METRICS PROMETHEUS" >&2
     exit 1
   }
   # Every JSON-producing statement emits a line starting with [ or {; each
@@ -104,8 +126,32 @@ for preset in "${presets[@]}"; do
     echo "FAIL: exported trace is not valid JSON" >&2
     exit 1
   }
-  echo "observability JSON validated (${json_lines} lines + exported trace)"
-  rm -f "${trace_json}"
+  "${check}" json "${diag_json}" > /dev/null || {
+    echo "FAIL: exported diagnostics bundle is not valid JSON" >&2
+    exit 1
+  }
+  grep -q '"cause":"statement"' "${diag_json}" || {
+    echo "FAIL: diagnostics bundle is missing its cause" >&2
+    exit 1
+  }
+  # The fire transition auto-captured exactly one bundle into the
+  # diagnostics dir; it must parse and name the alert as its cause.
+  captured=("${diag_dir}"/diag.hot_statements.*.json)
+  if [ ${#captured[@]} -ne 1 ] || [ ! -f "${captured[0]}" ]; then
+    echo "FAIL: expected exactly one auto-captured bundle, got: ${captured[*]}" >&2
+    exit 1
+  fi
+  "${check}" json "${captured[0]}" > /dev/null || {
+    echo "FAIL: auto-captured bundle is not valid JSON" >&2
+    exit 1
+  }
+  grep -q '"cause":"alert:hot_statements"' "${captured[0]}" || {
+    echo "FAIL: auto-captured bundle is missing its alert cause" >&2
+    exit 1
+  }
+  echo "observability JSON validated (${json_lines} lines + trace + diagnostics bundles)"
+  rm -f "${trace_json}" "${diag_json}"
+  rm -rf "${diag_dir}"
 
   echo "==== ${preset}: workload generator smoke ===="
   gen="build/${preset}/tools/gen_workload"

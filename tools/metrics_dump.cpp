@@ -73,7 +73,8 @@ int main(int argc, char** argv) {
   const obs::MetricsRegistry& metrics = exec.database().metrics();
   switch (format) {
     case Format::kPrometheus:
-      std::cout << obs::PrometheusText(metrics);
+      std::cout << obs::PrometheusText(metrics,
+                                       &obs::WaitEventRegistry::Global());
       break;
     case Format::kJson:
       std::cout << metrics.RenderJson() << "\n";

@@ -41,6 +41,40 @@ SET TELEMETRY OFF;
 SELECT * FROM sys.metrics WHERE name = ALL waits;
 SELECT * FROM sys.metrics_history WHERE name = ALL pool;
 
+-- Alerting lifecycle, driven deterministically with SET TELEMETRY TICK
+-- (the sampler thread is already off). The watchdog budget is huge so CI
+-- hosts never trip it; hot_statements trips immediately, the crit rule
+-- never does, and the FOR-2 rule exercises the hysteresis window. The
+-- first tick fires hot_statements, which auto-captures a bundle into
+-- __DIAGDIR__; RESET METRICS plus one more tick resolves it.
+SET WATCHDOG_QUERY_MS 600000;
+SET DIAGNOSTICS_DIR '__DIAGDIR__';
+CREATE ALERT hot_statements ON query.statements > 3 SEVERITY warn;
+CREATE ALERT quiet_crit ON query.errors > 1000000 SEVERITY crit;
+CREATE ALERT steady ON query.statements > 3 FOR 2 SAMPLES SEVERITY info;
+SET TELEMETRY TICK;
+SHOW ALERTS;
+SHOW ALERTS JSON;
+SELECT * FROM sys.alerts WHERE severity = ALL warn;
+SHOW HEALTH;
+SHOW HEALTH JSON;
+SHOW WAITS;
+SHOW WAITS JSON;
+EXPORT DIAGNOSTICS '__DIAG__';
+RESET METRICS;
+SET TELEMETRY TICK;
+SHOW ALERTS JSON;
+SET DIAGNOSTICS_DIR OFF;
+SET WATCHDOG_QUERY_MS OFF;
+DROP ALERT hot_statements;
+DROP ALERT quiet_crit;
+DROP ALERT steady;
+
+-- RESET METRICS above also zeroed the wait-site registry (sites with no
+-- waits are omitted from the exposition), so a second SAVE re-seeds an
+-- io-class wait before the Prometheus per-site histogram check below.
+SAVE '__SNAP__';
+
 EXPORT TRACE '__TRACE__';
 SHOW LOG JSON;
 SHOW METRICS JSON;
